@@ -1,0 +1,68 @@
+"""Figure 10 (section 4.4): first-CP time after boot with/without TopAA.
+
+(A) holds the FlexVol count at a fixed number while growing each
+volume; (B) grows the number of fixed-size volumes.  In both cases the
+time to complete the first CP is gated by rebuilding the AA caches:
+with TopAA metafiles it requires reading 1 block per RAID group and 2
+per volume (constant), without them it requires a linear walk of every
+bitmap-metafile block (linear in capacity).
+
+We report the modeled mount I/O time (metafile blocks read x per-block
+read cost) plus one measured CP, and the measured wall-clock of the
+cache build itself (a real popcount walk vs page decoding in this
+process).  Both exhibit the paper's flat-vs-linear separation.
+
+Run with ``pytest benchmarks/bench_fig10_topaa.py --benchmark-only -s``;
+tables land in benchmarks/results/fig10.txt.  The experiment logic
+lives in :mod:`repro.bench.experiments` (also reachable via
+``python -m repro fig10``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import emit
+from repro.bench.experiments import fig10_tables, run_fig10
+
+
+@pytest.fixture(scope="module")
+def fig10_data():
+    return run_fig10()
+
+
+def test_fig10a_vol_size(benchmark, fig10_data):
+    size_rows, series, count_rows, _ = benchmark.pedantic(
+        lambda: fig10_data, rounds=1, iterations=1
+    )
+    t1, _t2 = fig10_tables(size_rows, count_rows)
+    emit("fig10", t1)
+    # TopAA: the mount component is flat in volume size (identical
+    # block reads, near-identical modeled time); without TopAA the
+    # bitmap walk grows linearly with capacity.
+    assert series[(4, True)]["blocks_read"] == series[(32, True)]["blocks_read"]
+    assert series[(32, True)]["modeled_ms"] < 1.3 * series[(4, True)]["modeled_ms"]
+    assert series[(32, False)]["blocks_read"] > 4 * series[(4, False)]["blocks_read"]
+    # At the largest size the TopAA first CP is far cheaper.
+    assert series[(32, True)]["modeled_ms"] < 0.5 * series[(32, False)]["modeled_ms"]
+
+
+def test_fig10b_vol_count(benchmark, fig10_data):
+    size_rows, _, count_rows, series = benchmark.pedantic(
+        lambda: fig10_data, rounds=1, iterations=1
+    )
+    _t1, t2 = fig10_tables(size_rows, count_rows)
+    emit("fig10", t2)
+    # No TopAA: the walk grows linearly with volume count; TopAA reads
+    # only 2 blocks per volume (plus 1 per RAID group), more than an
+    # order of magnitude less I/O at every point.
+    assert series[(32, False)]["blocks_read"] > 4 * series[(4, False)]["blocks_read"]
+    for n_vols in (4, 8, 16, 32):
+        assert (
+            series[(n_vols, False)]["blocks_read"]
+            > 10 * series[(n_vols, True)]["blocks_read"]
+        )
+        assert series[(n_vols, True)]["modeled_ms"] < series[(n_vols, False)]["modeled_ms"]
+    # The paper's headline: with TopAA the first CP is much faster on
+    # the big configuration.
+    assert series[(32, True)]["modeled_ms"] < 0.35 * series[(32, False)]["modeled_ms"]

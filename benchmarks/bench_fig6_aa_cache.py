@@ -1,0 +1,105 @@
+"""Figure 6 (+ section 4.1 in-text results): AA cache benefit.
+
+Regenerates the paper's latency-versus-achieved-throughput sweep for
+8 KiB random overwrites on an aged all-SSD aggregate under four
+configurations: both AA caches, FlexVol cache only, aggregate cache
+only, and neither (the paper plots the first three; "neither" is our
+added baseline).  Also reports the in-text quantities: mean free space
+of selected AAs (61% vs 46% aggregate; 78% vs 61% FlexVol in the
+paper), SSD write amplification (1.77 -> 1.46), and WAFL CPU per op
+(309 -> 293 us/op).
+
+Run with ``pytest benchmarks/bench_fig6_aa_cache.py --benchmark-only -s``;
+tables are also written to benchmarks/results/fig6.txt.  The experiment
+logic lives in :mod:`repro.bench.experiments` (also reachable via
+``python -m repro fig6``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import build_aged_ssd_sim, emit, measure_random_overwrite
+from repro.bench.experiments import (
+    FIG6_CONFIGS,
+    FIG6_OFFERED,
+    fig6_tables,
+    run_fig6,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_fig6()
+
+
+@pytest.mark.parametrize("label", list(FIG6_CONFIGS))
+def test_fig6_measurement_phase(benchmark, label):
+    """Benchmark the measurement phase itself (one fresh aged system per
+    config; a handful of random-overwrite CPs)."""
+
+    def setup():
+        ap, vp = FIG6_CONFIGS[label]
+        sim = build_aged_ssd_sim(aggregate_policy=ap, vol_policy=vp, seed=42)
+        return (sim,), {}
+
+    def run(sim):
+        return measure_random_overwrite(sim, label, n_cps=5)
+
+    benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+
+
+def test_fig6_tables(benchmark, results):
+    """Emit the figure's series and check the paper's shape claims."""
+    benchmark.pedantic(_emit_and_check, args=(results,), rounds=1, iterations=1)
+
+
+def _emit_and_check(results):
+    for table in fig6_tables(results):
+        emit("fig6", table)
+
+    both = results["both caches"]
+    vol_only = results["FlexVol AA cache"]
+    agg_only = results["Aggregate AA cache"]
+    neither = results["neither (baseline)"]
+
+    # Paper: cache-selected AAs are much emptier than the aggregate mean
+    # (61% vs 45%) while random selection tracks the mean (46%).
+    assert both.agg_selected_free > both.aggregate_free + 0.05
+    assert abs(neither.agg_selected_free - neither.aggregate_free) < 0.08
+
+    # Paper: RAID-aware cache cuts SSD write amplification (1.77->1.46).
+    assert both.write_amplification < vol_only.write_amplification
+
+    # Paper: FlexVol cache cuts WAFL CPU per op (309->293 us/op).
+    assert both.cpu_us_per_op < agg_only.cpu_us_per_op
+
+    # Paper: the aggregate cache improves peak throughput; the FlexVol
+    # cache's benefit is CPU-side (its throughput gain needs a CPU-bound
+    # regime — see EXPERIMENTS.md), so we assert its mechanism directly
+    # and require it not to hurt capacity.
+    assert both.capacity_ops > neither.capacity_ops
+    assert agg_only.capacity_ops > neither.capacity_ops
+    assert vol_only.cpu_us_per_op < neither.cpu_us_per_op * 0.99
+    assert vol_only.capacity_ops > neither.capacity_ops * 0.97
+
+    # Paper headline: both caches beat neither by a solid double-digit
+    # margin (24% + 8% in the paper's testbed).
+    gain = both.capacity_ops / neither.capacity_ops - 1
+    emit("fig6", f"Peak-throughput gain, both caches vs neither: {gain:+.1%}")
+    assert gain > 0.10
+
+    # Latency at a common load the cached system absorbs but the
+    # baseline cannot (paper: 0.56 ms vs 4.6 ms at 12k ops/s/client).
+    both_curve = both.curve(FIG6_OFFERED)
+    pre_knee = [i for i, p in enumerate(both_curve)
+                if p.achieved_per_client == p.offered_per_client]
+    idx = pre_knee[-1] if pre_knee else len(FIG6_OFFERED) - 1
+    lat_both = both_curve[idx].latency_ms
+    lat_neither = neither.curve(FIG6_OFFERED)[idx].latency_ms
+    emit(
+        "fig6",
+        f"Latency at {FIG6_OFFERED[idx]:.0f} ops/s/client: both={lat_both:.2f} ms, "
+        f"neither={lat_neither:.2f} ms",
+    )
+    assert lat_both < lat_neither

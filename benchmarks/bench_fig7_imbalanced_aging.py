@@ -1,0 +1,51 @@
+"""Figure 7 (section 4.2): disk usage across differently aged RAID groups.
+
+An all-HDD aggregate with four RAID groups runs an OLTP benchmark at a
+fixed cumulative load.  RG0 and RG1 were aged "by overwriting and
+freeing blocks until a random 50% of its blocks were used"; RG2 and
+RG3 are fresh.  The paper's two findings:
+
+1. blocks are evenly distributed across all disks with the same
+   fragmentation level;
+2. more blocks are written to the newer, emptier RAID groups, while the
+   aged groups see a marginally *higher* tetris rate per block written
+   (their free space is scattered across more partial stripes).
+
+Run with ``pytest benchmarks/bench_fig7_imbalanced_aging.py
+--benchmark-only -s``; tables land in benchmarks/results/fig7.txt.  The
+experiment logic lives in :mod:`repro.bench.experiments` (also
+reachable via ``python -m repro fig7``).
+"""
+
+from __future__ import annotations
+
+from repro.bench import emit
+from repro.bench.experiments import fig7_tables, run_fig7
+
+
+def test_fig7(benchmark):
+    res = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    for table in fig7_tables(res):
+        emit("fig7", table)
+
+    aged, fresh = res.aged(), res.fresh()
+
+    # Claim 1: blocks even across disks with the same fragmentation.
+    for gi, per in enumerate(res.blocks_per_disk):
+        per = per.astype(float)
+        assert per.max() / max(per.min(), 1) < 1.1, f"RG{gi} disks uneven: {per}"
+
+    # Claim 2: more blocks to the fresh groups.
+    assert res.blocks[fresh].mean() > 1.2 * res.blocks[aged].mean()
+
+    # Claim 3: aged groups write fewer blocks per tetris (their tetrises
+    # are less efficient), i.e. a marginally higher tetris rate per
+    # block written.
+    aged_eff = res.blocks[aged].sum() / res.tetrises[aged].sum()
+    fresh_eff = res.blocks[fresh].sum() / res.tetrises[fresh].sum()
+    assert aged_eff < fresh_eff
+
+    # Claim 4: aged groups suffer more partial stripes.
+    aged_partial = res.partials[aged].sum() / res.stripes[aged].sum()
+    fresh_partial = res.partials[fresh].sum() / max(res.stripes[fresh].sum(), 1)
+    assert aged_partial > fresh_partial

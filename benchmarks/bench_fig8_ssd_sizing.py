@@ -1,0 +1,55 @@
+"""Figure 8 (section 4.3): AA sizing on SSDs.
+
+An all-SSD aggregate aged to 85% fullness runs 4 KiB random
+reads/writes under two AA sizes: the historical HDD sizing (4k
+stripes — a fraction of the FTL's erase unit, Figure 4A) and the SSD
+sizing (a multiple of the erase unit, Figure 4B).  The paper reports
+~26% higher throughput, ~21% lower latency, and *halved* write
+amplification for the large AA.
+
+The FTL erase unit here is a 64 MiB superblock (16,384 blocks): vendor
+FTLs stripe erase blocks across channels into large erase units, which
+is what makes the historical 16 MiB-per-device AA a *partial* erase-
+unit write.  See DESIGN.md's SSD substitution notes.
+
+Run with ``pytest benchmarks/bench_fig8_ssd_sizing.py --benchmark-only
+-s``; tables land in benchmarks/results/fig8.txt.  The experiment
+logic lives in :mod:`repro.bench.experiments` (also reachable via
+``python -m repro fig8``).
+"""
+
+from __future__ import annotations
+
+from repro.bench import emit
+from repro.bench.experiments import FIG8_OFFERED, fig8_tables, run_fig8
+
+
+def test_fig8(benchmark):
+    results = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    small = results["HDD-sized AA (4k stripes)"]
+    large = results["Large AA (2 erase units)"]
+
+    for table in fig8_tables(results):
+        emit("fig8", table)
+
+    gain = large.capacity_ops / small.capacity_ops - 1
+    wa_ratio = small.write_amplification / large.write_amplification
+    emit(
+        "fig8",
+        f"Large-AA peak-throughput gain: {gain:+.1%} (paper: +26%)\n"
+        f"Write-amplification ratio small/large: {wa_ratio:.2f}x (paper: ~2x)\n"
+        f"Note: small AAs partially compensate via finer selection granularity\n"
+        f"(selected-AA free {small.agg_selected_free:.2f} vs {large.agg_selected_free:.2f}), the trade-off\n"
+        f"section 3.2 describes; see EXPERIMENTS.md for the magnitude discussion.",
+    )
+
+    # Paper shape: large AA wins throughput and latency; WA reduced
+    # (paper: halved; our open-unit FTL model's reduction varies with
+    # utilization but is always substantial and directionally identical).
+    assert large.capacity_ops > 1.10 * small.capacity_ops
+    assert wa_ratio > 1.25
+    pk_small = small.peak(FIG8_OFFERED)
+    pk_large = large.peak(FIG8_OFFERED)
+    assert pk_large.latency_ms < pk_small.latency_ms or (
+        pk_large.achieved_per_client > pk_small.achieved_per_client
+    )

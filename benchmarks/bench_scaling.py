@@ -1,0 +1,84 @@
+"""Simulator scaling: the reproduction's own performance envelope.
+
+The HPC guides' rule — measure before claiming — applied to this
+library: consistency-point throughput (client ops simulated per second
+of wall time) as the aggregate grows, and the vectorized bitmap
+primitives underpinning it.  These benches exist so regressions in the
+NumPy hot paths (popcounts, free-block searches, scatter bit updates)
+are caught by the same suite that regenerates the figures.
+
+Run with ``pytest benchmarks/bench_scaling.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bitmap import Bitmap
+from repro.fs import MediaType, RAIDGroupConfig, VolSpec, WaflSim
+from repro.workloads import RandomOverwriteWorkload, fill_volumes
+
+MILLION = 1_000_000
+
+
+@pytest.mark.parametrize("blocks_per_disk", [65_536, 262_144])
+def test_cp_throughput(benchmark, blocks_per_disk):
+    """Steady-state CP execution rate on a filled SSD aggregate."""
+    groups = [
+        RAIDGroupConfig(ndata=4, nparity=1, blocks_per_disk=blocks_per_disk,
+                        media=MediaType.SSD)
+    ]
+    phys = 4 * blocks_per_disk
+    sim = WaflSim.build_raid(
+        groups, [VolSpec("lun", logical_blocks=phys // 2)], seed=1
+    )
+    fill_volumes(sim, ops_per_cp=16384)
+    wl = RandomOverwriteWorkload(sim, ops_per_cp=8192, blocks_per_op=2, seed=2)
+    it = iter(wl)
+
+    def one_cp():
+        sim.engine.run_cp(next(it))
+
+    benchmark(one_cp)
+    # A CP of 8192 ops must simulate fast enough for the figure benches.
+    assert benchmark.stats["mean"] < 1.0
+
+
+def test_bitmap_popcount_million(benchmark):
+    """Scoring a million-AA bitmap in one vectorized pass."""
+    bm = Bitmap(32 * MILLION)
+    rng = np.random.default_rng(0)
+    bm.set_range(0, 16 * MILLION)
+
+    def run():
+        return bm.counts_per_chunk(32)
+
+    counts = benchmark(run)
+    assert counts.sum() == bm.allocated_count
+
+
+def test_bitmap_scatter_updates(benchmark):
+    """Random scatter allocate/free batches (the CP write path)."""
+    bm = Bitmap(4 * MILLION)
+    rng = np.random.default_rng(1)
+    batch = rng.choice(4 * MILLION, size=16384, replace=False)
+
+    def run():
+        bm.allocate(batch)
+        bm.free(batch)
+
+    benchmark(run)
+    assert bm.allocated_count == 0
+
+
+def test_free_search(benchmark):
+    """Free-VBN search within one 32k-block AA at 50% density."""
+    bm = Bitmap(32768 * 16)
+    bm.allocate(np.arange(0, bm.nblocks, 2))
+
+    def run():
+        return bm.free_in_range(0, 32768)
+
+    free = benchmark(run)
+    assert free.size == 16384

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Snapshots and free-space dynamics.
+
+WAFL snapshots pin blocks: client overwrites of snapped data cannot
+free the old copies, and deleting a snapshot mass-frees blocks written
+around the same epoch — the paper notes this "freeing of blocks due to
+other internal activity, such as snapshot deletion, further adds to
+[the] nonuniformity" that the AA cache exploits (section 4.1.1).
+
+Run:  python examples/snapshot_workflow.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MediaType, RAIDGroupConfig, VolSpec, WaflSim
+from repro.fs import CPBatch
+from repro.workloads import RandomOverwriteWorkload, fill_volumes
+
+
+def used(sim):
+    return sim.store.nblocks - sim.store.free_count
+
+
+def main() -> None:
+    sim = WaflSim.build_raid(
+        [RAIDGroupConfig(ndata=4, nparity=1, blocks_per_disk=65_536,
+                         media=MediaType.SSD)],
+        # Virtual headroom sized for a full snapshot plus churn (the
+        # "snapshot reserve"): pinned blocks keep their virtual VBNs.
+        [VolSpec("home", logical_blocks=120_000, virtual_blocks=524_288)],
+        seed=23,
+    )
+    fill_volumes(sim, ops_per_cp=16_384)
+    print(f"filled: {used(sim)} physical blocks in use")
+
+    pinned = sim.create_snapshot("home", "nightly.0")
+    print(f"snapshot 'nightly.0' pins {pinned} blocks (creation is metadata-only)")
+
+    # A week of churn: overwrites can no longer free the snapped copies.
+    churn = RandomOverwriteWorkload(sim, ops_per_cp=8_192, blocks_per_op=2, seed=2)
+    sim.run(churn, 15)
+    print(f"after churn: {used(sim)} blocks in use "
+          f"(active data + snapshot divergence)")
+
+    # Deleting a file tree does not release snapped blocks either.
+    sim.engine.run_cp(CPBatch(deletes={"home": np.arange(60_000)}, ops=1))
+    print(f"after deleting half the files: {used(sim)} blocks in use")
+
+    # Snapshot deletion is the big, epoch-clustered free.
+    g = sim.store.groups[0]
+    before = g.topology.scores_from_bitmap(g.metafile.bitmap)
+    released = sim.delete_snapshot("home", "nightly.0")
+    sim.engine.run_cp(CPBatch(ops=0))  # the CP boundary applies the frees
+    after = g.topology.scores_from_bitmap(g.metafile.bitmap)
+    print(f"\ndeleting the snapshot released {released} physical blocks")
+    deltas = (after - before)
+    print(f"per-AA free-space gains: mean {deltas.mean():.0f}, "
+          f"max {deltas.max()}, std {deltas.std():.0f} blocks")
+    print("the gains are clustered (high std): exactly the nonuniform free "
+          "space\nthe AA cache's emptiest-first selection exploits")
+
+    sim.verify_consistency()
+    print("\nconsistency verified ✓")
+
+
+if __name__ == "__main__":
+    main()

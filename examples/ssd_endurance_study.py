@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""SSD endurance study: AA size, write amplification, and device wear.
+
+Section 3.2.2 argues that erase-unit-aligned AA sizing "reduces write
+amplification ... SSDs come with a program/erase-cycles rating that
+indicates their endurance, so minimizing write amplification is
+critical to maximizing device lifetime."  This example sweeps the AA
+size on an aged all-SSD aggregate and reports write amplification,
+FTL relocation traffic, and erase-cycle consumption per unit of host
+writes — the lifetime story behind Figure 8.
+
+Run:  python examples/ssd_endurance_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import build_aged_ssd_sim, fmt_table, measure_random_overwrite
+
+ERASE_UNIT = 8_192  # 32 MiB erase unit
+
+
+def run_sizing(stripes_per_aa: int, label: str) -> dict:
+    sim = build_aged_ssd_sim(
+        n_groups=1,
+        ndata=3,
+        blocks_per_disk=262_144,
+        stripes_per_aa=stripes_per_aa,
+        erase_block_blocks=ERASE_UNIT,
+        fill_fraction=0.70,
+        churn_factor=1.0,
+        seed=31,
+    )
+    measure_random_overwrite(sim, label, n_cps=20, seed=6)
+    devs = [d for g in sim.store.groups for d in g.data_devices]
+    host = sum(d.stats.host_blocks_written for d in devs)
+    nand = sum(d.stats.device_blocks_written for d in devs)
+    reloc = sum(d.relocated_blocks for d in devs)
+    erases = sum(int(d.erase_counts.sum()) for d in devs)
+    return {
+        "label": label,
+        "wa": nand / host,
+        "reloc_per_host_block": reloc / host,
+        "erases_per_gib_host": erases / (host * 4096 / 2**30),
+    }
+
+
+def main() -> None:
+    rows = []
+    for stripes_per_aa, label in [
+        (2_048, "1/4 erase unit"),
+        (8_192, "1 erase unit"),
+        (32_768, "4 erase units"),
+    ]:
+        print(f"running {label} ...")
+        r = run_sizing(stripes_per_aa, label)
+        rows.append([r["label"], r["wa"], r["reloc_per_host_block"],
+                     r["erases_per_gib_host"]])
+
+    print()
+    print(
+        fmt_table(
+            ["AA size", "write amp", "FTL relocations / host block",
+             "erase cycles / GiB written"],
+            rows,
+            title="SSD endurance vs AA sizing (cf. paper sections 3.2.2, 4.3)",
+        )
+    )
+    print(
+        "\nLarger, erase-unit-aligned AAs cut relocation traffic and erase "
+        "cycles,\nwhich is what let NetApp ship SSDs with lower "
+        "overprovisioning (section 3.2.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Reproduction of "Efficient Search for Free Blocks in the WAFL File
+System" (Kesavan, Curtis-Maury, Bhattacharjee; ICPP 2018).
+
+The public API re-exports the pieces most users need:
+
+* the novel data structures — :class:`~repro.core.hbps.HBPS`, the
+  RAID-aware and RAID-agnostic AA caches, TopAA (de)serialization;
+* the WAFL-like simulator — :class:`~repro.fs.filesystem.WaflSim` with
+  RAID-group / object-store builders, FlexVols, and the CP engine;
+* workloads and the aging harness;
+* the measurement layer (CPU model, latency-throughput curves).
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every evaluation figure.
+"""
+
+from .common import BLOCK_SIZE, RAID_AGNOSTIC_AA_BLOCKS, TETRIS_STRIPES
+from .core import (
+    HBPS,
+    AggregateAllocator,
+    LinearAATopology,
+    LinearAllocator,
+    RAIDAgnosticAACache,
+    RAIDAwareAACache,
+    RAIDGroupAllocator,
+    ScoreKeeper,
+    StripeAATopology,
+    aa_size_for_hdd,
+    aa_size_for_smr,
+    aa_size_for_ssd,
+    aa_size_raid_agnostic,
+)
+from .fs import (
+    CPBatch,
+    FlexVol,
+    MediaType,
+    PolicyKind,
+    RAIDGroupConfig,
+    VolSpec,
+    WaflSim,
+    background_rebuild,
+    export_topaa,
+    simulate_mount,
+)
+from .sim import CpuModel, MetricsLog, latency_throughput_curve, peak_throughput, system_curve
+from .workloads import (
+    FileChurnWorkload,
+    OLTPWorkload,
+    RandomOverwriteWorkload,
+    SequentialWriteWorkload,
+    age_filesystem,
+    reset_measurement_state,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BLOCK_SIZE",
+    "RAID_AGNOSTIC_AA_BLOCKS",
+    "TETRIS_STRIPES",
+    "HBPS",
+    "AggregateAllocator",
+    "LinearAATopology",
+    "LinearAllocator",
+    "RAIDAgnosticAACache",
+    "RAIDAwareAACache",
+    "RAIDGroupAllocator",
+    "ScoreKeeper",
+    "StripeAATopology",
+    "aa_size_for_hdd",
+    "aa_size_for_smr",
+    "aa_size_for_ssd",
+    "aa_size_raid_agnostic",
+    "CPBatch",
+    "FlexVol",
+    "MediaType",
+    "PolicyKind",
+    "RAIDGroupConfig",
+    "VolSpec",
+    "WaflSim",
+    "background_rebuild",
+    "export_topaa",
+    "simulate_mount",
+    "CpuModel",
+    "MetricsLog",
+    "latency_throughput_curve",
+    "peak_throughput",
+    "system_curve",
+    "FileChurnWorkload",
+    "OLTPWorkload",
+    "RandomOverwriteWorkload",
+    "SequentialWriteWorkload",
+    "age_filesystem",
+    "reset_measurement_state",
+]

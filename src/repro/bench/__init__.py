@@ -1,0 +1,23 @@
+"""Shared benchmark harness (configurations, measurement, tables)."""
+
+from .harness import (
+    CORES,
+    NCLIENTS,
+    RESULTS_DIR,
+    ConfigResult,
+    build_aged_ssd_sim,
+    emit,
+    fmt_table,
+    measure_random_overwrite,
+)
+
+__all__ = [
+    "CORES",
+    "NCLIENTS",
+    "RESULTS_DIR",
+    "ConfigResult",
+    "build_aged_ssd_sim",
+    "emit",
+    "fmt_table",
+    "measure_random_overwrite",
+]

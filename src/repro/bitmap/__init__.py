@@ -1,0 +1,12 @@
+"""Bitmap metafiles: the free-space substrate (paper sections 2.5, 3.3).
+
+* :class:`Bitmap` — NumPy-backed allocation bitmap.
+* :class:`BitmapMetafile` — bitmap plus metafile-block I/O accounting.
+* :class:`DelayedFreeLog` — CP-batched frees, HBPS-prioritized.
+"""
+
+from .bitmap import Bitmap
+from .delayed_frees import DelayedFreeLog
+from .metafile import BitmapMetafile
+
+__all__ = ["Bitmap", "BitmapMetafile", "DelayedFreeLog"]

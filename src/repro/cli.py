@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Regenerates the paper's evaluation figures and runs small demos without
+pytest.  ``--quick`` shrinks each experiment for interactive use (the
+shipped EXPERIMENTS.md numbers come from the full-size benchmark runs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import repro
+    from repro.common import constants as c
+
+    print(f"repro {repro.__version__} — reproduction of 'Efficient Search for "
+          f"Free Blocks in the WAFL File System' (ICPP 2018)")
+    print()
+    print("modelling constants:")
+    for name in (
+        "BLOCK_SIZE",
+        "BITS_PER_BITMAP_BLOCK",
+        "DEFAULT_RAID_AA_STRIPES",
+        "RAID_AGNOSTIC_AA_BLOCKS",
+        "TETRIS_STRIPES",
+        "HBPS_BIN_WIDTH",
+        "HBPS_LIST_CAPACITY",
+        "TOPAA_RAID_AWARE_ENTRIES",
+        "AZCS_REGION_BLOCKS",
+    ):
+        print(f"  {name:26s} = {getattr(c, name)}")
+    print()
+    print("commands: fig6 fig7 fig8 fig9 fig10 all quickstart info")
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    from repro.bench.experiments import fig6_tables, run_fig6
+
+    results = run_fig6(quick=args.quick)
+    for table in fig6_tables(results):
+        print("\n" + table)
+    both = results["both caches"]
+    neither = results["neither (baseline)"]
+    print(f"\nPeak-throughput gain, both caches vs neither: "
+          f"{both.capacity_ops / neither.capacity_ops - 1:+.1%}")
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    from repro.bench.experiments import fig7_tables, run_fig7
+
+    res = run_fig7(quick=args.quick)
+    for table in fig7_tables(res):
+        print("\n" + table)
+    aged, fresh = res.aged(), res.fresh()
+    print(f"\nfresh groups receive "
+          f"{res.blocks[fresh].mean() / res.blocks[aged].mean():.2f}x the blocks "
+          f"of aged groups")
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    from repro.bench.experiments import fig8_tables, run_fig8
+
+    results = run_fig8(quick=args.quick)
+    for table in fig8_tables(results):
+        print("\n" + table)
+    small = results["HDD-sized AA (4k stripes)"]
+    large = results["Large AA (2 erase units)"]
+    print(f"\nWA ratio small/large: "
+          f"{small.write_amplification / large.write_amplification:.2f}x "
+          f"(paper: ~2x)")
+    return 0
+
+
+def _cmd_fig9(args: argparse.Namespace) -> int:
+    from repro.bench.experiments import fig9_tables, run_fig9
+
+    results = run_fig9(quick=args.quick)
+    for table in fig9_tables(results):
+        print("\n" + table)
+    small = results["HDD-sized AA (4k stripes)"]
+    aligned = results["SMR AA (zone + AZCS aligned)"]
+    print(f"\naligned-AA drive-throughput gain: "
+          f"{aligned['drive_mbps'] / small['drive_mbps'] - 1:+.1%} (paper: +7%)")
+    return 0
+
+
+def _cmd_fig10(args: argparse.Namespace) -> int:
+    from repro.bench.experiments import fig10_tables, run_fig10
+
+    size_rows, _s, count_rows, _c = run_fig10(quick=args.quick)
+    for table in fig10_tables(size_rows, count_rows):
+        print("\n" + table)
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    for name, fn in (
+        ("fig6", _cmd_fig6),
+        ("fig7", _cmd_fig7),
+        ("fig8", _cmd_fig8),
+        ("fig9", _cmd_fig9),
+        ("fig10", _cmd_fig10),
+    ):
+        t0 = time.perf_counter()
+        print(f"\n{'=' * 72}\n== {name}\n{'=' * 72}")
+        fn(args)
+        print(f"\n[{name}: {time.perf_counter() - t0:.1f}s]")
+    return 0
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> int:
+    # Defer to the shipped example (kept as the single source of truth).
+    import runpy
+    from pathlib import Path
+
+    candidate = Path(__file__).resolve().parents[2].parent / "examples" / "quickstart.py"
+    if candidate.exists():
+        runpy.run_path(str(candidate), run_name="__main__")
+        return 0
+    # Installed without the examples directory: run a minimal inline demo.
+    from repro import (MediaType, RAIDGroupConfig, RandomOverwriteWorkload,
+                       VolSpec, WaflSim)
+    from repro.workloads import fill_volumes
+
+    sim = WaflSim.build_raid(
+        [RAIDGroupConfig(ndata=4, nparity=1, blocks_per_disk=65536,
+                         media=MediaType.SSD)],
+        [VolSpec("demo", logical_blocks=60_000)],
+        seed=7,
+    )
+    fill_volumes(sim)
+    sim.run(RandomOverwriteWorkload(sim, seed=1), 10)
+    for key, val in sim.metrics.summary().items():
+        print(f"  {key:24s} = {val:.3f}")
+    sim.verify_consistency()
+    print("consistency verified")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the WAFL free-block-search paper's evaluation figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, fn, doc in (
+        ("info", _cmd_info, "print version and modelling constants"),
+        ("fig6", _cmd_fig6, "AA cache benefit (section 4.1)"),
+        ("fig7", _cmd_fig7, "imbalanced RAID-group aging (section 4.2)"),
+        ("fig8", _cmd_fig8, "SSD AA sizing (section 4.3)"),
+        ("fig9", _cmd_fig9, "SMR AA sizing with AZCS (section 4.3)"),
+        ("fig10", _cmd_fig10, "TopAA mount time (section 4.4)"),
+        ("all", _cmd_all, "run every figure"),
+        ("quickstart", _cmd_quickstart, "run the quickstart demo"),
+    ):
+        p = sub.add_parser(name, help=doc)
+        p.add_argument("--quick", action="store_true",
+                       help="smaller configurations for interactive use")
+        p.set_defaults(fn=fn)
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single handler while still
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class BitmapError(ReproError):
+    """Inconsistent bitmap operation (double allocate / double free)."""
+
+
+class AllocationError(ReproError):
+    """The write allocator could not satisfy a request."""
+
+
+class OutOfSpaceError(AllocationError):
+    """No free blocks remain in the targeted VBN space."""
+
+
+class GeometryError(ReproError):
+    """Invalid RAID or device geometry configuration."""
+
+
+class CacheError(ReproError):
+    """Invalid operation on an allocation-area cache."""
+
+
+class SerializationError(ReproError):
+    """TopAA metafile or HBPS page (de)serialization failure."""
+
+
+class MountError(ReproError):
+    """Failure while mounting an aggregate or FlexVol."""

@@ -1,0 +1,61 @@
+"""Core contribution: allocation areas, AA caches, HBPS, TopAA, and the
+write allocator (paper section 3)."""
+
+from .aa import AATopology, LinearAATopology, StripeAATopology
+from .allocator import AggregateAllocator, LinearAllocator, RAIDGroupAllocator
+from .hbps import HBPS
+from .hbps_cache import RAIDAgnosticAACache
+from .heap_cache import RAIDAwareAACache
+from .policies import (
+    AASource,
+    HBPSSource,
+    HeapSource,
+    LinearScanSource,
+    RandomSource,
+)
+from .score import ScoreChange, ScoreKeeper
+from .sizing import (
+    AASize,
+    aa_size_for_hdd,
+    aa_size_for_smr,
+    aa_size_for_ssd,
+    aa_size_raid_agnostic,
+    fit_aa_size,
+)
+from .topaa import (
+    deserialize_heap_seed,
+    load_hbps_cache,
+    seed_heap_cache,
+    serialize_heap_seed,
+    serialize_hbps_cache,
+)
+
+__all__ = [
+    "AATopology",
+    "LinearAATopology",
+    "StripeAATopology",
+    "AggregateAllocator",
+    "LinearAllocator",
+    "RAIDGroupAllocator",
+    "HBPS",
+    "RAIDAgnosticAACache",
+    "RAIDAwareAACache",
+    "AASource",
+    "HBPSSource",
+    "HeapSource",
+    "LinearScanSource",
+    "RandomSource",
+    "ScoreChange",
+    "ScoreKeeper",
+    "AASize",
+    "aa_size_for_hdd",
+    "aa_size_for_smr",
+    "aa_size_for_ssd",
+    "aa_size_raid_agnostic",
+    "fit_aa_size",
+    "deserialize_heap_seed",
+    "load_hbps_cache",
+    "seed_heap_cache",
+    "serialize_heap_seed",
+    "serialize_hbps_cache",
+]

@@ -1,0 +1,379 @@
+"""The WAFL write allocator: assigning free VBNs from selected AAs.
+
+"In all cases, the write allocator picks an AA and then assigns all
+free VBNs from the AA in sequential order." (paper section 3.1)
+
+Two allocators share that skeleton:
+
+* :class:`LinearAllocator` — RAID-agnostic spaces (FlexVol virtual
+  VBNs, object-store physical VBNs).  Free VBNs are assigned in
+  ascending order, so consecutive allocations stay within the same
+  bitmap-metafile block (paper section 2.5).
+* :class:`RAIDGroupAllocator` — one per RAID group.  Free VBNs are
+  assigned stripe-major so stripes fill completely (full stripe
+  writes) and per-device runs stay contiguous (long write chains).
+
+:class:`AggregateAllocator` coordinates the RAID-group allocators:
+WAFL "attempts to write to all RAID groups available in an aggregate in
+order to maximize the total write throughput" (paper section 3.3.1),
+taking tetris-sized batches of stripes from each group in turn.
+Fragmented groups naturally yield fewer blocks per stripe, which
+reproduces the write bias of section 4.2, and groups whose best AA
+score falls below a threshold are skipped entirely (section 3.3.1's
+fragmentation cutoff).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bitmap.metafile import BitmapMetafile
+from ..common.constants import TETRIS_STRIPES
+from .aa import LinearAATopology, StripeAATopology
+from .policies import AASource
+from .score import ScoreChange, ScoreKeeper
+
+__all__ = ["LinearAllocator", "RAIDGroupAllocator", "AggregateAllocator"]
+
+#: Bound on consecutive full AAs a source may propose before the
+#: allocator declares the space dry (only score-blind baselines like
+#: RandomSource ever propose full AAs).
+_MAX_FULL_AA_RETRIES = 128
+
+
+class _BaseAllocator:
+    """Shared machinery: current-AA queue, CP release/flush protocol."""
+
+    def __init__(
+        self,
+        metafile: BitmapMetafile,
+        source: AASource,
+        keeper: ScoreKeeper,
+        *,
+        store_offset: int = 0,
+    ) -> None:
+        self.metafile = metafile
+        self.source = source
+        self.keeper = keeper
+        #: Added to local VBNs to form global (aggregate-wide) VBNs.
+        self.store_offset = int(store_offset)
+        self._current_aa: int | None = None
+        self._qv: np.ndarray | None = None  # free local VBNs of current AA
+        self._pos = 0
+        #: Score (free blocks) of each AA at the moment it was selected;
+        #: the section 4.1 "average free space in chosen AAs" trace.
+        self.selected_aa_scores: list[int] = []
+        #: Total blocks allocated (metric).
+        self.blocks_allocated = 0
+        #: Total VBN-range span covered by allocations: the number of
+        #: bitmap bits examined to find the allocated blocks.  Per
+        #: allocated block this is ~1/density of the selected AA, which
+        #: is the CPU-side benefit of picking emptier AAs (section 2.5).
+        self.spanned_blocks = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def current_aa(self) -> int | None:
+        """AA currently being filled, if any."""
+        return self._current_aa
+
+    def _queue_remaining(self) -> int:
+        return 0 if self._qv is None else self._qv.size - self._pos
+
+    def _load_free_vbns(self, aa: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def _load_next_aa(self) -> bool:
+        """Check out the next AA with free space; False when dry."""
+        for _ in range(_MAX_FULL_AA_RETRIES):
+            aa = self.source.next_aa()
+            if aa is None:
+                return False
+            vbns = self._load_free_vbns(aa)
+            if vbns.size == 0:
+                self.source.return_aa(aa, 0)
+                continue
+            self._current_aa = aa
+            self._qv = vbns
+            self._pos = 0
+            self.selected_aa_scores.append(int(vbns.size))
+            self._after_load()
+            return True
+        return False
+
+    def _after_load(self) -> None:
+        """Hook for subclasses to index the fresh queue."""
+
+    def _drop_queue(self) -> None:
+        self._current_aa = None
+        self._qv = None
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # CP boundary
+    # ------------------------------------------------------------------
+    def release(self) -> None:
+        """Return the current AA to the cache (unmount / adoption path).
+
+        The normal CP boundary does *not* release: WAFL keeps filling
+        the selected AA across CPs until its free VBNs are exhausted
+        ("assigns all free VBNs from the AA in sequential order",
+        section 3.1).
+        """
+        if self._current_aa is None:
+            return
+        aa = self._current_aa
+        self.source.return_aa(aa, self.keeper.effective_score(aa))
+        self._drop_queue()
+
+    def cp_flush(self) -> list[ScoreChange]:
+        """Run the CP-boundary protocol: apply batched score deltas and
+        rebalance the AA cache, keeping the current AA checked out
+        (paper section 3.3)."""
+        changes = self.keeper.flush()
+        held = (
+            frozenset((self._current_aa,))
+            if self._current_aa is not None
+            else frozenset()
+        )
+        self.source.cp_flush(changes, held)
+        return changes
+
+    def mean_selected_score(self) -> float:
+        """Mean free-block count of AAs at selection time."""
+        if not self.selected_aa_scores:
+            return 0.0
+        return float(np.mean(self.selected_aa_scores))
+
+
+class LinearAllocator(_BaseAllocator):
+    """Sequential VBN assignment within RAID-agnostic AAs."""
+
+    def __init__(
+        self,
+        topology: LinearAATopology,
+        metafile: BitmapMetafile,
+        source: AASource,
+        keeper: ScoreKeeper,
+        *,
+        store_offset: int = 0,
+    ) -> None:
+        super().__init__(metafile, source, keeper, store_offset=store_offset)
+        self.topology = topology
+
+    def _load_free_vbns(self, aa: int) -> np.ndarray:
+        return self.topology.free_vbns(self.metafile.bitmap, aa)
+
+    def allocate(self, n: int) -> np.ndarray:
+        """Allocate up to ``n`` blocks; returns their global VBNs.
+
+        Fewer than ``n`` are returned only when the space is out of
+        free blocks reachable through the source.
+        """
+        out: list[np.ndarray] = []
+        got = 0
+        while got < n:
+            if self._queue_remaining() == 0:
+                self._drop_queue()
+                if not self._load_next_aa():
+                    break
+            take = min(n - got, self._queue_remaining())
+            chunk = self._qv[self._pos : self._pos + take]
+            self._pos += take
+            got += take
+            self.spanned_blocks += int(chunk[-1] - chunk[0]) + 1
+            self.metafile.allocate(chunk)
+            self.keeper.note_alloc(chunk)
+            out.append(chunk)
+        self.blocks_allocated += got
+        if not out:
+            return np.empty(0, dtype=np.int64)
+        result = np.concatenate(out)
+        if self.store_offset:
+            result = result + self.store_offset
+        return result
+
+
+class RAIDGroupAllocator(_BaseAllocator):
+    """Stripe-major VBN assignment within one RAID group's AAs."""
+
+    def __init__(
+        self,
+        topology: StripeAATopology,
+        metafile: BitmapMetafile,
+        source: AASource,
+        keeper: ScoreKeeper,
+        *,
+        store_offset: int = 0,
+    ) -> None:
+        super().__init__(metafile, source, keeper, store_offset=store_offset)
+        self.topology = topology
+        self._starts: np.ndarray | None = None  # stripe-group starts in queue
+
+    def _load_free_vbns(self, aa: int) -> np.ndarray:
+        return self.topology.free_vbns(self.metafile.bitmap, aa)
+
+    def _after_load(self) -> None:
+        stripes = self.topology.geometry.dbn_of(self._qv)
+        change = np.flatnonzero(np.diff(stripes) != 0) + 1
+        self._starts = np.concatenate(
+            (np.zeros(1, dtype=np.int64), change, np.asarray([self._qv.size]))
+        )
+
+    def best_score(self) -> int | None:
+        """Best available AA score of this group (cache view)."""
+        return self.source.best_score()
+
+    def take_stripes(self, max_stripes: int, max_blocks: int) -> np.ndarray:
+        """Allocate free blocks from up to ``max_stripes`` stripes (and
+        at most ``max_blocks`` blocks) of the current AA, loading the
+        next AA when exhausted.  Returns *local* (group-relative) VBNs.
+
+        Stripes that contain no free blocks cost nothing and are
+        skipped implicitly — only stripes with assignable blocks count
+        against ``max_stripes``.
+        """
+        if max_stripes <= 0 or max_blocks <= 0:
+            return np.empty(0, dtype=np.int64)
+        out: list[np.ndarray] = []
+        stripes_taken = 0
+        blocks_taken = 0
+        while stripes_taken < max_stripes and blocks_taken < max_blocks:
+            if self._queue_remaining() == 0:
+                self._drop_queue()
+                if not self._load_next_aa():
+                    break
+            # Locate the stripe group containing the current position.
+            g = int(np.searchsorted(self._starts, self._pos, side="right")) - 1
+            ngroups = self._starts.size - 1
+            k = min(max_stripes - stripes_taken, ngroups - g)
+            hi = int(self._starts[g + k])
+            lo = self._pos
+            if hi - lo > max_blocks - blocks_taken:
+                hi = lo + (max_blocks - blocks_taken)
+            chunk = self._qv[lo:hi]
+            self._pos = hi
+            # Count the distinct stripes actually consumed.
+            consumed_g = int(np.searchsorted(self._starts, hi - 1, side="right")) - 1
+            stripes_taken += consumed_g - g + 1
+            blocks_taken += int(chunk.size)
+            # Bitmap range examined: the consumed stripe span on every
+            # data disk (stripe-major assignment scans all disks' bits
+            # for those stripes).
+            geom = self.topology.geometry
+            first_dbn = int(chunk[0] % geom.blocks_per_disk)
+            last_dbn = int(chunk[-1] % geom.blocks_per_disk)
+            self.spanned_blocks += (last_dbn - first_dbn + 1) * geom.ndata
+            self.metafile.allocate(chunk)
+            self.keeper.note_alloc(chunk)
+            out.append(chunk)
+        self.blocks_allocated += blocks_taken
+        if not out:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(out)
+
+
+class AggregateAllocator:
+    """Coordinates per-RAID-group allocators for one aggregate.
+
+    Parameters
+    ----------
+    group_allocators:
+        One :class:`RAIDGroupAllocator` per RAID group.
+    threshold_fraction:
+        Fragmentation cutoff: a group whose best AA score is below
+        ``threshold_fraction * aa_blocks`` is skipped while any other
+        group remains above it (paper section 3.3.1).  0 disables the
+        cutoff.
+    stripes_per_round:
+        Stripes taken from each group per round-robin turn; defaults to
+        one tetris (64 stripes), the RAID write unit.
+    """
+
+    def __init__(
+        self,
+        group_allocators: list[RAIDGroupAllocator],
+        *,
+        threshold_fraction: float = 0.0,
+        stripes_per_round: int = TETRIS_STRIPES,
+    ) -> None:
+        if not group_allocators:
+            raise ValueError("need at least one RAID group allocator")
+        self.groups = group_allocators
+        self.threshold_fraction = float(threshold_fraction)
+        self.stripes_per_round = int(stripes_per_round)
+        #: Per-CP local VBNs written per group (drained by the CP engine).
+        self._cp_writes: list[list[np.ndarray]] = [[] for _ in self.groups]
+        #: Count of group-skips due to the fragmentation cutoff (metric).
+        self.threshold_skips = 0
+
+    # ------------------------------------------------------------------
+    def _active_mask(self) -> list[bool]:
+        """Apply the fragmentation cutoff across groups."""
+        if self.threshold_fraction <= 0.0:
+            return [True] * len(self.groups)
+        scores = [g.best_score() for g in self.groups]
+        above = [
+            s is None or s >= self.threshold_fraction * g.topology.aa_blocks
+            for g, s in zip(self.groups, scores)
+        ]
+        if any(above):
+            self.threshold_skips += above.count(False)
+            return above
+        # Every group is fragmented: write anyway rather than stall.
+        return [True] * len(self.groups)
+
+    def allocate(self, n: int, only: list[int] | None = None) -> np.ndarray:
+        """Allocate up to ``n`` blocks across RAID groups; returns
+        global VBNs.  Groups are visited round-robin in tetris-sized
+        stripe batches so every group's devices stay busy.
+
+        ``only`` restricts allocation to the given group indices (the
+        Flash Pool tiering path routes hot data to SSD groups).
+        """
+        if n <= 0:
+            return np.empty(0, dtype=np.int64)
+        active = self._active_mask()
+        if only is not None:
+            allowed = set(only)
+            active = [a and i in allowed for i, a in enumerate(active)]
+            if not any(active):
+                active = [i in allowed for i in range(len(self.groups))]
+        out: list[np.ndarray] = []
+        got = 0
+        dry = [not a for a in active]
+        while got < n and not all(dry):
+            for gi, galloc in enumerate(self.groups):
+                if dry[gi] or got >= n:
+                    continue
+                chunk = galloc.take_stripes(self.stripes_per_round, n - got)
+                if chunk.size == 0:
+                    dry[gi] = True
+                    continue
+                self._cp_writes[gi].append(chunk)
+                got += int(chunk.size)
+                if galloc.store_offset:
+                    out.append(chunk + galloc.store_offset)
+                else:
+                    out.append(chunk)
+        if not out:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(out)
+
+    def drain_cp_writes(self) -> list[np.ndarray]:
+        """Local VBNs written to each group since the last drain (for
+        stripe/parity/device analysis at the CP boundary)."""
+        drained = [
+            np.concatenate(w) if w else np.empty(0, dtype=np.int64) for w in self._cp_writes
+        ]
+        self._cp_writes = [[] for _ in self.groups]
+        return drained
+
+    def cp_flush(self) -> list[list[ScoreChange]]:
+        """Run the CP-boundary protocol on every group allocator."""
+        return [g.cp_flush() for g in self.groups]
+
+    @property
+    def total_free(self) -> int:
+        """Free blocks across all groups (bitmap truth)."""
+        return sum(g.metafile.free_count for g in self.groups)

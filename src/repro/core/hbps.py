@@ -1,0 +1,456 @@
+"""Histogram-based partial sort (HBPS).
+
+HBPS is the paper's novel data structure (section 3.3.2, Figure 5) for
+tracking millions of scored items — allocation areas, delayed-free
+counts — in close-to-sorted order using a *fixed* amount of memory:
+
+* a **histogram page** counts the number of items in each score-range
+  bin (bin width 1K for a 32K max score, i.e. 32 ranges plus one for
+  score 0) and, for the best bins, an index into the list page;
+* a **list page** stores *all* the items from the best bins, unsorted
+  within each bin, bounded by a fixed capacity (1,000 entries).
+
+Popping the best item takes it from the highest populated listed bin,
+which guarantees a score within one bin width of the true maximum —
+the paper's 3.125% error margin (= 1K / 32K).  Items outside the listed
+bins are still counted exactly; when the list runs dry while items
+remain, the owner runs a *replenish* scan (in WAFL, a background walk
+of the bitmap metafiles) to refill it.
+
+The implementation mirrors the paper's update rules:
+
+* moving an item between bins is O(1) histogram arithmetic;
+* an item rising into a listed bin is inserted into the list, displacing
+  (unlisting) one item from the worst listed bin when at capacity;
+* bins strictly better than the worst listed bin are always *fully*
+  listed, which is what makes the error bound hold.
+
+``to_pages`` / ``from_pages`` serialize the structure into exactly two
+4 KiB pages, the representation embedded directly into the RAID-agnostic
+TopAA metafile (paper section 3.4).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..common.constants import HBPS_BIN_WIDTH, HBPS_LIST_CAPACITY
+from ..common.errors import CacheError, SerializationError
+
+__all__ = ["HBPS", "PAGE_SIZE"]
+
+#: Size of one HBPS page; matches the WAFL buffer-cache page / block size.
+PAGE_SIZE = 4096
+
+_MAGIC = 0x48425053  # "HBPS"
+_VERSION = 1
+_UNLISTED = 0xFFFFFFFF
+_HEADER = struct.Struct("<IIIIII")  # magic, version, max_score, bin_width, nbins, list_len
+_BIN_ENTRY = struct.Struct("<II")  # count, index (into list page)
+
+
+class HBPS:
+    """Histogram-based partial sort over integer-scored items.
+
+    Parameters
+    ----------
+    max_score:
+        Best possible score (e.g. 32,768 free blocks for an empty
+        RAID-agnostic AA).  Scores must lie in ``[0, max_score]``.
+    bin_width:
+        Width of each histogram bin in score units (paper: 1K).
+    list_capacity:
+        Maximum number of items held in the list page (paper: 1,000).
+
+    Notes
+    -----
+    Higher scores are better.  Bin 0 holds the best scores
+    ``(max_score - bin_width, max_score]`` and the last bin holds score
+    0 exactly, mirroring Figure 5's "31K-32K, 30K-31K, ..." layout.
+    """
+
+    __slots__ = (
+        "max_score",
+        "bin_width",
+        "list_capacity",
+        "nbins",
+        "_counts",
+        "_lists",
+        "_pos",
+        "_total",
+        "pops",
+        "updates",
+        "evictions",
+        "replenishes",
+    )
+
+    def __init__(
+        self,
+        max_score: int,
+        *,
+        bin_width: int = HBPS_BIN_WIDTH,
+        list_capacity: int = HBPS_LIST_CAPACITY,
+    ) -> None:
+        if max_score <= 0:
+            raise ValueError("max_score must be positive")
+        if bin_width <= 0 or bin_width > max_score:
+            raise ValueError("bin_width must be in [1, max_score]")
+        if list_capacity <= 0:
+            raise ValueError("list_capacity must be positive")
+        self.max_score = int(max_score)
+        self.bin_width = int(bin_width)
+        self.list_capacity = int(list_capacity)
+        # Bin 0 covers (max-w, max]; scores of exactly 0 land in an
+        # extra final bin so a completely full AA is distinguishable.
+        self.nbins = -(-self.max_score // self.bin_width) + 1
+        self._counts = np.zeros(self.nbins, dtype=np.int64)
+        self._lists: list[list[int]] = [[] for _ in range(self.nbins)]
+        self._pos: dict[int, int] = {}  # listed item -> its bin
+        self._total = 0
+        # Operation counters for the CPU-overhead evaluation (§4.1.2).
+        self.pops = 0
+        self.updates = 0
+        self.evictions = 0
+        self.replenishes = 0
+
+    # ------------------------------------------------------------------
+    # Score/bin mapping
+    # ------------------------------------------------------------------
+    def bin_of(self, score: int) -> int:
+        """Histogram bin index for ``score`` (0 = best bin)."""
+        if not 0 <= score <= self.max_score:
+            raise CacheError(f"score {score} outside [0, {self.max_score}]")
+        if score == 0:
+            return self.nbins - 1
+        return (self.max_score - score) // self.bin_width
+
+    def bin_bounds(self, bin_idx: int) -> tuple[int, int]:
+        """Inclusive score bounds ``(lo, hi)`` covered by ``bin_idx``."""
+        if not 0 <= bin_idx < self.nbins:
+            raise CacheError(f"bin {bin_idx} outside [0, {self.nbins})")
+        if bin_idx == self.nbins - 1:
+            return (0, 0)  # a completely full AA
+        hi = self.max_score - bin_idx * self.bin_width
+        lo = max(hi - self.bin_width + 1, 1)
+        return lo, hi
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def total_count(self) -> int:
+        """Number of items currently tracked (listed or not)."""
+        return self._total
+
+    @property
+    def listed_count(self) -> int:
+        """Number of items currently present in the list page."""
+        return len(self._pos)
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Read-only per-bin item counts (the histogram page)."""
+        v = self._counts.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def needs_replenish(self) -> bool:
+        """True when items remain but none are listed (paper: the rare
+        case where the allocator consumed more AAs than frees inserted,
+        requiring a background bitmap walk to refill the list)."""
+        return self._total > 0 and not self._pos
+
+    @property
+    def memory_bytes(self) -> int:
+        """Modeled memory footprint: exactly two 4 KiB pages."""
+        return 2 * PAGE_SIZE
+
+    def is_listed(self, item: int) -> bool:
+        """Whether ``item`` currently occupies a list-page slot."""
+        return item in self._pos
+
+    def __len__(self) -> int:
+        return self._total
+
+    def __contains__(self, item: int) -> bool:
+        # Only listed items are individually identifiable; unlisted items
+        # exist solely as histogram counts, as in the real structure.
+        return item in self._pos
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def insert(self, item: int, score: int) -> None:
+        """Begin tracking ``item`` with ``score``."""
+        if item in self._pos:
+            raise CacheError(f"item {item} already listed; update() it instead")
+        b = self.bin_of(score)
+        self._counts[b] += 1
+        self._total += 1
+        self._maybe_list(item, b)
+
+    def update(self, item: int, old_score: int, new_score: int) -> None:
+        """Move ``item`` from ``old_score`` to ``new_score``.
+
+        The caller (the score keeper, which owns authoritative scores
+        derived from the bitmap) supplies both scores; the histogram
+        move is constant-time, exactly as in the paper.
+        """
+        self.updates += 1
+        ob = self.bin_of(old_score)
+        nb = self.bin_of(new_score)
+        if self._counts[ob] <= 0:
+            raise CacheError(f"histogram underflow in bin {ob} updating item {item}")
+        if ob == nb:
+            return
+        self._counts[ob] -= 1
+        self._counts[nb] += 1
+        if item in self._pos:
+            self._unlist(item)
+        self._maybe_list(item, nb)
+
+    def remove(self, item: int, score: int) -> None:
+        """Stop tracking ``item`` (e.g. its AA left this VBN range)."""
+        b = self.bin_of(score)
+        if self._counts[b] <= 0:
+            raise CacheError(f"histogram underflow removing item {item} from bin {b}")
+        self._counts[b] -= 1
+        self._total -= 1
+        if item in self._pos:
+            self._unlist(item)
+
+    def peek_best(self) -> tuple[int, int] | None:
+        """Best listed ``(item, bin_index)`` without removing it."""
+        for b, lst in enumerate(self._lists):
+            if lst:
+                return lst[-1], b
+        return None
+
+    def pop_best(self) -> tuple[int, int] | None:
+        """Remove and return the best listed ``(item, bin_index)``.
+
+        Returns ``None`` when no item is listed; check
+        :attr:`needs_replenish` to distinguish "empty" from "list ran
+        dry".  The returned item's true score lies within the popped
+        bin's bounds, i.e. within one bin width of the tracked maximum.
+        """
+        best = self.peek_best()
+        if best is None:
+            return None
+        item, b = best
+        self._lists[b].pop()
+        del self._pos[item]
+        self._counts[b] -= 1
+        self._total -= 1
+        self.pops += 1
+        return item, b
+
+    def rebuild(self, pairs: Iterable[tuple[int, int]]) -> None:
+        """Reset and rebuild from ``(item, score)`` pairs.
+
+        This is the *replenish* operation: in WAFL, a background scan
+        walks the bitmap metafiles, recomputes every AA score, and
+        refills the histogram and list (paper section 3.3.2).  Bins are
+        filled best-first until the list page reaches capacity.
+        """
+        self._counts[:] = 0
+        self._lists = [[] for _ in range(self.nbins)]
+        self._pos.clear()
+        self._total = 0
+        self.replenishes += 1
+        staged: list[list[int]] = [[] for _ in range(self.nbins)]
+        for item, score in pairs:
+            b = self.bin_of(score)
+            self._counts[b] += 1
+            self._total += 1
+            staged[b].append(item)
+        room = self.list_capacity
+        for b in range(self.nbins):
+            if room <= 0:
+                break
+            take = staged[b][:room]
+            self._lists[b] = take
+            for it in take:
+                self._pos[it] = b
+            room -= len(take)
+
+    def iter_listed(self) -> Iterator[tuple[int, int]]:
+        """Yield ``(item, bin_index)`` for every listed item, best bin
+        first (list-page order)."""
+        for b, lst in enumerate(self._lists):
+            for item in lst:
+                yield item, b
+
+    # ------------------------------------------------------------------
+    # Listing policy
+    # ------------------------------------------------------------------
+    def _worst_listed_bin(self) -> int | None:
+        for b in range(self.nbins - 1, -1, -1):
+            if self._lists[b]:
+                return b
+        return None
+
+    def _maybe_list(self, item: int, b: int) -> None:
+        """List ``item`` (bin ``b``) if doing so preserves the invariant
+        that every bin strictly better than the worst listed bin is
+        fully listed — the property behind the 3.125% error margin."""
+        worst = self._worst_listed_bin()
+        # "Everything else is listed and there is room" — the only case
+        # where listing an item from a bin worse than the current worst
+        # cannot break the full-listing invariant.
+        everything_listed = (
+            self.listed_count == self._total - 1
+            and self.listed_count < self.list_capacity
+        )
+        if worst is None:
+            qualifies = everything_listed
+        else:
+            qualifies = b <= worst or everything_listed
+        if not qualifies:
+            return
+        self._lists[b].append(item)
+        self._pos[item] = b
+        if self.listed_count > self.list_capacity:
+            self._evict_one()
+
+    def _evict_one(self) -> None:
+        worst = self._worst_listed_bin()
+        assert worst is not None
+        victim = self._lists[worst].pop()
+        del self._pos[victim]
+        self.evictions += 1
+
+    def _unlist(self, item: int) -> None:
+        b = self._pos.pop(item)
+        lst = self._lists[b]
+        # Swap-remove for O(1): order within a bin is insignificant
+        # ("the benefit provided by sorting AAs within a range was found
+        # to be negligible", paper section 3.3.2).
+        idx = lst.index(item)
+        lst[idx] = lst[-1]
+        lst.pop()
+
+    # ------------------------------------------------------------------
+    # Invariants (exercised by property-based tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise :class:`CacheError` if any structural invariant fails."""
+        if int(self._counts.sum()) != self._total:
+            raise CacheError("histogram counts do not sum to total")
+        if np.any(self._counts < 0):
+            raise CacheError("negative histogram count")
+        if self.listed_count > self.list_capacity:
+            raise CacheError("list page over capacity")
+        listed_per_bin = [len(lst) for lst in self._lists]
+        if sum(listed_per_bin) != self.listed_count:
+            raise CacheError("position map does not match bin lists")
+        worst = self._worst_listed_bin()
+        if worst is not None:
+            for b in range(worst):
+                if listed_per_bin[b] != self._counts[b]:
+                    raise CacheError(
+                        f"bin {b} (better than worst listed bin {worst}) is not fully "
+                        f"listed: {listed_per_bin[b]} of {self._counts[b]}"
+                    )
+        for b, lst in enumerate(self._lists):
+            if len(lst) > self._counts[b]:
+                raise CacheError(f"bin {b} lists more items than it counts")
+            for item in lst:
+                if self._pos.get(item) != b:
+                    raise CacheError(f"item {item} listed in bin {b} but mapped elsewhere")
+
+    # ------------------------------------------------------------------
+    # Two-page serialization (embedded into the TopAA metafile)
+    # ------------------------------------------------------------------
+    def to_pages(self) -> bytes:
+        """Serialize into exactly two 4 KiB pages.
+
+        Page 0 is the histogram (per-bin count and list index); page 1
+        is the list page (item ids grouped by bin, Figure 5's layout).
+        Only item ids are persisted — exact scores are recovered lazily
+        by the background rebuild after mount, so a freshly loaded
+        structure reports bin-resolution scores, as the real metafile
+        does.
+        """
+        if self.nbins * _BIN_ENTRY.size + _HEADER.size > PAGE_SIZE:
+            raise SerializationError("histogram does not fit in one page")
+        if self.list_capacity * 4 > PAGE_SIZE:
+            raise SerializationError("list page does not fit in one page")
+        page0 = bytearray(PAGE_SIZE)
+        _HEADER.pack_into(
+            page0, 0, _MAGIC, _VERSION, self.max_score, self.bin_width, self.nbins,
+            self.listed_count,
+        )
+        items: list[int] = []
+        off = _HEADER.size
+        for b in range(self.nbins):
+            if self._lists[b]:
+                index = len(items)
+                items.extend(self._lists[b])
+            else:
+                index = _UNLISTED
+            _BIN_ENTRY.pack_into(page0, off, int(self._counts[b]), index)
+            off += _BIN_ENTRY.size
+        page1 = bytearray(PAGE_SIZE)
+        arr = np.asarray(items, dtype=np.uint32)
+        page1[: arr.nbytes] = arr.tobytes()
+        return bytes(page0) + bytes(page1)
+
+    @classmethod
+    def from_pages(
+        cls,
+        pages: bytes,
+        *,
+        list_capacity: int = HBPS_LIST_CAPACITY,
+    ) -> "HBPS":
+        """Reconstruct an HBPS from :meth:`to_pages` output.
+
+        Loaded items are assigned their bin's upper-bound score at the
+        owning cache layer; within this structure only bins matter.
+        """
+        if len(pages) != 2 * PAGE_SIZE:
+            raise SerializationError(f"expected {2 * PAGE_SIZE} bytes, got {len(pages)}")
+        magic, version, max_score, bin_width, nbins, list_len = _HEADER.unpack_from(pages, 0)
+        if magic != _MAGIC:
+            raise SerializationError("bad HBPS magic")
+        if version != _VERSION:
+            raise SerializationError(f"unsupported HBPS version {version}")
+        out = cls(max_score, bin_width=bin_width, list_capacity=list_capacity)
+        if nbins != out.nbins:
+            raise SerializationError("inconsistent bin count in header")
+        items = np.frombuffer(pages, dtype=np.uint32, count=list_len, offset=PAGE_SIZE)
+        off = _HEADER.size
+        total = 0
+        for b in range(nbins):
+            count, index = _BIN_ENTRY.unpack_from(pages, off)
+            off += _BIN_ENTRY.size
+            out._counts[b] = count
+            total += count
+            if index != _UNLISTED:
+                # Find this bin's extent: entries run until the next
+                # listed bin's index (bins are laid out in order).
+                noff = off
+                end = list_len
+                for nb in range(b + 1, nbins):
+                    _, nindex = _BIN_ENTRY.unpack_from(pages, noff)
+                    noff += _BIN_ENTRY.size
+                    if nindex != _UNLISTED:
+                        end = nindex
+                        break
+                bin_items = [int(i) for i in items[index:end]]
+                out._lists[b] = bin_items
+                for it in bin_items:
+                    out._pos[it] = b
+        out._total = total
+        out.check_invariants()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HBPS(max_score={self.max_score}, bins={self.nbins}, "
+            f"total={self._total}, listed={self.listed_count})"
+        )

@@ -1,0 +1,233 @@
+"""RAID-aware allocation-area cache: a max-heap over all AAs.
+
+"This is an in-memory max-heap of all AAs in a RAID group sorted by
+score.  The max-heap is rebalanced at the end of each CP after updating
+the scores of AAs in which VBNs were allocated or freed." (paper
+section 3.3.1)
+
+The cache hands the write allocator the emptiest AA of its RAID group
+(:meth:`pop_best`), absorbs the CP-boundary score transitions produced
+by :class:`~repro.core.score.ScoreKeeper` (:meth:`apply_changes`), and
+supports the TopAA mount path: seeding from a small set of high-quality
+AAs and re-populating the remainder in the background
+(:meth:`populate`, paper section 3.4).
+
+Implementation: a lazy binary heap with per-AA version numbers.  Stale
+entries (superseded score or already checked out) are discarded on pop;
+the heap is compacted when stale entries dominate.  The *modeled*
+memory footprint matches the paper's arithmetic — 8 bytes per AA, i.e.
+~1 MiB for the million AAs of a 16 TiB-device RAID group.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..common.errors import CacheError
+from .score import ScoreChange
+
+__all__ = ["RAIDAwareAACache"]
+
+_UNKNOWN = -1
+
+
+class RAIDAwareAACache:
+    """Max-heap AA cache for one RAID group.
+
+    Parameters
+    ----------
+    num_aas:
+        Total AAs in the RAID group.
+    scores:
+        When given, the cache is fully populated from this array (the
+        normal boot-time bitmap walk).  When ``None``, every AA starts
+        *unknown* and must be supplied via :meth:`populate` — the TopAA
+        seeding path.
+    """
+
+    __slots__ = (
+        "num_aas",
+        "_score",
+        "_version",
+        "_out",
+        "_heap",
+        "_known",
+        "pushes",
+        "pops",
+        "compactions",
+    )
+
+    def __init__(self, num_aas: int, scores: np.ndarray | None = None) -> None:
+        if num_aas <= 0:
+            raise CacheError("num_aas must be positive")
+        self.num_aas = int(num_aas)
+        self._score = np.full(self.num_aas, _UNKNOWN, dtype=np.int64)
+        self._version = np.zeros(self.num_aas, dtype=np.int64)
+        self._out: set[int] = set()
+        self._heap: list[tuple[int, int, int]] = []  # (-score, aa, version)
+        self._known = 0
+        # Maintenance-op counters for the CPU-overhead evaluation (§4.1.2).
+        self.pushes = 0
+        self.pops = 0
+        self.compactions = 0
+        if scores is not None:
+            if len(scores) != self.num_aas:
+                raise CacheError("scores length does not match num_aas")
+            self._score[:] = scores
+            self._known = self.num_aas
+            self._heap = [(-int(s), aa, 0) for aa, s in enumerate(scores)]
+            heapq.heapify(self._heap)
+            self.pushes += self.num_aas
+
+    # ------------------------------------------------------------------
+    @property
+    def fully_populated(self) -> bool:
+        """Whether every AA's score is known to the cache."""
+        return self._known == self.num_aas
+
+    @property
+    def known_count(self) -> int:
+        """AAs whose scores the cache knows."""
+        return self._known
+
+    @property
+    def checked_out(self) -> frozenset[int]:
+        """AAs currently handed to the allocator (popped, not returned)."""
+        return frozenset(self._out)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Modeled memory: 8 bytes (score + index) per tracked AA, the
+        paper's ~1 MiB-per-million-AAs figure (section 3.3.1)."""
+        return 8 * self.num_aas
+
+    def score_of(self, aa: int) -> int:
+        """Cache's view of an AA's score (-1 when unknown)."""
+        return int(self._score[aa])
+
+    # ------------------------------------------------------------------
+    # Allocator-facing operations
+    # ------------------------------------------------------------------
+    def best_score(self) -> int | None:
+        """Score of the best available AA, or ``None`` if none remain.
+
+        The write allocator uses this "as an indicator of [the RAID
+        group's] fragmentation and so judge[s] when to stop and when to
+        resume writing to that RAID group" (paper section 3.3.1).
+        """
+        self._clean_top()
+        return -self._heap[0][0] if self._heap else None
+
+    def pop_best(self) -> int | None:
+        """Check out the emptiest AA, or ``None`` if none are available."""
+        self._clean_top()
+        if not self._heap:
+            return None
+        neg, aa, _ver = heapq.heappop(self._heap)
+        self._out.add(aa)
+        self.pops += 1
+        return aa
+
+    def push_back(self, aa: int) -> None:
+        """Return a checked-out AA whose score did not change."""
+        if aa not in self._out:
+            raise CacheError(f"AA {aa} is not checked out")
+        self._out.discard(aa)
+        self._push(aa)
+
+    # ------------------------------------------------------------------
+    # CP boundary and population
+    # ------------------------------------------------------------------
+    def apply_changes(
+        self, changes: list[ScoreChange], held: frozenset[int] = frozenset()
+    ) -> None:
+        """Rebalance after a CP: absorb ``(aa, old, new)`` transitions.
+
+        Checked-out AAs among the changes re-enter the heap with their
+        new scores — except those in ``held``, which the write
+        allocator is still filling across CP boundaries ("assigns all
+        free VBNs from the AA", section 3.1); their snapshot scores are
+        updated but they stay checked out.
+        """
+        for aa, _old, new in changes:
+            if self._score[aa] == _UNKNOWN:
+                # Score changed for an AA the seeded cache does not yet
+                # track; it will be picked up by the background rebuild.
+                continue
+            self._score[aa] = new
+            if aa in held:
+                continue
+            self._out.discard(aa)
+            self._push(aa)
+        self._maybe_compact()
+
+    def populate(self, aa: int, score: int) -> None:
+        """Supply the score of a previously unknown AA (TopAA seed or
+        background rebuild)."""
+        if not 0 <= aa < self.num_aas:
+            raise CacheError(f"AA {aa} out of range")
+        if self._score[aa] != _UNKNOWN:
+            raise CacheError(f"AA {aa} already populated; use apply_changes")
+        self._score[aa] = int(score)
+        self._known += 1
+        self._push(aa)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _push(self, aa: int) -> None:
+        self._version[aa] += 1
+        heapq.heappush(self._heap, (-int(self._score[aa]), int(aa), int(self._version[aa])))
+        self.pushes += 1
+
+    def _clean_top(self) -> None:
+        h = self._heap
+        while h:
+            neg, aa, ver = h[0]
+            if aa in self._out or ver != self._version[aa] or self._score[aa] != -neg:
+                heapq.heappop(h)
+            else:
+                return
+
+    def _maybe_compact(self) -> None:
+        if len(self._heap) <= 4 * self.num_aas + 16:
+            return
+        self.compactions += 1
+        self._heap = [
+            (-int(self._score[aa]), aa, int(self._version[aa]))
+            for aa in range(self.num_aas)
+            if self._score[aa] != _UNKNOWN and aa not in self._out
+        ]
+        heapq.heapify(self._heap)
+
+    def check_invariants(self) -> None:
+        """Test hook: the heap must be able to produce every known,
+        not-checked-out AA exactly once, in non-increasing score order."""
+        seen: set[int] = set()
+        order: list[int] = []
+        snapshot = list(self._heap)
+        valid = {}
+        for neg, aa, ver in snapshot:
+            if aa in self._out or ver != self._version[aa] or self._score[aa] != -neg:
+                continue
+            if aa in valid:
+                raise CacheError(f"duplicate live heap entry for AA {aa}")
+            valid[aa] = -neg
+        expected = {
+            aa
+            for aa in range(self.num_aas)
+            if self._score[aa] != _UNKNOWN and aa not in self._out
+        }
+        if set(valid) != expected:
+            raise CacheError(
+                f"live heap entries {len(valid)} != known available AAs {len(expected)}"
+            )
+        del seen, order
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RAIDAwareAACache(num_aas={self.num_aas}, known={self._known}, "
+            f"out={len(self._out)}, heap={len(self._heap)})"
+        )

@@ -1,0 +1,205 @@
+"""AA selection policies: the cache-backed policy and baselines.
+
+The write allocator consumes allocation areas through the small
+:class:`AASource` protocol, which lets every experiment swap selection
+policies without touching allocation logic:
+
+* :class:`HeapSource` — the paper's RAID-aware cache (max-heap).
+* :class:`HBPSSource` — the paper's RAID-agnostic cache (HBPS), with
+  automatic replenish when the list page runs dry.
+* :class:`RandomSource` — the "AA cache disabled" baseline of section
+  4.1: AAs are picked at random, which is what selecting regions with
+  no free-space guidance degenerates to ("randomly selected AAs average
+  only 46% free space").
+* :class:`LinearScanSource` — a first-fit cursor baseline (extension;
+  FFS/ext-style next-fit behaviour) used in the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from ..common.errors import CacheError
+from ..common.rng import make_rng
+from .heap_cache import RAIDAwareAACache
+from .hbps_cache import RAIDAgnosticAACache
+from .score import ScoreChange
+
+__all__ = [
+    "AASource",
+    "HeapSource",
+    "HBPSSource",
+    "RandomSource",
+    "LinearScanSource",
+]
+
+
+class AASource(Protocol):
+    """Protocol through which the write allocator obtains AAs."""
+
+    def next_aa(self) -> int | None:
+        """Check out the next AA to write into (None = none available)."""
+        ...
+
+    def return_aa(self, aa: int, score: int) -> None:
+        """Return a checked-out AA whose score is unchanged."""
+        ...
+
+    def cp_flush(
+        self, changes: list[ScoreChange], held: frozenset[int] = frozenset()
+    ) -> None:
+        """Absorb CP-boundary score transitions; AAs in ``held`` remain
+        checked out by the allocator."""
+        ...
+
+    def best_score(self) -> int | None:
+        """Best available score, or None when unknown (baselines)."""
+        ...
+
+
+class HeapSource:
+    """Adapter: RAID-aware max-heap cache -> :class:`AASource`."""
+
+    def __init__(self, cache: RAIDAwareAACache) -> None:
+        self.cache = cache
+
+    def next_aa(self) -> int | None:
+        return self.cache.pop_best()
+
+    def return_aa(self, aa: int, score: int) -> None:
+        self.cache.push_back(aa)
+
+    def cp_flush(
+        self, changes: list[ScoreChange], held: frozenset[int] = frozenset()
+    ) -> None:
+        self.cache.apply_changes(changes, held)
+
+    def best_score(self) -> int | None:
+        return self.cache.best_score()
+
+
+class HBPSSource:
+    """Adapter: RAID-agnostic HBPS cache -> :class:`AASource`.
+
+    ``replenisher`` supplies authoritative scores for a full rebuild —
+    the background bitmap-metafile walk that refills the list page when
+    the allocator consumes AAs faster than frees insert them (paper
+    section 3.3.2).  The callable is charged for its own metafile I/O.
+    """
+
+    def __init__(
+        self,
+        cache: RAIDAgnosticAACache,
+        replenisher: Callable[[], np.ndarray] | None = None,
+    ) -> None:
+        self.cache = cache
+        self.replenisher = replenisher
+        #: Number of replenish scans triggered (metric).
+        self.replenish_count = 0
+
+    def next_aa(self) -> int | None:
+        aa = self.cache.pop_best()
+        if aa is None and self.cache.needs_replenish and self.replenisher is not None:
+            self.cache.replenish(self.replenisher())
+            self.replenish_count += 1
+            aa = self.cache.pop_best()
+        return aa
+
+    def return_aa(self, aa: int, score: int) -> None:
+        self.cache.return_aa(aa, score)
+
+    def cp_flush(
+        self, changes: list[ScoreChange], held: frozenset[int] = frozenset()
+    ) -> None:
+        self.cache.apply_changes(changes, held)
+
+    def best_score(self) -> int | None:
+        return self.cache.best_bin_score()
+
+
+class RandomSource:
+    """Baseline: uniformly random AA selection ("cache disabled").
+
+    The source never proposes an AA it has already checked out, but it
+    has no score knowledge; the allocator discards full AAs by
+    returning them and asking again (bounded retries), which models a
+    write allocator scanning arbitrary regions.
+    """
+
+    def __init__(self, num_aas: int, seed: int | np.random.Generator | None = None) -> None:
+        if num_aas <= 0:
+            raise CacheError("num_aas must be positive")
+        self.num_aas = num_aas
+        self.rng = make_rng(seed)
+        self._out: set[int] = set()
+
+    def next_aa(self) -> int | None:
+        if len(self._out) >= self.num_aas:
+            return None
+        for _ in range(64):
+            aa = int(self.rng.integers(self.num_aas))
+            if aa not in self._out:
+                self._out.add(aa)
+                return aa
+        # Dense checkout; fall back to the first available.
+        for aa in range(self.num_aas):
+            if aa not in self._out:
+                self._out.add(aa)
+                return aa
+        return None
+
+    def return_aa(self, aa: int, score: int) -> None:
+        self._out.discard(aa)
+
+    def cp_flush(
+        self, changes: list[ScoreChange], held: frozenset[int] = frozenset()
+    ) -> None:
+        for aa, _old, _new in changes:
+            if aa not in held:
+                self._out.discard(aa)
+
+    def best_score(self) -> int | None:
+        return None
+
+
+class LinearScanSource:
+    """Baseline: first-fit cursor over the AA number space (extension).
+
+    Walks AAs in order, wrapping around; models allocators that scan
+    bitmaps linearly for the next region with free space.  Consulting
+    AAs in order is cheap per step but keeps returning aged, mostly
+    full regions on fragmented file systems.
+    """
+
+    def __init__(self, num_aas: int) -> None:
+        if num_aas <= 0:
+            raise CacheError("num_aas must be positive")
+        self.num_aas = num_aas
+        self._cursor = 0
+        self._out: set[int] = set()
+
+    def next_aa(self) -> int | None:
+        if len(self._out) >= self.num_aas:
+            return None
+        for _ in range(self.num_aas):
+            aa = self._cursor
+            self._cursor = (self._cursor + 1) % self.num_aas
+            if aa not in self._out:
+                self._out.add(aa)
+                return aa
+        return None
+
+    def return_aa(self, aa: int, score: int) -> None:
+        self._out.discard(aa)
+
+    def cp_flush(
+        self, changes: list[ScoreChange], held: frozenset[int] = frozenset()
+    ) -> None:
+        for aa, _old, _new in changes:
+            if aa not in held:
+                self._out.discard(aa)
+
+    def best_score(self) -> int | None:
+        return None

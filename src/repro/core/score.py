@@ -1,0 +1,155 @@
+"""AA score tracking with CP-batched updates.
+
+"The free space of an AA is quantified by its *AA score*: it is the
+number of free blocks in the AA ... The AA score decreases when the
+write allocator allocates VBNs from that AA, and it increases when VBNs
+from that AA are freed.  AA score updates resulting from frees
+(increments) and allocations (decrements) are delayed and performed
+efficiently in batched fashion at the CP boundary." (paper section 3.3)
+
+:class:`ScoreKeeper` owns the authoritative score array for one AA
+topology, accumulates deltas during a CP, and on :meth:`flush` returns
+the ``(aa, old_score, new_score)`` transitions that the AA caches (the
+max-heap or the HBPS) consume to rebalance themselves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import CacheError
+from ..bitmap.bitmap import Bitmap
+from .aa import AATopology
+
+__all__ = ["ScoreKeeper", "ScoreChange"]
+
+#: A flushed score transition: (aa, old_score, new_score).
+ScoreChange = tuple[int, int, int]
+
+
+class ScoreKeeper:
+    """Per-AA free-block scores with delayed (CP-batched) application.
+
+    Parameters
+    ----------
+    topology:
+        The AA topology whose areas are scored.
+    bitmap:
+        When given, initial scores are computed from it (one vectorized
+        pass); otherwise every AA starts empty (score == capacity).
+    """
+
+    __slots__ = ("topology", "_scores", "_pending", "flushes", "deltas_applied")
+
+    def __init__(self, topology: AATopology, bitmap: Bitmap | None = None) -> None:
+        self.topology = topology
+        if bitmap is None:
+            self._scores = np.full(topology.num_aas, topology.aa_blocks, dtype=np.int64)
+        else:
+            self._scores = topology.scores_from_bitmap(bitmap).astype(np.int64)
+        self._pending: dict[int, int] = {}
+        #: Number of CP flushes performed (metric).
+        self.flushes = 0
+        #: Total per-AA delta records applied across all flushes (metric).
+        self.deltas_applied = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def scores(self) -> np.ndarray:
+        """Read-only view of the applied (post-flush) scores."""
+        v = self._scores.view()
+        v.flags.writeable = False
+        return v
+
+    def score(self, aa: int) -> int:
+        """Applied score of one AA (pending deltas not included)."""
+        return int(self._scores[aa])
+
+    def effective_score(self, aa: int) -> int:
+        """Score including pending (unflushed) deltas."""
+        return int(self._scores[aa]) + self._pending.get(aa, 0)
+
+    @property
+    def pending_aa_count(self) -> int:
+        """AAs with unflushed deltas."""
+        return len(self._pending)
+
+    def has_pending(self, aa: int) -> bool:
+        """Whether AA ``aa`` has an unflushed (nonzero) delta."""
+        return self._pending.get(aa, 0) != 0
+
+    # ------------------------------------------------------------------
+    # Delta accumulation (called during a CP)
+    # ------------------------------------------------------------------
+    def note_alloc(self, vbns: np.ndarray) -> None:
+        """Record allocations: scores of the owning AAs will decrease."""
+        self._note(vbns, sign=-1)
+
+    def note_free(self, vbns: np.ndarray) -> None:
+        """Record frees: scores of the owning AAs will increase."""
+        self._note(vbns, sign=+1)
+
+    def note_alloc_aa(self, aa: int, count: int) -> None:
+        """Record ``count`` allocations within AA ``aa`` directly."""
+        if count:
+            self._pending[aa] = self._pending.get(aa, 0) - int(count)
+
+    def note_free_aa(self, aa: int, count: int) -> None:
+        """Record ``count`` frees within AA ``aa`` directly."""
+        if count:
+            self._pending[aa] = self._pending.get(aa, 0) + int(count)
+
+    def _note(self, vbns: np.ndarray, *, sign: int) -> None:
+        vbns = np.asarray(vbns, dtype=np.int64)
+        if vbns.size == 0:
+            return
+        aas, counts = np.unique(self.topology.aa_of_vbn(vbns), return_counts=True)
+        for aa, cnt in zip(aas.tolist(), counts.tolist()):
+            self._pending[aa] = self._pending.get(aa, 0) + sign * cnt
+
+    # ------------------------------------------------------------------
+    # CP boundary
+    # ------------------------------------------------------------------
+    def flush(self) -> list[ScoreChange]:
+        """Apply pending deltas; return ``(aa, old, new)`` transitions.
+
+        Raises :class:`CacheError` if a delta would push a score outside
+        ``[0, aa_blocks]`` — that means allocation and bitmap state have
+        diverged, which the paper's WAFL would treat as metadata
+        corruption (section 3.4 discusses its repair).
+        """
+        self.flushes += 1
+        if not self._pending:
+            return []
+        changes: list[ScoreChange] = []
+        cap = self.topology.aa_blocks
+        for aa, delta in self._pending.items():
+            if delta == 0:
+                continue
+            old = int(self._scores[aa])
+            new = old + delta
+            if not 0 <= new <= cap:
+                raise CacheError(
+                    f"AA {aa} score {old} + delta {delta} leaves [0, {cap}]"
+                )
+            self._scores[aa] = new
+            changes.append((aa, old, new))
+        self.deltas_applied += len(changes)
+        self._pending.clear()
+        return changes
+
+    def recompute(self, bitmap: Bitmap) -> None:
+        """Recompute every score from the bitmap (consistency check /
+        rebuild path).  Pending deltas are discarded."""
+        self._scores = self.topology.scores_from_bitmap(bitmap).astype(np.int64)
+        self._pending.clear()
+
+    def verify_against(self, bitmap: Bitmap) -> None:
+        """Assert applied scores match the bitmap exactly (test hook)."""
+        truth = self.topology.scores_from_bitmap(bitmap)
+        if not np.array_equal(truth, self._scores):
+            bad = np.flatnonzero(truth != self._scores)
+            raise CacheError(
+                f"score divergence in AAs {bad[:8].tolist()}: "
+                f"scores={self._scores[bad[:8]].tolist()} bitmap={truth[bad[:8]].tolist()}"
+            )

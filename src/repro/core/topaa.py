@@ -1,0 +1,106 @@
+"""The TopAA metafile: persisting AA caches across reboot/failover.
+
+"Rebuilding AA caches requires a linear walk of the bitmap metafiles
+... this may take multiple seconds.  Instead, each WAFL file system
+instance stores the AA cache structure in a TopAA metafile." (paper
+section 3.4)
+
+Two on-disk layouts, both reproduced here byte-for-byte in spirit:
+
+* **RAID-aware** — one 4 KiB block holding the 512 best AAs and their
+  scores (512 entries x 8 bytes = 4,096 bytes exactly).  This seeds the
+  max-heap with high-quality AAs; client load "can be sustained for
+  dozens of seconds using the seeded AAs while the max-heap is fully
+  populated in the background".
+* **RAID-agnostic** — two 4 KiB blocks into which the HBPS structure is
+  embedded directly (see :meth:`repro.core.hbps.HBPS.to_pages`), kept
+  pinned in the buffer cache, so "very little I/O and CPU is necessary
+  to get the AA cache structure ready" after mount.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.constants import BLOCK_SIZE, TOPAA_RAID_AWARE_ENTRIES
+from ..common.errors import SerializationError
+from .heap_cache import RAIDAwareAACache
+from .hbps_cache import RAIDAgnosticAACache
+
+__all__ = [
+    "serialize_heap_seed",
+    "deserialize_heap_seed",
+    "seed_heap_cache",
+    "serialize_hbps_cache",
+    "load_hbps_cache",
+]
+
+_SENTINEL = np.uint32(0xFFFFFFFF)
+
+
+def serialize_heap_seed(
+    scores: np.ndarray, max_entries: int = TOPAA_RAID_AWARE_ENTRIES
+) -> bytes:
+    """Serialize the ``max_entries`` best AAs into one 4 KiB block.
+
+    ``scores`` is the authoritative per-AA score array of one RAID
+    group.  Entries are ``(aa: u32, score: u32)`` pairs, best first;
+    unused slots carry a sentinel AA id.
+    """
+    if max_entries * 8 > BLOCK_SIZE:
+        raise SerializationError(
+            f"{max_entries} entries x 8 bytes exceed one {BLOCK_SIZE}-byte block"
+        )
+    scores = np.asarray(scores)
+    n = min(max_entries, scores.size)
+    if n < scores.size:
+        # argpartition: top-n without a full sort, then order best-first.
+        top = np.argpartition(scores, -n)[-n:]
+    else:
+        top = np.arange(scores.size)
+    top = top[np.argsort(scores[top])[::-1]]
+    # Pad the whole block with sentinel pairs so short seeds (fewer
+    # entries than capacity) terminate cleanly on deserialization.
+    block = np.full(BLOCK_SIZE // 4, _SENTINEL, dtype=np.uint32)
+    block[0 : 2 * n : 2] = top.astype(np.uint32)
+    block[1 : 2 * n : 2] = scores[top].astype(np.uint32)
+    return block.tobytes()
+
+
+def deserialize_heap_seed(block: bytes) -> list[tuple[int, int]]:
+    """Decode :func:`serialize_heap_seed` output into ``(aa, score)``
+    pairs, best first."""
+    if len(block) != BLOCK_SIZE:
+        raise SerializationError(f"TopAA block must be {BLOCK_SIZE} bytes, got {len(block)}")
+    arr = np.frombuffer(block, dtype=np.uint32)
+    pairs: list[tuple[int, int]] = []
+    for i in range(0, arr.size, 2):
+        if arr[i] == _SENTINEL:
+            break
+        pairs.append((int(arr[i]), int(arr[i + 1])))
+    return pairs
+
+
+def seed_heap_cache(num_aas: int, block: bytes) -> RAIDAwareAACache:
+    """Build a seeded (partially populated) RAID-aware cache from a
+    TopAA block.  The caller is responsible for populating the
+    remaining AAs in the background (see :mod:`repro.fs.mount`)."""
+    cache = RAIDAwareAACache(num_aas)
+    for aa, score in deserialize_heap_seed(block):
+        if aa < num_aas:
+            cache.populate(aa, score)
+    return cache
+
+
+def serialize_hbps_cache(cache: RAIDAgnosticAACache) -> bytes:
+    """Persist a RAID-agnostic cache as its two TopAA blocks."""
+    return cache.to_pages()
+
+
+def load_hbps_cache(pages: bytes, num_aas: int) -> RAIDAgnosticAACache:
+    """Reload a RAID-agnostic cache from its two TopAA blocks.
+
+    The result is *seeded*: listed AAs are usable immediately at bin
+    resolution; a background replenish restores exact state.
+    """
+    return RAIDAgnosticAACache.from_pages(pages, num_aas)

@@ -1,0 +1,21 @@
+"""Device models: HDD, SSD (block-mapped FTL), SMR, object store
+(paper sections 2.6, 3.2; substitutions documented in DESIGN.md)."""
+
+from .base import Device, DeviceStats
+from .hdd import HDD, HDDConfig
+from .objectstore import ObjectStore, ObjectStoreConfig
+from .smr import SMRConfig, SMRDrive
+from .ssd import SSD, SSDConfig
+
+__all__ = [
+    "Device",
+    "DeviceStats",
+    "HDD",
+    "HDDConfig",
+    "ObjectStore",
+    "ObjectStoreConfig",
+    "SMRConfig",
+    "SMRDrive",
+    "SSD",
+    "SSDConfig",
+]

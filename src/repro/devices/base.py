@@ -1,0 +1,110 @@
+"""Device model base class and shared accounting.
+
+The paper's evaluation runs on real hardware; our substitute device
+models (DESIGN.md section 1) compute the *time cost* of each
+consistency point's I/O from first principles — seeks, transfers,
+flash programs/erases, FTL relocations, shingle-zone interventions —
+so latency-versus-throughput curves inherit the same structure.
+
+All device models share a convention: :meth:`write_blocks` receives the
+sorted, unique device block numbers (DBNs) written in one CP and
+returns the modeled busy time in microseconds, updating cumulative
+statistics as a side effect.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Device", "DeviceStats"]
+
+
+@dataclass
+class DeviceStats:
+    """Cumulative I/O statistics for one device."""
+
+    #: Blocks the host (WAFL) asked the device to write.
+    host_blocks_written: int = 0
+    #: Blocks physically written by the device (>= host writes for SSDs
+    #: due to FTL relocation; the ratio is write amplification).
+    device_blocks_written: int = 0
+    #: Blocks read (parity computation, FTL relocation reads, client reads).
+    blocks_read: int = 0
+    #: Positioning operations (seeks / chain starts / PUT round-trips).
+    seeks: int = 0
+    #: Total modeled busy time in microseconds.
+    busy_us: float = 0.0
+    #: Write calls (one per CP that touched this device).
+    write_calls: int = 0
+
+    @property
+    def write_amplification(self) -> float:
+        """device writes / host writes (1.0 when no amplification)."""
+        if self.host_blocks_written == 0:
+            return 1.0
+        return self.device_blocks_written / self.host_blocks_written
+
+
+class Device(abc.ABC):
+    """A single storage device with a time-cost model.
+
+    Subclasses implement :meth:`_write_cost` (and optionally extend
+    :meth:`trim` / :meth:`read_blocks`); cumulative accounting lives
+    here so every model reports uniformly.
+    """
+
+    def __init__(self, nblocks: int, name: str = "dev") -> None:
+        if nblocks <= 0:
+            raise ValueError("nblocks must be positive")
+        self.nblocks = int(nblocks)
+        self.name = name
+        self.stats = DeviceStats()
+
+    # ------------------------------------------------------------------
+    def write_blocks(self, dbns: np.ndarray) -> float:
+        """Write the given sorted unique DBNs; returns busy time (us)."""
+        dbns = np.asarray(dbns, dtype=np.int64)
+        if dbns.size == 0:
+            return 0.0
+        us = self._write_cost(dbns)
+        self.stats.host_blocks_written += int(dbns.size)
+        self.stats.busy_us += us
+        self.stats.write_calls += 1
+        return us
+
+    def read_blocks(self, n_random: int, n_sequential: int = 0) -> float:
+        """Charge ``n_random`` random and ``n_sequential`` streaming
+        block reads; returns busy time (us)."""
+        us = self._read_cost(n_random, n_sequential)
+        self.stats.blocks_read += n_random + n_sequential
+        self.stats.busy_us += us
+        return us
+
+    def trim(self, dbns: np.ndarray) -> None:
+        """Notify the device that blocks no longer hold live data.
+
+        Only translation-layer devices (SSD) care; default is a no-op.
+        """
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _write_cost(self, dbns: np.ndarray) -> float:
+        """Model-specific cost of writing sorted unique ``dbns``."""
+
+    @abc.abstractmethod
+    def _read_cost(self, n_random: int, n_sequential: int) -> float:
+        """Model-specific cost of the given read mix."""
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def chains_of(dbns: np.ndarray) -> int:
+        """Number of maximal consecutive runs in sorted unique DBNs."""
+        if dbns.size == 0:
+            return 0
+        return 1 + int(np.count_nonzero(np.diff(dbns) != 1))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r}, nblocks={self.nblocks})"

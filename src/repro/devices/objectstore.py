@@ -1,0 +1,61 @@
+"""Object store model: natively redundant remote storage.
+
+Fabric Pool aggregates combine SSD RAID groups with an on-premises or
+cloud object store (paper section 2.1).  Object stores provide their
+own redundancy, so WAFL lays data out with RAID-agnostic (linear) AAs
+and "must only attempt to write to consecutive blocks on such storage"
+(paper section 3.1) — contiguous runs coalesce into fewer, larger PUT
+operations, and PUT round-trips dominate cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import Device
+
+__all__ = ["ObjectStoreConfig", "ObjectStore"]
+
+
+@dataclass(frozen=True)
+class ObjectStoreConfig:
+    """Cost parameters for a (possibly remote) object store."""
+
+    #: Round-trip overhead per PUT/GET operation.
+    put_us: float = 20000.0
+    #: Per-block streaming cost within an operation (~400 MiB/s link).
+    transfer_us_per_block: float = 10.0
+    #: Maximum blocks coalesced into one PUT (object size cap).
+    max_blocks_per_put: int = 1024
+    #: Concurrent in-flight operations the store absorbs; busy time is
+    #: divided by this factor (client-side parallelism).
+    concurrency: int = 8
+
+
+class ObjectStore(Device):
+    """PUT/GET round-trip cost model for object storage."""
+
+    def __init__(
+        self, nblocks: int, config: ObjectStoreConfig | None = None, name: str = "objstore"
+    ) -> None:
+        super().__init__(nblocks, name)
+        self.config = config or ObjectStoreConfig()
+
+    def _write_cost(self, dbns: np.ndarray) -> float:
+        c = self.config
+        chains = self.chains_of(dbns)
+        # Each chain is split into PUTs of at most max_blocks_per_put.
+        n_puts = chains + int(dbns.size // c.max_blocks_per_put)
+        self.stats.seeks += n_puts
+        self.stats.device_blocks_written += int(dbns.size)
+        raw = n_puts * c.put_us + dbns.size * c.transfer_us_per_block
+        return raw / max(c.concurrency, 1)
+
+    def _read_cost(self, n_random: int, n_sequential: int) -> float:
+        c = self.config
+        n_gets = n_random + (1 if n_sequential else 0)
+        self.stats.seeks += n_gets
+        raw = n_gets * c.put_us + (n_random + n_sequential) * c.transfer_us_per_block
+        return raw / max(c.concurrency, 1)

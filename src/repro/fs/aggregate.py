@@ -1,0 +1,609 @@
+"""Physical stores: RAID-group aggregates and linear (object) stores.
+
+An ONTAP aggregate is a pool of physical storage hosting FlexVols
+(paper section 2.1).  Its physical VBN space is the concatenation of
+its RAID groups' spaces (each group owns a contiguous global range),
+or a single linear range when the backing store is natively redundant.
+
+This module binds together, per store:
+
+* geometry and AA topology (:mod:`repro.raid`, :mod:`repro.core.aa`),
+* the bitmap metafile and delayed-free log (:mod:`repro.bitmap`),
+* the score keeper and AA cache/source (:mod:`repro.core`),
+* the write allocator (:mod:`repro.core.allocator`),
+* device models with time costs (:mod:`repro.devices`),
+
+and implements the CP-boundary sequence: price the CP's writes on the
+devices, apply delayed frees (with SSD trims), flush batched AA-score
+deltas into the caches, and drain metafile dirty-block counts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..bitmap.delayed_frees import DelayedFreeLog
+from ..bitmap.metafile import BitmapMetafile
+from ..common.constants import RAID_AGNOSTIC_AA_BLOCKS
+from ..common.errors import GeometryError
+from ..common.rng import make_rng
+from ..core.aa import LinearAATopology, StripeAATopology
+from ..core.allocator import AggregateAllocator, LinearAllocator, RAIDGroupAllocator
+from ..core.hbps_cache import RAIDAgnosticAACache
+from ..core.heap_cache import RAIDAwareAACache
+from ..core.policies import (
+    AASource,
+    HBPSSource,
+    HeapSource,
+    LinearScanSource,
+    RandomSource,
+)
+from ..core.score import ScoreKeeper
+from ..core.sizing import aa_size_for_hdd, aa_size_for_smr, aa_size_for_ssd
+from ..devices.base import Device
+from ..devices.hdd import HDD, HDDConfig
+from ..devices.objectstore import ObjectStore, ObjectStoreConfig
+from ..devices.smr import SMRConfig, SMRDrive
+from ..devices.ssd import SSD, SSDConfig
+from ..raid.geometry import RAIDGeometry
+from ..raid.parity import StripeWriteStats, analyze_raid_writes
+from .azcs import azcs_device_blocks, azcs_expand
+
+__all__ = [
+    "MediaType",
+    "PolicyKind",
+    "RAIDGroupConfig",
+    "RAIDGroupRuntime",
+    "GroupCPReport",
+    "StoreCPReport",
+    "RAIDStore",
+    "LinearStore",
+]
+
+
+class MediaType(enum.Enum):
+    """Storage media families the paper evaluates (section 2.1)."""
+
+    HDD = "hdd"
+    SSD = "ssd"
+    SMR = "smr"
+    OBJECT = "object"
+
+
+class PolicyKind(enum.Enum):
+    """AA selection policy for a store (section 4.1 comparisons)."""
+
+    #: The paper's AA cache (max-heap or HBPS depending on topology).
+    CACHE = "cache"
+    #: "AA cache disabled": random AA selection.
+    RANDOM = "random"
+    #: First-fit cursor baseline (extension).
+    LINEAR_SCAN = "linear"
+
+
+@dataclass
+class RAIDGroupConfig:
+    """Static configuration of one RAID group."""
+
+    ndata: int = 6
+    nparity: int = 1
+    blocks_per_disk: int = 262144  # 1 GiB of 4 KiB blocks per device
+    media: MediaType = MediaType.SSD
+    #: Stripes per AA; None selects the media-appropriate default
+    #: (4k stripes for HDD, erase-block multiples for SSD, ...).
+    stripes_per_aa: int | None = None
+    #: Store AZCS checksum blocks (SMR deployments; section 3.2.4).
+    azcs: bool = False
+    #: Device timing overrides.
+    hdd_config: HDDConfig | None = None
+    ssd_config: SSDConfig | None = None
+    smr_config: SMRConfig | None = None
+
+    def resolve_stripes_per_aa(self, geometry: RAIDGeometry) -> int:
+        if self.stripes_per_aa is not None:
+            return self.stripes_per_aa
+        if self.media is MediaType.HDD:
+            return aa_size_for_hdd(geometry).size
+        if self.media is MediaType.SSD:
+            eb = (self.ssd_config or SSDConfig()).erase_block_blocks
+            return aa_size_for_ssd(geometry, eb).size
+        if self.media is MediaType.SMR:
+            zone = (self.smr_config or SMRConfig()).zone_blocks
+            return aa_size_for_smr(geometry, zone, azcs=self.azcs).size
+        raise GeometryError(f"media {self.media} cannot form RAID groups")
+
+
+@dataclass
+class GroupCPReport:
+    """Per-RAID-group slice of one CP (feeds Figure 7)."""
+
+    blocks: int = 0
+    stripes: int = 0
+    full_stripes: int = 0
+    partial_stripes: int = 0
+    tetrises: int = 0
+    chains: int = 0
+    parity_reads: int = 0
+    blocks_per_disk: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    busy_us: float = 0.0
+
+
+@dataclass
+class StoreCPReport:
+    """Aggregated CP-boundary outcome for one physical store."""
+
+    #: Bottleneck device busy time (devices operate in parallel).
+    device_busy_us: float = 0.0
+    #: Sum of device busy times (for utilization accounting).
+    device_total_us: float = 0.0
+    metafile_blocks: int = 0
+    blocks_written: int = 0
+    blocks_freed: int = 0
+    full_stripes: int = 0
+    partial_stripes: int = 0
+    tetrises: int = 0
+    chains: int = 0
+    parity_reads: int = 0
+    cache_ops: int = 0
+    aa_switches: int = 0
+    #: VBN span covered by this CP's allocations (bitmap bits examined;
+    #: ~blocks / selected-AA density — see CpuModel.us_per_spanned_block).
+    spanned_blocks: int = 0
+    groups: list[GroupCPReport] = field(default_factory=list)
+
+
+def _make_linear_source(
+    kind: PolicyKind,
+    topology: LinearAATopology,
+    metafile: BitmapMetafile,
+    keeper: ScoreKeeper,
+    seed: int | np.random.Generator | None,
+) -> tuple[AASource, RAIDAgnosticAACache | None]:
+    if kind is PolicyKind.CACHE:
+        cache = RAIDAgnosticAACache(topology.num_aas, topology.aa_blocks, keeper.scores)
+
+        def replenisher() -> np.ndarray:
+            # The background replenish walks every bitmap metafile block.
+            metafile.note_scan_read()
+            return topology.scores_from_bitmap(metafile.bitmap)
+
+        return HBPSSource(cache, replenisher), cache
+    if kind is PolicyKind.RANDOM:
+        return RandomSource(topology.num_aas, seed), None
+    return LinearScanSource(topology.num_aas), None
+
+
+class RAIDGroupRuntime:
+    """One live RAID group: devices, metafile, cache, allocator."""
+
+    def __init__(
+        self,
+        config: RAIDGroupConfig,
+        *,
+        offset: int,
+        policy: PolicyKind = PolicyKind.CACHE,
+        seed: int | np.random.Generator | None = None,
+        name: str = "rg",
+    ) -> None:
+        self.config = config
+        self.name = name
+        self.geometry = RAIDGeometry(config.ndata, config.nparity, config.blocks_per_disk)
+        stripes_per_aa = config.resolve_stripes_per_aa(self.geometry)
+        self.topology = StripeAATopology(self.geometry, stripes_per_aa)
+        self.metafile = BitmapMetafile(self.geometry.data_blocks)
+        self.delayed_frees = DelayedFreeLog()
+        self.keeper = ScoreKeeper(self.topology, self.metafile.bitmap)
+        self.policy = policy
+        self.cache: RAIDAwareAACache | None = None
+        if policy is PolicyKind.CACHE:
+            self.cache = RAIDAwareAACache(self.topology.num_aas, self.keeper.scores)
+            self.source: AASource = HeapSource(self.cache)
+        elif policy is PolicyKind.RANDOM:
+            self.source = RandomSource(self.topology.num_aas, seed)
+        else:
+            self.source = LinearScanSource(self.topology.num_aas)
+        self.allocator = RAIDGroupAllocator(
+            self.topology, self.metafile, self.source, self.keeper, store_offset=offset
+        )
+        self.offset = offset
+        self.azcs = config.azcs
+        self.data_devices = [self._make_device(f"{name}.d{d}") for d in range(config.ndata)]
+        self.parity_devices = [
+            self._make_device(f"{name}.p{p}") for p in range(config.nparity)
+        ]
+        self._last_cache_ops = 0
+        self._last_aa_switches = 0
+        self._last_spans = 0
+        self.free_budget_blocks: int | None = None
+
+    # ------------------------------------------------------------------
+    def _make_device(self, name: str) -> Device:
+        cfg = self.config
+        blocks = cfg.blocks_per_disk
+        if cfg.media is MediaType.HDD:
+            return HDD(blocks, cfg.hdd_config, name)
+        if cfg.media is MediaType.SSD:
+            return SSD(blocks, cfg.ssd_config, name)
+        if cfg.media is MediaType.SMR:
+            cap = azcs_device_blocks(blocks) if cfg.azcs else blocks
+            return SMRDrive(cap, cfg.smr_config, name)
+        raise GeometryError(f"media {cfg.media} cannot form RAID groups")
+
+    @property
+    def devices(self) -> list[Device]:
+        return self.data_devices + self.parity_devices
+
+    def adopt_cache(self, cache: RAIDAwareAACache) -> None:
+        """Install a freshly built (possibly TopAA-seeded) cache after a
+        remount, with a new allocator bound to it.
+
+        The score keeper is rebuilt from the bitmap as a side effect;
+        in WAFL that bookkeeping is restored lazily per-AA and does not
+        gate the first CP, so mount-time measurements charge only the
+        cache-build I/O (see :mod:`repro.fs.mount`).
+        """
+        self.cache = cache
+        self.source = HeapSource(cache)
+        self.keeper = ScoreKeeper(self.topology, self.metafile.bitmap)
+        self.allocator = RAIDGroupAllocator(
+            self.topology, self.metafile, self.source, self.keeper,
+            store_offset=self.offset,
+        )
+        self._last_cache_ops = 0
+        self._last_aa_switches = 0
+        self._last_spans = 0
+
+    def cache_ops_total(self) -> int:
+        if self.cache is not None:
+            return self.cache.pushes + self.cache.pops
+        return 0
+
+    # ------------------------------------------------------------------
+    # CP boundary pieces
+    # ------------------------------------------------------------------
+    def price_cp_writes(self, local_vbns: np.ndarray) -> GroupCPReport:
+        """Charge devices for one CP's writes to this group and return
+        the per-group report (stripe/tetris/chain accounting)."""
+        report = GroupCPReport(
+            blocks_per_disk=np.zeros(self.geometry.ndata, dtype=np.int64)
+        )
+        if local_vbns.size == 0:
+            return report
+        stats: StripeWriteStats = analyze_raid_writes(self.geometry, local_vbns)
+        report.blocks = stats.data_blocks
+        report.stripes = stats.stripes_written
+        report.full_stripes = stats.full_stripes
+        report.partial_stripes = stats.partial_stripes
+        report.tetrises = stats.tetrises
+        report.chains = stats.total_chains
+        report.parity_reads = stats.parity_blocks_read
+        report.blocks_per_disk = stats.blocks_per_disk
+
+        disks = self.geometry.disk_of(local_vbns)
+        dbns = self.geometry.dbn_of(local_vbns)
+        busy: list[float] = []
+        # Parity reads are spread uniformly across the group's devices.
+        reads_per_dev = stats.parity_blocks_read // max(len(self.devices), 1)
+        for d, dev in enumerate(self.data_devices):
+            mine = np.sort(dbns[disks == d])
+            us = self._issue_writes(dev, mine)
+            us += dev.read_blocks(reads_per_dev)
+            busy.append(us)
+        touched_stripes = np.unique(dbns)
+        for dev in self.parity_devices:
+            us = self._issue_writes(dev, touched_stripes)
+            us += dev.read_blocks(reads_per_dev)
+            busy.append(us)
+        report.busy_us = max(busy) if busy else 0.0
+        return report
+
+    def _issue_writes(self, dev: Device, dbns: np.ndarray) -> float:
+        """Issue one disk's CP writes in allocation order.
+
+        WAFL writes each allocation area "fully from beginning to end"
+        (section 3.2.4), so the device sees one I/O stream per AA
+        segment.  With AZCS, each segment is expanded with its touched
+        regions' checksum blocks; a region straddling a misaligned AA
+        boundary therefore gets its checksum block written again by the
+        next AA's stream — the random rewrite Figure 4C eliminates.
+        """
+        if dbns.size == 0:
+            return 0.0
+        if not self.azcs:
+            return dev.write_blocks(dbns)
+        us = 0.0
+        aa_ids = dbns // self.topology.stripes_per_aa
+        boundaries = np.flatnonzero(np.diff(aa_ids) != 0) + 1
+        for seg in np.split(dbns, boundaries):
+            us += dev.write_blocks(azcs_expand(seg))
+        return us
+
+    def apply_frees(self) -> int:
+        """Apply this group's delayed frees; trim SSDs; return count."""
+        if self.free_budget_blocks is None:
+            freed = self.delayed_frees.apply_all(self.metafile)
+        else:
+            freed = self.delayed_frees.apply_best(
+                self.metafile, self.free_budget_blocks
+            )
+        if freed.size == 0:
+            return 0
+        self.keeper.note_free(freed)
+        if self.config.media is MediaType.SSD:
+            disks = self.geometry.disk_of(freed)
+            dbns = self.geometry.dbn_of(freed)
+            for d, dev in enumerate(self.data_devices):
+                dev.trim(dbns[disks == d])
+        return int(freed.size)
+
+    def drain_counters(self) -> tuple[int, int, int]:
+        """(cache_ops, aa_switches, spanned_blocks) since the last CP."""
+        ops = self.cache_ops_total()
+        switches = len(self.allocator.selected_aa_scores)
+        spans = self.allocator.spanned_blocks
+        d_ops = ops - self._last_cache_ops
+        d_sw = switches - self._last_aa_switches
+        d_sp = spans - self._last_spans
+        self._last_cache_ops = ops
+        self._last_aa_switches = switches
+        self._last_spans = spans
+        return d_ops, d_sw, d_sp
+
+
+class RAIDStore:
+    """Aggregate physical store backed by one or more RAID groups."""
+
+    def __init__(
+        self,
+        group_configs: list[RAIDGroupConfig],
+        *,
+        policy: PolicyKind = PolicyKind.CACHE,
+        threshold_fraction: float = 0.0,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if not group_configs:
+            raise GeometryError("an aggregate needs at least one RAID group")
+        rng = make_rng(seed)
+        self.groups: list[RAIDGroupRuntime] = []
+        self.offsets: list[int] = []
+        offset = 0
+        for i, cfg in enumerate(group_configs):
+            self.offsets.append(offset)
+            self.groups.append(
+                RAIDGroupRuntime(cfg, offset=offset, policy=policy, seed=rng, name=f"rg{i}")
+            )
+            offset += cfg.ndata * cfg.blocks_per_disk
+        self.nblocks = offset
+        self.allocator = AggregateAllocator(
+            [g.allocator for g in self.groups], threshold_fraction=threshold_fraction
+        )
+        self._bounds = np.asarray(self.offsets + [self.nblocks], dtype=np.int64)
+        self._pending_read_us: list[float] = [0.0] * len(self.groups)
+
+    # ------------------------------------------------------------------
+    @property
+    def free_count(self) -> int:
+        return sum(g.metafile.free_count for g in self.groups)
+
+    @property
+    def devices(self) -> list[Device]:
+        return [d for g in self.groups for d in g.devices]
+
+    def group_of(self, vbns: np.ndarray) -> np.ndarray:
+        """RAID-group index owning each global VBN."""
+        return np.searchsorted(self._bounds, vbns, side="right") - 1
+
+    @property
+    def media_kinds(self) -> list[MediaType]:
+        """Media type of each RAID group."""
+        return [g.config.media for g in self.groups]
+
+    @property
+    def supports_tiering(self) -> bool:
+        """True for Flash Pool-style mixed-media aggregates (paper
+        section 2.1: SSD RAID groups caching for HDD RAID groups)."""
+        kinds = set(self.media_kinds)
+        return MediaType.SSD in kinds and len(kinds) > 1
+
+    def _tier_groups(self, fast: bool) -> list[int]:
+        return [
+            i
+            for i, m in enumerate(self.media_kinds)
+            if (m is MediaType.SSD) == fast
+        ]
+
+    def allocate(self, n: int, tier: str | None = None) -> np.ndarray:
+        """Allocate ``n`` physical blocks across RAID groups.
+
+        ``tier`` ("fast" or "capacity") restricts allocation to SSD or
+        non-SSD groups first, falling back to the other tier when the
+        preferred one runs dry — the Flash Pool placement policy.
+        """
+        if tier is None or not self.supports_tiering:
+            return self.allocator.allocate(n)
+        preferred = self._tier_groups(fast=(tier == "fast"))
+        got = self.allocator.allocate(n, only=preferred)
+        if got.size < n:
+            rest = self.allocator.allocate(
+                n - got.size, only=self._tier_groups(fast=(tier != "fast"))
+            )
+            got = np.concatenate([got, rest]) if got.size else rest
+        return got
+
+    def log_free(self, vbns: np.ndarray) -> None:
+        """Log global VBNs for freeing at the next CP boundary."""
+        vbns = np.asarray(vbns, dtype=np.int64)
+        if vbns.size == 0:
+            return
+        gids = self.group_of(vbns)
+        for gi in np.unique(gids):
+            local = vbns[gids == gi] - self.offsets[gi]
+            self.groups[gi].delayed_frees.add(local)
+
+    def charge_reads(self, n_random: int) -> None:
+        """Queue client random reads to be priced at the CP boundary,
+        spread uniformly across data devices."""
+        if n_random <= 0:
+            return
+        per_group = n_random / len(self.groups)
+        for gi, g in enumerate(self.groups):
+            per_dev = per_group / max(len(g.data_devices), 1)
+            us = 0.0
+            for dev in g.data_devices:
+                us = max(us, dev.read_blocks(int(round(per_dev))))
+            self._pending_read_us[gi] += us
+
+    def cp_boundary(self) -> StoreCPReport:
+        """Run the store-side CP boundary; see module docstring."""
+        report = StoreCPReport()
+        per_group_writes = self.allocator.drain_cp_writes()
+        busy: list[float] = []
+        for gi, (g, local) in enumerate(zip(self.groups, per_group_writes)):
+            grp = g.price_cp_writes(local)
+            grp.busy_us += self._pending_read_us[gi]
+            self._pending_read_us[gi] = 0.0
+            report.groups.append(grp)
+            report.blocks_written += grp.blocks
+            report.full_stripes += grp.full_stripes
+            report.partial_stripes += grp.partial_stripes
+            report.tetrises += grp.tetrises
+            report.chains += grp.chains
+            report.parity_reads += grp.parity_reads
+            busy.append(grp.busy_us)
+            report.blocks_freed += g.apply_frees()
+        # Flush batched score deltas into the caches (rebalancing).
+        self.allocator.cp_flush()
+        for g in self.groups:
+            report.metafile_blocks += g.metafile.drain_dirty()
+            d_ops, d_sw, d_sp = g.drain_counters()
+            report.cache_ops += d_ops
+            report.aa_switches += d_sw
+            report.spanned_blocks += d_sp
+        report.device_busy_us = max(busy) if busy else 0.0
+        report.device_total_us = float(sum(busy))
+        return report
+
+    def rebind_allocators(self) -> None:
+        """Recreate the aggregate allocator after group-level cache
+        adoption (remount path)."""
+        self.allocator = AggregateAllocator(
+            [g.allocator for g in self.groups],
+            threshold_fraction=self.allocator.threshold_fraction,
+            stripes_per_round=self.allocator.stripes_per_round,
+        )
+
+    def selected_aa_free_fractions(self) -> np.ndarray:
+        """Free fraction of every AA at the moment it was selected
+        (the section 4.1 trace)."""
+        fracs: list[float] = []
+        for g in self.groups:
+            cap = g.topology.aa_blocks
+            fracs.extend(s / cap for s in g.allocator.selected_aa_scores)
+        return np.asarray(fracs, dtype=np.float64)
+
+
+class LinearStore:
+    """Physical store with native redundancy (object store): linear
+    AAs, HBPS cache, a single device model."""
+
+    def __init__(
+        self,
+        nblocks: int,
+        *,
+        blocks_per_aa: int = RAID_AGNOSTIC_AA_BLOCKS,
+        policy: PolicyKind = PolicyKind.CACHE,
+        object_config: ObjectStoreConfig | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.topology = LinearAATopology(nblocks, blocks_per_aa)
+        self.nblocks = nblocks
+        self.metafile = BitmapMetafile(nblocks)
+        self.delayed_frees = DelayedFreeLog()
+        self.keeper = ScoreKeeper(self.topology, self.metafile.bitmap)
+        self.source, self.cache = _make_linear_source(
+            policy, self.topology, self.metafile, self.keeper, seed
+        )
+        self.allocator = LinearAllocator(
+            self.topology, self.metafile, self.source, self.keeper
+        )
+        self.device = ObjectStore(nblocks, object_config)
+        self._cp_writes: list[np.ndarray] = []
+        self._pending_read_us = 0.0
+        self._last_cache_ops = 0
+        self._last_aa_switches = 0
+        self._last_spans = 0
+        #: When set, each CP applies delayed frees for at most this many
+        #: metafile blocks, chosen fullest-first by the log's HBPS (the
+        #: paper's "delayed-free scores" use of HBPS); None = apply all.
+        self.free_budget_blocks: int | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def free_count(self) -> int:
+        return self.metafile.free_count
+
+    @property
+    def devices(self) -> list[Device]:
+        return [self.device]
+
+    def allocate(self, n: int) -> np.ndarray:
+        vbns = self.allocator.allocate(n)
+        if vbns.size:
+            self._cp_writes.append(vbns)
+        return vbns
+
+    def log_free(self, vbns: np.ndarray) -> None:
+        vbns = np.asarray(vbns, dtype=np.int64)
+        if vbns.size:
+            self.delayed_frees.add(vbns)
+
+    def charge_reads(self, n_random: int) -> None:
+        if n_random > 0:
+            self._pending_read_us += self.device.read_blocks(n_random)
+
+    def _cache_ops_total(self) -> int:
+        if self.cache is None:
+            return 0
+        h = self.cache.hbps
+        return h.pops + h.updates + h.evictions
+
+    def cp_boundary(self) -> StoreCPReport:
+        report = StoreCPReport()
+        if self._cp_writes:
+            vbns = np.sort(np.concatenate(self._cp_writes))
+            self._cp_writes = []
+            report.blocks_written = int(vbns.size)
+            report.chains = Device.chains_of(vbns)
+            report.device_busy_us = self.device.write_blocks(vbns)
+        report.device_busy_us += self._pending_read_us
+        self._pending_read_us = 0.0
+        if self.free_budget_blocks is None:
+            freed = self.delayed_frees.apply_all(self.metafile)
+        else:
+            freed = self.delayed_frees.apply_best(
+                self.metafile, self.free_budget_blocks
+            )
+        if freed.size:
+            self.keeper.note_free(freed)
+            report.blocks_freed = int(freed.size)
+        self.allocator.cp_flush()
+        report.metafile_blocks = self.metafile.drain_dirty()
+        ops = self._cache_ops_total()
+        report.cache_ops = ops - self._last_cache_ops
+        self._last_cache_ops = ops
+        switches = len(self.allocator.selected_aa_scores)
+        report.aa_switches = switches - self._last_aa_switches
+        self._last_aa_switches = switches
+        report.spanned_blocks = self.allocator.spanned_blocks - self._last_spans
+        self._last_spans = self.allocator.spanned_blocks
+        report.device_total_us = report.device_busy_us
+        return report
+
+    def selected_aa_free_fractions(self) -> np.ndarray:
+        cap = self.topology.aa_blocks
+        return np.asarray(
+            [s / cap for s in self.allocator.selected_aa_scores], dtype=np.float64
+        )

@@ -1,0 +1,313 @@
+"""FlexVol volumes: virtualized WAFL file systems inside an aggregate.
+
+A FlexVol's data has "both a physical VBN to specify the physical
+location of the block and a virtual VBN to specify the block's offset
+within the FlexVol" (paper section 2.1); write allocation assigns both.
+Virtual VBN assignment has no effect on physical layout — its objective
+is purely to colocate allocations in the number space so that few
+bitmap-metafile blocks are consulted and updated (section 2.5), which
+is why FlexVols use RAID-agnostic AAs with the HBPS cache.
+
+The client-visible surface is a flat *logical block* space (modeling
+the LUNs/files the benchmarks write to).  The volume keeps two maps:
+
+* ``l2v`` — logical block -> virtual VBN (the file tree, collapsed);
+* ``v2p`` — virtual VBN -> physical VBN (the container file).
+
+A client overwrite allocates a fresh (virtual, physical) pair and
+frees the previous pair — the COW behaviour that makes "random
+overwrites create worst-case fragmentation" (section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bitmap.delayed_frees import DelayedFreeLog
+from ..bitmap.metafile import BitmapMetafile
+from ..common.constants import RAID_AGNOSTIC_AA_BLOCKS
+from ..common.errors import AllocationError
+from ..core.aa import LinearAATopology
+from ..core.allocator import LinearAllocator
+from ..core.score import ScoreKeeper
+from ..core.hbps_cache import RAIDAgnosticAACache
+from ..core.policies import HBPSSource
+from .aggregate import PolicyKind, StoreCPReport, _make_linear_source
+
+__all__ = ["FlexVol", "VolSpec"]
+
+
+@dataclass
+class VolSpec:
+    """Static description of a FlexVol for the simulator builders."""
+
+    name: str
+    #: Client-addressable logical blocks.
+    logical_blocks: int
+    #: Virtual VBN space size; defaults to 1.5x logical rounded up to a
+    #: whole number of AAs (thin-provisioned headroom so delayed frees
+    #: never starve the virtual space).
+    virtual_blocks: int | None = None
+    blocks_per_aa: int = RAID_AGNOSTIC_AA_BLOCKS
+
+    def resolve_virtual_blocks(self) -> int:
+        if self.virtual_blocks is not None:
+            return self.virtual_blocks
+        want = int(self.logical_blocks * 1.5) + self.blocks_per_aa
+        return -(-want // self.blocks_per_aa) * self.blocks_per_aa
+
+
+class FlexVol:
+    """One live FlexVol: virtual VBN space, maps, AA cache, allocator."""
+
+    def __init__(
+        self,
+        spec: VolSpec,
+        *,
+        policy: PolicyKind = PolicyKind.CACHE,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.spec = spec
+        self.name = spec.name
+        nblocks = spec.resolve_virtual_blocks()
+        self.topology = LinearAATopology(nblocks, spec.blocks_per_aa)
+        self.metafile = BitmapMetafile(nblocks)
+        self.delayed_frees = DelayedFreeLog()
+        self.keeper = ScoreKeeper(self.topology, self.metafile.bitmap)
+        self.source, self.cache = _make_linear_source(
+            policy, self.topology, self.metafile, self.keeper, seed
+        )
+        self.allocator = LinearAllocator(
+            self.topology, self.metafile, self.source, self.keeper
+        )
+        #: logical block -> virtual VBN (-1 = never written).
+        self.l2v = np.full(spec.logical_blocks, -1, dtype=np.int64)
+        #: virtual VBN -> physical VBN (-1 = unmapped).
+        self.v2p = np.full(nblocks, -1, dtype=np.int64)
+        self._last_cache_ops = 0
+        self._last_aa_switches = 0
+        self._last_spans = 0
+        #: When set, each CP applies delayed frees for at most this many
+        #: metafile blocks, chosen fullest-first (HBPS-prioritized, the
+        #: paper's "delayed-free scores"); None = apply all.
+        self.free_budget_blocks: int | None = None
+        #: Snapshots: name -> virtual VBNs captured (COW pinning).
+        self._snapshots: dict[str, np.ndarray] = {}
+        #: Union mask over the virtual space of snapshot-held VBNs;
+        #: overwrites and deletes of held blocks defer their frees to
+        #: snapshot deletion (the mass-free source the paper notes adds
+        #: to free-space nonuniformity, section 4.1.1).
+        self._snap_mask = np.zeros(nblocks, dtype=bool)
+
+    # ------------------------------------------------------------------
+    @property
+    def nblocks(self) -> int:
+        """Virtual VBN space size."""
+        return self.topology.nblocks
+
+    @property
+    def used_blocks(self) -> int:
+        """Mapped (live) virtual blocks."""
+        return self.metafile.bitmap.allocated_count
+
+    def lookup_physical(self, logical_ids: np.ndarray) -> np.ndarray:
+        """Physical VBNs backing mapped logical blocks (reads path);
+        unmapped logical blocks are skipped."""
+        v = self.l2v[np.asarray(logical_ids, dtype=np.int64)]
+        v = v[v >= 0]
+        return self.v2p[v]
+
+    # ------------------------------------------------------------------
+    # CP write path (driven by the CP engine)
+    # ------------------------------------------------------------------
+    def stage_writes(self, logical_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Allocate virtual VBNs for the given (deduplicated) logical
+        blocks and collect the old mappings to free.
+
+        Returns ``(new_virtual, old_virtual, old_physical)``; the engine
+        pairs ``new_virtual`` with freshly allocated physical VBNs via
+        :meth:`commit_writes`.
+        """
+        logical_ids = np.asarray(logical_ids, dtype=np.int64)
+        n = int(logical_ids.size)
+        new_v = self.allocator.allocate(n)
+        if new_v.size < n:
+            raise AllocationError(
+                f"FlexVol {self.name}: virtual VBN space exhausted "
+                f"({new_v.size} of {n} allocated)"
+            )
+        old_v = self.l2v[logical_ids]
+        old_v = old_v[old_v >= 0]
+        # Snapshot-held blocks are not freed on overwrite: the snapshot
+        # still references them (COW pinning).
+        free_v = old_v[~self._snap_mask[old_v]]
+        old_p = self.v2p[free_v]
+        return new_v, free_v, old_p
+
+    def commit_writes(
+        self,
+        logical_ids: np.ndarray,
+        new_virtual: np.ndarray,
+        new_physical: np.ndarray,
+        old_virtual: np.ndarray,
+    ) -> None:
+        """Install new mappings and log the old virtual VBNs as delayed
+        frees (the engine logs the old physical VBNs with the store)."""
+        logical_ids = np.asarray(logical_ids, dtype=np.int64)
+        self.l2v[logical_ids] = new_virtual
+        self.v2p[new_virtual] = new_physical
+        if old_virtual.size:
+            self.v2p[old_virtual] = -1
+            self.delayed_frees.add(old_virtual)
+
+    # ------------------------------------------------------------------
+    # Snapshots (extension; paper sections 1 and 4.1.1)
+    # ------------------------------------------------------------------
+    @property
+    def snapshot_names(self) -> tuple[str, ...]:
+        """Names of existing snapshots."""
+        return tuple(self._snapshots)
+
+    def create_snapshot(self, name: str) -> int:
+        """Capture the volume's current contents.
+
+        WAFL snapshots are (nearly) free at creation: they pin the
+        blocks mapped right now, so subsequent overwrites and deletes
+        keep those blocks allocated.  Returns the block count pinned.
+        """
+        if name in self._snapshots:
+            raise AllocationError(f"snapshot {name!r} already exists on {self.name}")
+        held = self.l2v[self.l2v >= 0].copy()
+        self._snapshots[name] = held
+        self._snap_mask[held] = True
+        return int(held.size)
+
+    def delete_snapshot(self, name: str) -> np.ndarray:
+        """Delete a snapshot, freeing blocks no longer referenced.
+
+        Returns the *physical* VBNs released (the caller logs them with
+        the store); the virtual VBNs enter this volume's delayed-free
+        log.  This is the bulk internal freeing whose "nonuniformity"
+        the AA cache exploits (paper section 4.1.1).
+        """
+        if name not in self._snapshots:
+            raise AllocationError(f"no snapshot {name!r} on {self.name}")
+        held = self._snapshots.pop(name)
+        # Rebuild the union mask from the remaining snapshots.
+        self._snap_mask[:] = False
+        for other in self._snapshots.values():
+            self._snap_mask[other] = True
+        # A held block is freed iff the active file system no longer
+        # maps it and no remaining snapshot pins it.
+        active = np.zeros(self.nblocks, dtype=bool)
+        live = self.l2v[self.l2v >= 0]
+        active[live] = True
+        to_free = held[~active[held] & ~self._snap_mask[held]]
+        if to_free.size == 0:
+            return np.empty(0, dtype=np.int64)
+        old_p = self.v2p[to_free].copy()
+        self.v2p[to_free] = -1
+        self.delayed_frees.add(to_free)
+        return old_p
+
+    def adopt_cache(self, cache: RAIDAgnosticAACache) -> None:
+        """Install a freshly built (possibly TopAA-seeded) HBPS cache
+        after a remount (see :meth:`RAIDGroupRuntime.adopt_cache` for
+        the score-keeper caveat)."""
+        self.cache = cache
+        self.keeper = ScoreKeeper(self.topology, self.metafile.bitmap)
+
+        def replenisher() -> np.ndarray:
+            self.metafile.note_scan_read()
+            return self.topology.scores_from_bitmap(self.metafile.bitmap)
+
+        self.source = HBPSSource(cache, replenisher)
+        self.allocator = LinearAllocator(
+            self.topology, self.metafile, self.source, self.keeper
+        )
+        self._last_cache_ops = 0
+        self._last_aa_switches = 0
+        self._last_spans = 0
+
+    def stage_deletes(self, logical_ids: np.ndarray) -> np.ndarray:
+        """Unmap the given logical blocks (file deletion): their virtual
+        VBNs are logged as delayed frees and the backing physical VBNs
+        are returned for the engine to free with the store."""
+        logical_ids = np.asarray(logical_ids, dtype=np.int64)
+        old_v = self.l2v[logical_ids]
+        mapped_ids = logical_ids[old_v >= 0]
+        old_v = old_v[old_v >= 0]
+        if old_v.size == 0:
+            return np.empty(0, dtype=np.int64)
+        self.l2v[mapped_ids] = -1
+        free_v = old_v[~self._snap_mask[old_v]]
+        if free_v.size == 0:
+            return np.empty(0, dtype=np.int64)
+        old_p = self.v2p[free_v].copy()
+        self.v2p[free_v] = -1
+        self.delayed_frees.add(free_v)
+        return old_p
+
+    # ------------------------------------------------------------------
+    def cp_boundary(self) -> StoreCPReport:
+        """Volume-side CP boundary: apply delayed virtual frees, flush
+        score deltas into the AA cache, drain metafile dirty counts.
+        (Virtual VBNs have no device cost; only metadata accounting.)"""
+        report = StoreCPReport()
+        if self.free_budget_blocks is None:
+            freed = self.delayed_frees.apply_all(self.metafile)
+        else:
+            freed = self.delayed_frees.apply_best(
+                self.metafile, self.free_budget_blocks
+            )
+        if freed.size:
+            self.keeper.note_free(freed)
+            report.blocks_freed = int(freed.size)
+        self.allocator.cp_flush()
+        report.metafile_blocks = self.metafile.drain_dirty()
+        ops = 0
+        if self.cache is not None:
+            h = self.cache.hbps
+            ops = h.pops + h.updates + h.evictions
+        report.cache_ops = ops - self._last_cache_ops
+        self._last_cache_ops = ops
+        switches = len(self.allocator.selected_aa_scores)
+        report.aa_switches = switches - self._last_aa_switches
+        self._last_aa_switches = switches
+        report.spanned_blocks = self.allocator.spanned_blocks - self._last_spans
+        self._last_spans = self.allocator.spanned_blocks
+        return report
+
+    def selected_aa_free_fractions(self) -> np.ndarray:
+        """Free fraction of each AA at selection time (section 4.1.2's
+        78% vs 61% trace)."""
+        cap = self.topology.aa_blocks
+        return np.asarray(
+            [s / cap for s in self.allocator.selected_aa_scores], dtype=np.float64
+        )
+
+    def verify_consistency(self) -> None:
+        """Test hook: maps and bitmaps must agree exactly."""
+        mapped_v = self.l2v[self.l2v >= 0]
+        if mapped_v.size != np.unique(mapped_v).size:
+            raise AllocationError(f"FlexVol {self.name}: duplicate virtual mappings")
+        for held in self._snapshots.values():
+            if held.size and not bool(np.all(self.metafile.bitmap.test(held))):
+                raise AllocationError(
+                    f"FlexVol {self.name}: snapshot-held virtual VBN not allocated"
+                )
+        # Every mapped virtual VBN must be allocated in the bitmap and
+        # point at a physical block; pending delayed frees account for
+        # the rest.
+        if mapped_v.size and not bool(np.all(self.metafile.bitmap.test(mapped_v))):
+            raise AllocationError(f"FlexVol {self.name}: mapped virtual VBN not allocated")
+        if mapped_v.size and bool(np.any(self.v2p[mapped_v] < 0)):
+            raise AllocationError(f"FlexVol {self.name}: mapped virtual VBN lacks physical")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FlexVol(name={self.name!r}, logical={self.spec.logical_blocks}, "
+            f"virtual={self.nblocks}, used={self.used_blocks})"
+        )

@@ -1,0 +1,216 @@
+"""Iron: an online file-system checker and repair tool (extension).
+
+Paper section 3.4: "In rare cases, if the metafile blocks are damaged
+in the physical media and RAID is unable to reconstruct them, the
+online WAFL repair tool — WAFL Iron — is used to recompute and recover
+them."  The insight Iron relies on is that bitmap metafiles, AA scores,
+and AA caches are all *derived* state: the references in the file
+trees and container maps are the ground truth from which everything
+else can be recomputed.
+
+This module implements that recompute path for the simulator:
+
+* :func:`scan` cross-checks each volume's bitmap against its reference
+  truth (active ``l2v``/``v2p`` mappings plus snapshot-held blocks and
+  pending delayed frees) and each RAID group's bitmap against the union
+  of container-map physical references, reporting leaked blocks (marked
+  allocated but unreferenced) and corruptions (referenced but marked
+  free), plus AA-score divergence.
+* :func:`repair` rewrites the bitmaps to match the reference truth,
+  recomputes every score keeper, and rebuilds the AA caches — after
+  which :func:`scan` reports clean.
+
+Run it between consistency points (delayed-free logs drained), like
+the real tool's file-system-consistent checkpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.heap_cache import RAIDAwareAACache
+from ..core.hbps_cache import RAIDAgnosticAACache
+from .aggregate import RAIDStore, LinearStore
+from .filesystem import WaflSim
+
+__all__ = ["IronFinding", "IronReport", "scan", "repair"]
+
+
+@dataclass(frozen=True)
+class IronFinding:
+    """One class of inconsistency in one file-system instance."""
+
+    #: "leaked" (allocated, unreferenced), "corrupt" (referenced,
+    #: marked free), or "score-divergence".
+    kind: str
+    #: "vol:<name>" or "group:<index>" / "store".
+    where: str
+    count: int
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return f"{self.kind} x{self.count} in {self.where}"
+
+
+@dataclass
+class IronReport:
+    """Outcome of a scan or repair pass."""
+
+    findings: list[IronFinding] = field(default_factory=list)
+    repaired: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def count(self, kind: str) -> int:
+        return sum(f.count for f in self.findings if f.kind == kind)
+
+
+def _vol_reference_virtual(vol) -> np.ndarray:
+    """Ground-truth allocated virtual VBNs of one volume."""
+    refs = [vol.l2v[vol.l2v >= 0]]
+    for held in vol._snapshots.values():
+        refs.append(held)
+    pending = [
+        c for chunks in vol.delayed_frees._per_block.values() for c in chunks
+    ]
+    refs.extend(pending)
+    if not refs:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(refs))
+
+
+def _store_reference_physical(sim: WaflSim) -> np.ndarray:
+    """Ground-truth allocated physical VBNs (container-map union plus
+    pending physical delayed frees)."""
+    refs = []
+    for vol in sim.vols.values():
+        p = vol.v2p[vol.v2p >= 0]
+        if p.size:
+            refs.append(p)
+    store = sim.store
+    logs = (
+        [(g.delayed_frees, g.offset) for g in store.groups]
+        if isinstance(store, RAIDStore)
+        else [(store.delayed_frees, 0)]
+    )
+    for log, offset in logs:
+        for chunks in log._per_block.values():
+            for c in chunks:
+                refs.append(c + offset)
+    if not refs:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(refs))
+
+
+def _diff_bitmap(bitmap, reference: np.ndarray) -> tuple[int, int]:
+    """(leaked, corrupt) counts for a bitmap vs sorted reference VBNs."""
+    mask = np.zeros(bitmap.nblocks, dtype=bool)
+    if reference.size:
+        mask[reference] = True
+    allocated = np.zeros(bitmap.nblocks, dtype=bool)
+    alloc_idx = bitmap.allocated_in_range(0, bitmap.nblocks)
+    allocated[alloc_idx] = True
+    leaked = int(np.count_nonzero(allocated & ~mask))
+    corrupt = int(np.count_nonzero(~allocated & mask))
+    return leaked, corrupt
+
+
+def scan(sim: WaflSim) -> IronReport:
+    """Read-only cross-check of bitmaps, references, and scores."""
+    report = IronReport()
+    for name, vol in sim.vols.items():
+        ref = _vol_reference_virtual(vol)
+        leaked, corrupt = _diff_bitmap(vol.metafile.bitmap, ref)
+        if leaked:
+            report.findings.append(IronFinding("leaked", f"vol:{name}", leaked))
+        if corrupt:
+            report.findings.append(IronFinding("corrupt", f"vol:{name}", corrupt))
+        truth = vol.topology.scores_from_bitmap(vol.metafile.bitmap)
+        diverged = int(np.count_nonzero(truth != vol.keeper.scores))
+        if diverged:
+            report.findings.append(
+                IronFinding("score-divergence", f"vol:{name}", diverged)
+            )
+
+    phys_ref = _store_reference_physical(sim)
+    store = sim.store
+    if isinstance(store, RAIDStore):
+        for gi, g in enumerate(store.groups):
+            lo, hi = g.offset, g.offset + g.topology.nblocks
+            local_ref = phys_ref[(phys_ref >= lo) & (phys_ref < hi)] - lo
+            leaked, corrupt = _diff_bitmap(g.metafile.bitmap, local_ref)
+            if leaked:
+                report.findings.append(IronFinding("leaked", f"group:{gi}", leaked))
+            if corrupt:
+                report.findings.append(IronFinding("corrupt", f"group:{gi}", corrupt))
+            truth = g.topology.scores_from_bitmap(g.metafile.bitmap)
+            diverged = int(np.count_nonzero(truth != g.keeper.scores))
+            if diverged:
+                report.findings.append(
+                    IronFinding("score-divergence", f"group:{gi}", diverged)
+                )
+    elif isinstance(store, LinearStore):
+        leaked, corrupt = _diff_bitmap(store.metafile.bitmap, phys_ref)
+        if leaked:
+            report.findings.append(IronFinding("leaked", "store", leaked))
+        if corrupt:
+            report.findings.append(IronFinding("corrupt", "store", corrupt))
+    return report
+
+
+def repair(sim: WaflSim) -> IronReport:
+    """Recompute bitmaps, scores, and caches from the reference maps.
+
+    Returns the findings that were repaired.  Note: blocks reported as
+    *leaked* on the physical side that belonged to data not tracked by
+    any container map (e.g. synthetic aging fills) are reclaimed — Iron
+    trusts the file trees, exactly like the real tool.
+    """
+    report = scan(sim)
+    # Volumes: rewrite virtual bitmaps to reference truth.
+    for vol in sim.vols.values():
+        ref = _vol_reference_virtual(vol)
+        bm = vol.metafile.bitmap
+        bm.clear_range(0, bm.nblocks)
+        bm.allocate(ref)
+        vol.metafile.drain_dirty()
+        vol.keeper.recompute(bm)
+        if vol.cache is not None:
+            vol.allocator.release()
+            vol.adopt_cache(
+                RAIDAgnosticAACache(
+                    vol.topology.num_aas,
+                    vol.topology.aa_blocks,
+                    vol.keeper.scores,
+                )
+            )
+    # Physical stores: rewrite to container-map truth.
+    phys_ref = _store_reference_physical(sim)
+    store = sim.store
+    if isinstance(store, RAIDStore):
+        for g in store.groups:
+            lo, hi = g.offset, g.offset + g.topology.nblocks
+            local_ref = phys_ref[(phys_ref >= lo) & (phys_ref < hi)] - lo
+            bm = g.metafile.bitmap
+            g.allocator.release()
+            bm.clear_range(0, bm.nblocks)
+            bm.allocate(local_ref)
+            g.metafile.drain_dirty()
+            g.keeper.recompute(bm)
+            if g.cache is not None:
+                g.adopt_cache(RAIDAwareAACache(g.topology.num_aas, g.keeper.scores))
+        store.rebind_allocators()
+    elif isinstance(store, LinearStore):
+        bm = store.metafile.bitmap
+        store.allocator.release()
+        bm.clear_range(0, bm.nblocks)
+        bm.allocate(phys_ref)
+        store.metafile.drain_dirty()
+        store.keeper.recompute(bm)
+        if store.cache is not None:
+            store.cache.replenish(store.keeper.scores)
+    report.repaired = True
+    return report

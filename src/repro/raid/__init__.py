@@ -1,0 +1,16 @@
+"""RAID substrate: geometry, stripe/parity accounting, tetrises
+(paper sections 2.1, 2.3, 4.2)."""
+
+from .geometry import RAIDGeometry
+from .parity import StripeWriteStats, analyze_raid_writes, chain_lengths
+from .tetris import TETRIS_STRIPES, count_tetrises, tetris_ids
+
+__all__ = [
+    "RAIDGeometry",
+    "StripeWriteStats",
+    "analyze_raid_writes",
+    "chain_lengths",
+    "TETRIS_STRIPES",
+    "count_tetrises",
+    "tetris_ids",
+]

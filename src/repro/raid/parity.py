@@ -1,0 +1,143 @@
+"""Stripe-write classification and parity I/O accounting.
+
+A *full stripe write* lets RAID compute parity without additional
+reads; a *partial stripe write* forces RAID to read blocks from the
+stripe first (paper section 2.3, Figure 1).  Given the set of VBNs a
+consistency point writes into one RAID group, this module classifies
+every touched stripe and charges the extra parity reads using the
+cheaper of the two standard parity-update strategies:
+
+* **subtractive** — read the old data for the k overwritten blocks plus
+  the old parity (k + nparity reads);
+* **reconstructive** — read the ndata - k untouched data blocks.
+
+It also computes per-disk write-chain statistics: contiguous runs of
+DBNs that a device can absorb as a single large I/O ("long write
+chains", paper section 2.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..common.constants import TETRIS_STRIPES
+from .geometry import RAIDGeometry
+from .tetris import count_tetrises
+
+__all__ = ["StripeWriteStats", "analyze_raid_writes", "chain_lengths"]
+
+
+@dataclass
+class StripeWriteStats:
+    """Outcome of analyzing one CP's writes to one RAID group."""
+
+    #: Data blocks written (host writes landing on data disks).
+    data_blocks: int = 0
+    #: Stripes touched by at least one data-block write.
+    stripes_written: int = 0
+    #: Stripes in which every data block was written together.
+    full_stripes: int = 0
+    #: Stripes written only partially (require parity reads).
+    partial_stripes: int = 0
+    #: Parity blocks written (stripes_written * nparity).
+    parity_blocks_written: int = 0
+    #: Blocks read to recompute parity for partial stripes.
+    parity_blocks_read: int = 0
+    #: Distinct tetrises (64-stripe write units) touched.
+    tetrises: int = 0
+    #: Blocks written per data disk.
+    blocks_per_disk: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    #: Contiguous write chains per data disk.
+    chains_per_disk: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+
+    @property
+    def total_chains(self) -> int:
+        """Write chains summed over data disks (plus parity chains are
+        proportional to stripes and tracked separately)."""
+        return int(self.chains_per_disk.sum()) if self.chains_per_disk.size else 0
+
+    @property
+    def full_stripe_fraction(self) -> float:
+        """Fraction of written stripes that were full."""
+        return self.full_stripes / self.stripes_written if self.stripes_written else 0.0
+
+    @property
+    def mean_chain_length(self) -> float:
+        """Average blocks per write chain across data disks."""
+        chains = self.total_chains
+        return self.data_blocks / chains if chains else 0.0
+
+
+def chain_lengths(dbns: np.ndarray) -> np.ndarray:
+    """Lengths of maximal runs of consecutive DBNs.
+
+    ``dbns`` must be sorted and unique; returns an array of run lengths
+    whose sum equals ``dbns.size``.
+    """
+    dbns = np.asarray(dbns, dtype=np.int64)
+    if dbns.size == 0:
+        return np.empty(0, dtype=np.int64)
+    breaks = np.flatnonzero(np.diff(dbns) != 1)
+    starts = np.concatenate(([0], breaks + 1))
+    stops = np.concatenate((breaks + 1, [dbns.size]))
+    return stops - starts
+
+
+def analyze_raid_writes(
+    geometry: RAIDGeometry,
+    vbns: np.ndarray,
+    *,
+    stripes_per_tetris: int = TETRIS_STRIPES,
+) -> StripeWriteStats:
+    """Classify one CP's writes (group-relative ``vbns``) against
+    ``geometry`` and charge parity I/O.
+
+    The input VBNs must be unique (each block is written once per CP —
+    guaranteed by the COW allocator).
+    """
+    vbns = np.asarray(vbns, dtype=np.int64)
+    stats = StripeWriteStats(
+        blocks_per_disk=np.zeros(geometry.ndata, dtype=np.int64),
+        chains_per_disk=np.zeros(geometry.ndata, dtype=np.int64),
+    )
+    if vbns.size == 0:
+        return stats
+
+    disks = geometry.disk_of(vbns)
+    dbns = geometry.dbn_of(vbns)
+
+    # Stripe occupancy: how many of each touched stripe's data blocks
+    # were written in this CP.
+    touched, counts = np.unique(dbns, return_counts=True)
+    stats.data_blocks = int(vbns.size)
+    stats.stripes_written = int(touched.size)
+    full = counts == geometry.ndata
+    stats.full_stripes = int(full.sum())
+    stats.partial_stripes = stats.stripes_written - stats.full_stripes
+    stats.parity_blocks_written = stats.stripes_written * geometry.nparity
+
+    # Parity reads for partial stripes: min(subtractive, reconstructive).
+    k = counts[~full]
+    if k.size:
+        subtractive = k + geometry.nparity
+        reconstructive = geometry.ndata - k
+        stats.parity_blocks_read = int(np.minimum(subtractive, reconstructive).sum())
+
+    stats.tetrises = count_tetrises(touched, stripes_per_tetris)
+
+    # Per-disk blocks and chains.
+    stats.blocks_per_disk = np.bincount(disks, minlength=geometry.ndata).astype(np.int64)
+    order = np.lexsort((dbns, disks))
+    sd, sb = disks[order], dbns[order]
+    if sd.size:
+        # A chain breaks where the disk changes or the DBN is not
+        # consecutive within the same disk.
+        breaks = (np.diff(sd) != 0) | (np.diff(sb) != 1)
+        chain_start_idx = np.concatenate(([0], np.flatnonzero(breaks) + 1))
+        chain_disks = sd[chain_start_idx]
+        stats.chains_per_disk = np.bincount(chain_disks, minlength=geometry.ndata).astype(
+            np.int64
+        )
+    return stats

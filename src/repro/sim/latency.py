@@ -1,0 +1,128 @@
+"""Latency-versus-throughput curve generation.
+
+The paper's Figures 6, 8 and 9 plot client-observed latency against
+achieved per-client throughput as offered load increases.  Our
+substitute for the Fibre Channel testbed (DESIGN.md section 1) is a
+standard open-loop queueing transform: the simulator measures a
+*service time per operation* (WAFL CPU + bottleneck device time), and
+an M/M/1-shaped curve converts offered load into (achieved throughput,
+latency) points:
+
+* below saturation, latency ~ ``s / (1 - rho)`` — flat then rising;
+* at and past saturation, achieved throughput pins at capacity and
+  latency grows with the overload factor (queue build-up).
+
+Absolute milliseconds depend on the device constants, but the relative
+positions of two configurations — who sustains more load before the
+knee, and at what latency — depend only on their measured service
+times, which is exactly the comparison the paper makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LoadPoint", "latency_throughput_curve", "peak_throughput"]
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One point of a latency-throughput sweep."""
+
+    #: Offered load per client (ops/s).
+    offered_per_client: float
+    #: Achieved throughput per client (ops/s).
+    achieved_per_client: float
+    #: Mean client-observed latency (ms).
+    latency_ms: float
+
+    def as_row(self) -> tuple[float, float, float]:
+        return (self.offered_per_client, self.achieved_per_client, self.latency_ms)
+
+
+def latency_throughput_curve(
+    service_us_per_op: float,
+    offered_per_client: np.ndarray | list[float],
+    *,
+    nclients: int = 16,
+    rho_cap: float = 0.98,
+) -> list[LoadPoint]:
+    """Generate a latency-vs-achieved-throughput sweep.
+
+    Parameters
+    ----------
+    service_us_per_op:
+        Measured per-operation service time (CPU + bottleneck device).
+    offered_per_client:
+        Offered load levels, ops/s per client.
+    nclients:
+        Number of concurrent clients (the paper plots per-client rates).
+    rho_cap:
+        Utilization ceiling for the queueing term; keeps the
+        below-saturation latency finite at the knee.
+    """
+    if service_us_per_op <= 0:
+        raise ValueError("service time must be positive")
+    capacity = 1e6 / service_us_per_op  # ops/s, whole server
+    points: list[LoadPoint] = []
+    for load in np.asarray(offered_per_client, dtype=np.float64):
+        offered_total = load * nclients
+        rho = offered_total / capacity
+        if rho < rho_cap:
+            latency_us = service_us_per_op / (1.0 - rho)
+            achieved = load
+        else:
+            # Saturated: throughput pins at capacity; queueing delay
+            # grows with the overload factor.
+            achieved = capacity / nclients
+            latency_us = service_us_per_op / (1.0 - rho_cap) * max(rho, 1.0)
+        points.append(LoadPoint(float(load), float(achieved), float(latency_us) / 1000.0))
+    return points
+
+
+def system_curve(
+    cpu_us_per_op: float,
+    device_us_per_op: float,
+    offered_per_client: np.ndarray | list[float],
+    *,
+    nclients: int = 16,
+    cores: int = 20,
+    rho_cap: float = 0.98,
+) -> list[LoadPoint]:
+    """Latency-throughput sweep for a multi-core server.
+
+    The paper's testbed is a 20-core midrange system (section 4.1):
+    WAFL's CP pipeline parallelizes across cores, so CPU capacity is
+    ``cores / cpu_us_per_op`` while the (already parallel-summed)
+    bottleneck-device capacity is ``1 / device_us_per_op``.  Whichever
+    resource saturates first pins throughput; a single operation's
+    service latency is still the sum of its CPU and device components.
+    """
+    if cpu_us_per_op < 0 or device_us_per_op < 0:
+        raise ValueError("per-op costs must be non-negative")
+    cpu_capacity = cores * 1e6 / cpu_us_per_op if cpu_us_per_op else float("inf")
+    dev_capacity = 1e6 / device_us_per_op if device_us_per_op else float("inf")
+    capacity = min(cpu_capacity, dev_capacity)
+    service_us = cpu_us_per_op + device_us_per_op
+    points: list[LoadPoint] = []
+    for load in np.asarray(offered_per_client, dtype=np.float64):
+        offered_total = load * nclients
+        rho = offered_total / capacity
+        if rho < rho_cap:
+            latency_us = service_us / (1.0 - rho)
+            achieved = load
+        else:
+            achieved = capacity / nclients
+            latency_us = service_us / (1.0 - rho_cap) * max(rho, 1.0)
+        points.append(LoadPoint(float(load), float(achieved), float(latency_us) / 1000.0))
+    return points
+
+
+def peak_throughput(points: list[LoadPoint]) -> LoadPoint:
+    """The sweep point with the highest achieved throughput (ties are
+    resolved toward lower latency) — the paper's "peak load" row."""
+    if not points:
+        raise ValueError("empty sweep")
+    return max(points, key=lambda p: (p.achieved_per_client, -p.latency_ms))

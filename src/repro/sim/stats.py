@@ -1,0 +1,137 @@
+"""Per-CP and cumulative simulation metrics.
+
+Every consistency point produces a :class:`CPStats` record; a
+:class:`MetricsLog` accumulates them and derives the quantities the
+paper reports: mean selected-AA free fraction, full-stripe fraction,
+metafile blocks updated per operation, write amplification, per-op
+CPU and device cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CPStats", "MetricsLog"]
+
+
+@dataclass
+class CPStats:
+    """Measurements from one consistency point."""
+
+    cp_index: int = 0
+    #: Client operations absorbed by this CP.
+    ops: int = 0
+    #: Physical blocks written (data written to devices by this CP).
+    physical_blocks: int = 0
+    #: Virtual (FlexVol) block numbers assigned.
+    virtual_blocks: int = 0
+    #: Blocks freed (delayed frees applied at this CP boundary).
+    blocks_freed: int = 0
+    #: Distinct bitmap-metafile blocks dirtied (all metafiles).
+    metafile_blocks_dirtied: int = 0
+    #: Stripe accounting across all RAID groups.
+    full_stripes: int = 0
+    partial_stripes: int = 0
+    tetrises: int = 0
+    write_chains: int = 0
+    parity_reads: int = 0
+    #: Device busy time: bottleneck (max over devices) and sum.
+    device_busy_us: float = 0.0
+    device_total_us: float = 0.0
+    #: AA-cache maintenance operations performed at the CP boundary.
+    cache_ops: int = 0
+    #: Modeled WAFL CPU time for this CP (see :mod:`repro.sim.cpu`).
+    cpu_us: float = 0.0
+
+    @property
+    def full_stripe_fraction(self) -> float:
+        total = self.full_stripes + self.partial_stripes
+        return self.full_stripes / total if total else 0.0
+
+
+@dataclass
+class MetricsLog:
+    """Accumulates :class:`CPStats` and exposes run-level summaries."""
+
+    cps: list[CPStats] = field(default_factory=list)
+
+    def add(self, stats: CPStats) -> None:
+        self.cps.append(stats)
+
+    # ------------------------------------------------------------------
+    def _sum(self, attr: str) -> float:
+        return float(sum(getattr(c, attr) for c in self.cps))
+
+    @property
+    def total_ops(self) -> int:
+        return int(self._sum("ops"))
+
+    @property
+    def total_physical_blocks(self) -> int:
+        return int(self._sum("physical_blocks"))
+
+    @property
+    def total_cpu_us(self) -> float:
+        return self._sum("cpu_us")
+
+    @property
+    def total_device_busy_us(self) -> float:
+        return self._sum("device_busy_us")
+
+    @property
+    def cpu_us_per_op(self) -> float:
+        """Mean WAFL CPU microseconds per client operation — the
+        "computational overhead per operation" of section 4.1.2."""
+        ops = self.total_ops
+        return self.total_cpu_us / ops if ops else 0.0
+
+    @property
+    def device_us_per_op(self) -> float:
+        """Mean bottleneck-device microseconds per client operation."""
+        ops = self.total_ops
+        return self.total_device_busy_us / ops if ops else 0.0
+
+    @property
+    def service_us_per_op(self) -> float:
+        """Per-op service time: CPU plus bottleneck device time.  This
+        is the quantity the latency model converts into
+        latency-vs-throughput curves."""
+        return self.cpu_us_per_op + self.device_us_per_op
+
+    @property
+    def metafile_blocks_per_op(self) -> float:
+        ops = self.total_ops
+        return self._sum("metafile_blocks_dirtied") / ops if ops else 0.0
+
+    @property
+    def full_stripe_fraction(self) -> float:
+        full = self._sum("full_stripes")
+        total = full + self._sum("partial_stripes")
+        return full / total if total else 0.0
+
+    @property
+    def mean_chain_length(self) -> float:
+        chains = self._sum("write_chains")
+        return self.total_physical_blocks / chains if chains else 0.0
+
+    def tail(self, n: int) -> "MetricsLog":
+        """Metrics over the last ``n`` CPs (steady-state window)."""
+        out = MetricsLog()
+        out.cps = self.cps[-n:]
+        return out
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict of headline metrics (benchmark table rows)."""
+        return {
+            "ops": float(self.total_ops),
+            "cps": float(len(self.cps)),
+            "physical_blocks": float(self.total_physical_blocks),
+            "cpu_us_per_op": self.cpu_us_per_op,
+            "device_us_per_op": self.device_us_per_op,
+            "service_us_per_op": self.service_us_per_op,
+            "metafile_blocks_per_op": self.metafile_blocks_per_op,
+            "full_stripe_fraction": self.full_stripe_fraction,
+            "mean_chain_length": self.mean_chain_length,
+        }

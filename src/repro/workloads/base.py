@@ -1,0 +1,70 @@
+"""Workload base: iterators that yield per-CP client batches.
+
+A workload is any iterable of :class:`~repro.fs.cp.CPBatch`; the
+classes here add the shared plumbing — volume discovery, per-volume op
+splitting, deterministic RNG — used by the concrete generators.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+import numpy as np
+
+from ..common.rng import make_rng
+from ..fs.cp import CPBatch
+from ..fs.filesystem import WaflSim
+
+__all__ = ["Workload"]
+
+
+class Workload(abc.ABC):
+    """Base class for per-CP batch generators.
+
+    Parameters
+    ----------
+    sim:
+        The simulator the workload targets (used to discover volume
+        names and logical sizes).
+    ops_per_cp:
+        Client operations folded into each consistency point; WAFL
+        "collects the results of thousands of modifying operations"
+        per CP (paper section 2.1).
+    seed:
+        Deterministic RNG seed.
+    """
+
+    def __init__(
+        self,
+        sim: WaflSim,
+        *,
+        ops_per_cp: int = 8192,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if ops_per_cp <= 0:
+            raise ValueError("ops_per_cp must be positive")
+        self.ops_per_cp = int(ops_per_cp)
+        self.rng = make_rng(seed)
+        self.vol_sizes: dict[str, int] = {
+            name: vol.spec.logical_blocks for name, vol in sim.vols.items()
+        }
+        if not self.vol_sizes:
+            raise ValueError("simulator has no volumes")
+
+    def _split_ops(self) -> dict[str, int]:
+        """Split ops across volumes proportionally to logical size."""
+        total = sum(self.vol_sizes.values())
+        shares = {
+            name: max(1, round(self.ops_per_cp * size / total))
+            for name, size in self.vol_sizes.items()
+        }
+        return shares
+
+    @abc.abstractmethod
+    def next_batch(self) -> CPBatch:
+        """Produce the next per-CP batch."""
+
+    def __iter__(self) -> Iterator[CPBatch]:
+        while True:
+            yield self.next_batch()

@@ -1,0 +1,113 @@
+"""File create/delete churn workload.
+
+"The creation and deletion of files can eventually result in similar
+fragmentation of the free space." (paper section 2.2)  This workload
+models a file as a contiguous extent of a volume's logical space:
+creations write whole extents, deletions unmap them without rewriting.
+Varying extent sizes leaves free holes of mixed sizes — the classic
+aging pattern of Smith & Seltzer that the AA score distribution must
+cope with.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fs.cp import CPBatch
+from ..fs.filesystem import WaflSim
+from .base import Workload
+
+__all__ = ["FileChurnWorkload"]
+
+
+class FileChurnWorkload(Workload):
+    """Create/delete churn over extent-shaped "files".
+
+    Each volume's logical space is divided into slots of
+    ``max_file_blocks``; a creation picks a random free slot and writes
+    a random-length extent inside it, a deletion removes a random live
+    file.  ``create_bias`` > 0.5 grows the file population toward
+    ``target_population`` live files per volume, after which the mix
+    balances.
+    """
+
+    def __init__(
+        self,
+        sim: WaflSim,
+        *,
+        ops_per_cp: int = 64,
+        min_file_blocks: int = 8,
+        max_file_blocks: int = 2048,
+        create_bias: float = 0.5,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(sim, ops_per_cp=ops_per_cp, seed=seed)
+        if not 1 <= min_file_blocks <= max_file_blocks:
+            raise ValueError("need 1 <= min_file_blocks <= max_file_blocks")
+        self.min_file_blocks = int(min_file_blocks)
+        self.max_file_blocks = int(max_file_blocks)
+        self.create_bias = float(create_bias)
+        # Per volume: slot occupancy and live-file table.
+        self._slots: dict[str, np.ndarray] = {}
+        self._files: dict[str, dict[int, tuple[int, int]]] = {}
+        for name, size in self.vol_sizes.items():
+            nslots = max(size // self.max_file_blocks, 1)
+            self._slots[name] = np.zeros(nslots, dtype=bool)
+            self._files[name] = {}
+
+    def live_files(self, name: str) -> int:
+        """Number of live files on a volume."""
+        return len(self._files[name])
+
+    def _create(self, name: str) -> np.ndarray | None:
+        slots = self._slots[name]
+        free = np.flatnonzero(~slots)
+        if free.size == 0:
+            return None
+        slot = int(free[self.rng.integers(free.size)])
+        length = int(
+            self.rng.integers(self.min_file_blocks, self.max_file_blocks + 1)
+        )
+        start = slot * self.max_file_blocks
+        slots[slot] = True
+        self._files[name][slot] = (start, length)
+        return start + np.arange(length, dtype=np.int64)
+
+    def _delete(self, name: str) -> np.ndarray | None:
+        files = self._files[name]
+        if not files:
+            return None
+        slot = list(files.keys())[int(self.rng.integers(len(files)))]
+        start, length = files.pop(slot)
+        self._slots[name][slot] = False
+        return start + np.arange(length, dtype=np.int64)
+
+    def next_batch(self) -> CPBatch:
+        writes: dict[str, list[np.ndarray]] = {n: [] for n in self.vol_sizes}
+        deletes: dict[str, list[np.ndarray]] = {n: [] for n in self.vol_sizes}
+        names = list(self.vol_sizes)
+        ops = 0
+        for _ in range(self.ops_per_cp):
+            name = names[int(self.rng.integers(len(names)))]
+            if self.rng.random() < self.create_bias:
+                ids = self._create(name)
+                if ids is None:  # volume full: delete instead
+                    ids = self._delete(name)
+                    if ids is not None:
+                        deletes[name].append(ids)
+                else:
+                    writes[name].append(ids)
+            else:
+                ids = self._delete(name)
+                if ids is None:  # nothing to delete: create instead
+                    ids = self._create(name)
+                    if ids is not None:
+                        writes[name].append(ids)
+                else:
+                    deletes[name].append(ids)
+            ops += 1
+        return CPBatch(
+            writes={n: np.concatenate(w) for n, w in writes.items() if w},
+            deletes={n: np.concatenate(d) for n, d in deletes.items() if d},
+            ops=ops,
+        )

@@ -1,0 +1,60 @@
+"""OLTP-style workload: mixed random reads and writes.
+
+"We ran an internal OLTP benchmark ... characterized by predominantly
+random read and write I/O operations (that model query and update
+operations typical to a database)." (paper section 4.2)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fs.cp import CPBatch
+from ..fs.filesystem import WaflSim
+from .base import Workload
+
+__all__ = ["OLTPWorkload"]
+
+
+class OLTPWorkload(Workload):
+    """Random point reads and random record updates.
+
+    Parameters
+    ----------
+    read_fraction:
+        Fraction of operations that are reads (OLTP benchmarks commonly
+        run ~2:1 read:write; default 0.65).
+    blocks_per_write_op:
+        4 KiB blocks dirtied per update (database page + log).
+    """
+
+    def __init__(
+        self,
+        sim: WaflSim,
+        *,
+        ops_per_cp: int = 8192,
+        read_fraction: float = 0.65,
+        blocks_per_write_op: int = 2,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(sim, ops_per_cp=ops_per_cp, seed=seed)
+        if not 0.0 <= read_fraction < 1.0:
+            raise ValueError("read_fraction must be in [0, 1)")
+        self.read_fraction = float(read_fraction)
+        self.blocks_per_write_op = int(blocks_per_write_op)
+
+    def next_batch(self) -> CPBatch:
+        reads = int(self.ops_per_cp * self.read_fraction)
+        write_ops_total = self.ops_per_cp - reads
+        writes: dict[str, np.ndarray] = {}
+        total = sum(self.vol_sizes.values())
+        for name, size in self.vol_sizes.items():
+            share = max(1, round(write_ops_total * size / total))
+            starts = self.rng.integers(
+                0, max(size - self.blocks_per_write_op + 1, 1), size=share
+            )
+            ids = (
+                starts[:, None] + np.arange(self.blocks_per_write_op)[None, :]
+            ).ravel()
+            writes[name] = ids
+        return CPBatch(writes=writes, ops=self.ops_per_cp, reads=reads)

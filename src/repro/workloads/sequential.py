@@ -1,0 +1,74 @@
+"""Sequential write workload.
+
+Models streaming writes (the Figure 9 SMR experiment issues "sequential
+writes to an unaged file system") and doubles as the fill phase of the
+aging harness: each pass touches every logical block exactly once in
+order, consuming physical space sequentially on a fresh system.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fs.cp import CPBatch
+from ..fs.filesystem import WaflSim
+from .base import Workload
+
+__all__ = ["SequentialWriteWorkload"]
+
+
+class SequentialWriteWorkload(Workload):
+    """Advancing-cursor writes over each volume's logical space.
+
+    Parameters
+    ----------
+    blocks_per_op:
+        4 KiB blocks per client write operation.
+    wrap:
+        Whether to wrap to offset 0 after covering the volume (True
+        models sustained streaming; False makes the iterator finite —
+        useful for fill-once aging).
+    """
+
+    def __init__(
+        self,
+        sim: WaflSim,
+        *,
+        ops_per_cp: int = 8192,
+        blocks_per_op: int = 1,
+        wrap: bool = True,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(sim, ops_per_cp=ops_per_cp, seed=seed)
+        self.blocks_per_op = int(blocks_per_op)
+        self.wrap = wrap
+        self._cursors = {name: 0 for name in self.vol_sizes}
+        self._done = {name: False for name in self.vol_sizes}
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every volume was fully covered (wrap=False only)."""
+        return not self.wrap and all(self._done.values())
+
+    def next_batch(self) -> CPBatch:
+        writes: dict[str, np.ndarray] = {}
+        total_ops = 0
+        for name, share in self._split_ops().items():
+            if self._done[name]:
+                continue
+            size = self.vol_sizes[name]
+            cursor = self._cursors[name]
+            want = share * self.blocks_per_op
+            if self.wrap:
+                ids = (cursor + np.arange(want, dtype=np.int64)) % size
+                self._cursors[name] = int((cursor + want) % size)
+            else:
+                want = min(want, size - cursor)
+                ids = cursor + np.arange(want, dtype=np.int64)
+                self._cursors[name] = cursor + want
+                if self._cursors[name] >= size:
+                    self._done[name] = True
+            if ids.size:
+                writes[name] = ids
+                total_ops += max(1, ids.size // self.blocks_per_op)
+        return CPBatch(writes=writes, ops=total_ops)

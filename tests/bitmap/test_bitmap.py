@@ -1,0 +1,175 @@
+"""Unit tests for the NumPy-backed allocation bitmap."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bitmap import Bitmap
+from repro.common import BitmapError
+
+
+class TestConstruction:
+    def test_starts_empty(self):
+        bm = Bitmap(64)
+        assert bm.allocated_count == 0
+        assert bm.free_count == 64
+        assert bm.nblocks == 64
+
+    @pytest.mark.parametrize("n", [0, -8, 7, 12, 33])
+    def test_rejects_bad_sizes(self, n):
+        with pytest.raises(ValueError):
+            Bitmap(n)
+
+    def test_large_bitmap(self):
+        bm = Bitmap(1 << 20)
+        assert bm.free_count == 1 << 20
+
+
+class TestAllocateFree:
+    def test_allocate_sets_bits(self):
+        bm = Bitmap(64)
+        bm.allocate(np.array([0, 7, 8, 63]))
+        assert bm.allocated_count == 4
+        assert bm.test(np.array([0, 7, 8, 63])).all()
+        assert not bm.test(np.array([1, 6, 9, 62])).any()
+
+    def test_free_clears_bits(self):
+        bm = Bitmap(64)
+        bm.allocate(np.array([3, 4, 5]))
+        bm.free(np.array([4]))
+        assert bm.allocated_count == 2
+        assert not bm.test(4)[0]
+        assert bm.test(3)[0] and bm.test(5)[0]
+
+    def test_double_allocate_raises(self):
+        bm = Bitmap(64)
+        bm.allocate(np.array([5]))
+        with pytest.raises(BitmapError, match="double allocation"):
+            bm.allocate(np.array([5]))
+
+    def test_double_free_raises(self):
+        bm = Bitmap(64)
+        with pytest.raises(BitmapError, match="double free"):
+            bm.free(np.array([5]))
+
+    def test_out_of_range_raises(self):
+        bm = Bitmap(64)
+        with pytest.raises(BitmapError, match="out of range"):
+            bm.allocate(np.array([64]))
+        with pytest.raises(BitmapError, match="out of range"):
+            bm.allocate(np.array([-1]))
+
+    def test_empty_batch_is_noop(self):
+        bm = Bitmap(64)
+        bm.allocate(np.empty(0, dtype=np.int64))
+        bm.free(np.empty(0, dtype=np.int64))
+        assert bm.allocated_count == 0
+
+    def test_unchecked_mode_skips_validation(self):
+        bm = Bitmap(64, check=False)
+        bm.allocate(np.array([5]))
+        bm.allocate(np.array([5]))  # silently tolerated
+        assert bm.test(5)[0]
+
+    def test_same_byte_batch(self):
+        """Duplicate byte indices in one batch must all apply."""
+        bm = Bitmap(64)
+        bm.allocate(np.array([0, 1, 2, 3, 4, 5, 6, 7]))
+        assert bm.allocated_count == 8
+        assert bm.count_range(0, 8) == 8
+
+
+class TestRanges:
+    def test_set_range_counts_transitions(self):
+        bm = Bitmap(64)
+        bm.allocate(np.array([10]))
+        assert bm.set_range(8, 16) == 7  # 10 was already set
+        assert bm.allocated_count == 8
+
+    def test_clear_range_counts_transitions(self):
+        bm = Bitmap(64)
+        bm.set_range(0, 32)
+        assert bm.clear_range(16, 48) == 16
+        assert bm.allocated_count == 16
+
+    def test_unaligned_ranges(self):
+        bm = Bitmap(64)
+        bm.set_range(3, 21)
+        assert bm.allocated_count == 18
+        assert bm.count_range(3, 21) == 18
+        assert bm.count_range(0, 3) == 0
+        assert bm.count_range(21, 64) == 0
+
+    def test_range_within_one_byte(self):
+        bm = Bitmap(64)
+        bm.set_range(2, 5)
+        assert bm.count_range(2, 5) == 3
+        assert bm.count_range(0, 8) == 3
+        assert bm.count_range(3, 4) == 1
+
+    def test_empty_range(self):
+        bm = Bitmap(64)
+        assert bm.count_range(5, 5) == 0
+        assert bm.set_range(5, 5) == 0
+
+    def test_bad_range_raises(self):
+        bm = Bitmap(64)
+        with pytest.raises(BitmapError):
+            bm.count_range(-1, 5)
+        with pytest.raises(BitmapError):
+            bm.count_range(0, 65)
+        with pytest.raises(BitmapError):
+            bm.count_range(10, 5)
+
+
+class TestSearch:
+    def test_free_in_range(self):
+        bm = Bitmap(64)
+        bm.allocate(np.array([1, 3, 5]))
+        assert bm.free_in_range(0, 8).tolist() == [0, 2, 4, 6, 7]
+
+    def test_free_in_range_limit(self):
+        bm = Bitmap(64)
+        assert bm.free_in_range(0, 64, limit=3).tolist() == [0, 1, 2]
+
+    def test_free_in_range_unaligned(self):
+        bm = Bitmap(64)
+        bm.allocate(np.array([10, 12]))
+        assert bm.free_in_range(9, 14).tolist() == [9, 11, 13]
+
+    def test_allocated_in_range(self):
+        bm = Bitmap(64)
+        bm.allocate(np.array([10, 12, 40]))
+        assert bm.allocated_in_range(0, 32).tolist() == [10, 12]
+        assert bm.allocated_in_range(0, 64, limit=2).tolist() == [10, 12]
+
+    def test_full_range_has_no_free(self):
+        bm = Bitmap(16)
+        bm.set_range(0, 16)
+        assert bm.free_in_range(0, 16).size == 0
+
+
+class TestCountsPerChunk:
+    def test_basic(self):
+        bm = Bitmap(64)
+        bm.set_range(0, 10)
+        assert bm.counts_per_chunk(16).tolist() == [10, 0, 0, 0]
+
+    def test_chunk_must_divide(self):
+        bm = Bitmap(64)
+        with pytest.raises(ValueError):
+            bm.counts_per_chunk(24)
+        with pytest.raises(ValueError):
+            bm.counts_per_chunk(4)
+
+    def test_sums_match_total(self):
+        bm = Bitmap(256)
+        bm.allocate(np.arange(0, 256, 3))
+        counts = bm.counts_per_chunk(32)
+        assert counts.sum() == bm.allocated_count
+
+    def test_raw_bytes_readonly(self):
+        bm = Bitmap(64)
+        with pytest.raises(ValueError):
+            bm.raw_bytes[0] = 1

@@ -1,0 +1,93 @@
+"""Property-based tests for the delayed-free log."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap import BitmapMetafile, DelayedFreeLog
+
+NBLOCKS = 2048
+BITS = 256
+
+
+@st.composite
+def free_batches(draw):
+    """Disjoint batches of VBNs to log as frees."""
+    universe = list(range(NBLOCKS))
+    rng_seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(rng_seed)
+    n_batches = draw(st.integers(1, 6))
+    total = draw(st.integers(1, NBLOCKS))
+    chosen = rng.choice(NBLOCKS, size=total, replace=False)
+    splits = np.sort(rng.integers(0, total + 1, size=n_batches - 1)) if n_batches > 1 else []
+    return [np.asarray(b, dtype=np.int64) for b in np.split(chosen, splits)]
+
+
+@given(batches=free_batches(), budgets=st.lists(st.integers(1, 4), min_size=1, max_size=50))
+@settings(max_examples=150, deadline=None)
+def test_apply_best_frees_everything_exactly_once(batches, budgets):
+    mf = BitmapMetafile(NBLOCKS, bits_per_block=BITS)
+    all_vbns = np.concatenate(batches)
+    mf.allocate(all_vbns)
+    log = DelayedFreeLog(bits_per_block=BITS)
+    for b in batches:
+        log.add(b)
+    assert log.pending_count == all_vbns.size
+
+    freed: list[int] = []
+    i = 0
+    while log.pending_count:
+        budget = budgets[i % len(budgets)]
+        i += 1
+        chunk = log.apply_best(mf, budget)
+        freed.extend(chunk.tolist())
+        log.hbps.check_invariants()
+        if i > 200:
+            raise AssertionError("did not drain")
+    assert sorted(freed) == sorted(all_vbns.tolist())
+    assert mf.free_count == NBLOCKS
+
+
+@given(batches=free_batches())
+@settings(max_examples=100, deadline=None)
+def test_apply_best_priority_is_densest_first(batches):
+    """The first budgeted application always picks (one of) the
+    metafile blocks with the most pending frees."""
+    mf = BitmapMetafile(NBLOCKS, bits_per_block=BITS)
+    all_vbns = np.concatenate(batches)
+    mf.allocate(all_vbns)
+    log = DelayedFreeLog(bits_per_block=BITS)
+    for b in batches:
+        log.add(b)
+    per_block: dict[int, int] = {}
+    for v in all_vbns.tolist():
+        per_block[v // BITS] = per_block.get(v // BITS, 0) + 1
+    best = max(per_block.values())
+    first = log.apply_best(mf, 1)
+    # HBPS guarantees within one bin width of the densest block.
+    bin_width = max(BITS // 32, 1)
+    assert first.size >= best - bin_width
+
+
+@given(batches=free_batches())
+@settings(max_examples=100, deadline=None)
+def test_apply_all_equals_apply_best_union(batches):
+    mf1 = BitmapMetafile(NBLOCKS, bits_per_block=BITS)
+    mf2 = BitmapMetafile(NBLOCKS, bits_per_block=BITS)
+    all_vbns = np.concatenate(batches)
+    mf1.allocate(all_vbns)
+    mf2.allocate(all_vbns)
+    log1 = DelayedFreeLog(bits_per_block=BITS)
+    log2 = DelayedFreeLog(bits_per_block=BITS)
+    for b in batches:
+        log1.add(b)
+        log2.add(b)
+    a = log1.apply_all(mf1)
+    parts = []
+    while log2.pending_count:
+        parts.append(log2.apply_best(mf2, 2))
+    b = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+    assert sorted(a.tolist()) == sorted(b.tolist())
+    assert np.array_equal(mf1.bitmap.raw_bytes, mf2.bitmap.raw_bytes)

@@ -1,0 +1,93 @@
+"""Unit tests for bitmap metafiles (dirty-block accounting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bitmap import BitmapMetafile
+from repro.common import BITS_PER_BITMAP_BLOCK
+
+
+class TestGeometry:
+    def test_block_count(self):
+        mf = BitmapMetafile(BITS_PER_BITMAP_BLOCK * 3)
+        assert mf.metafile_block_count == 3
+
+    def test_block_count_rounds_up(self):
+        mf = BitmapMetafile(BITS_PER_BITMAP_BLOCK + 8)
+        assert mf.metafile_block_count == 2
+
+    def test_custom_bits_per_block(self):
+        mf = BitmapMetafile(1024, bits_per_block=256)
+        assert mf.metafile_block_count == 4
+
+    def test_rejects_bad_bits_per_block(self):
+        with pytest.raises(ValueError):
+            BitmapMetafile(1024, bits_per_block=10)
+
+
+class TestDirtyTracking:
+    def test_allocate_dirties_owning_blocks(self):
+        mf = BitmapMetafile(1024, bits_per_block=256)
+        mf.allocate(np.array([0, 255]))  # same metafile block
+        assert mf.dirty_block_count == 1
+        mf.allocate(np.array([256]))  # next block
+        assert mf.dirty_block_count == 2
+
+    def test_free_dirties_too(self):
+        mf = BitmapMetafile(1024, bits_per_block=256)
+        mf.allocate(np.array([700]))
+        mf.drain_dirty()
+        mf.free(np.array([700]))
+        assert mf.dirty_block_count == 1
+
+    def test_drain_resets_and_accumulates(self):
+        mf = BitmapMetafile(1024, bits_per_block=256)
+        mf.allocate(np.array([0, 300, 900]))
+        assert mf.drain_dirty() == 3
+        assert mf.dirty_block_count == 0
+        assert mf.blocks_dirtied_total == 3
+        assert mf.cp_drains == 1
+        mf.allocate(np.array([1]))
+        assert mf.drain_dirty() == 1
+        assert mf.blocks_dirtied_total == 4
+
+    def test_colocated_updates_touch_one_block(self):
+        """The section 2.5 motivation: colocated allocations dirty a
+        single metafile block."""
+        mf = BitmapMetafile(BITS_PER_BITMAP_BLOCK * 4)
+        mf.allocate(np.arange(1000))
+        assert mf.dirty_block_count == 1
+
+    def test_scattered_updates_touch_many_blocks(self):
+        mf = BitmapMetafile(BITS_PER_BITMAP_BLOCK * 4)
+        mf.allocate(np.arange(4) * BITS_PER_BITMAP_BLOCK)
+        assert mf.dirty_block_count == 4
+
+    def test_range_ops_dirty_covered_blocks(self):
+        mf = BitmapMetafile(1024, bits_per_block=256)
+        mf.set_range(200, 600)
+        assert mf.dirty_block_count == 3  # blocks 0, 1, 2
+        mf.drain_dirty()
+        mf.clear_range(250, 260)
+        assert mf.dirty_block_count == 2
+
+    def test_scan_read_accounting(self):
+        mf = BitmapMetafile(1024, bits_per_block=256)
+        assert mf.note_scan_read() == 4
+        assert mf.note_scan_read(2) == 2
+        assert mf.blocks_read_total == 6
+
+
+class TestDelegation:
+    def test_free_count(self):
+        mf = BitmapMetafile(1024, bits_per_block=256)
+        mf.allocate(np.arange(100))
+        assert mf.free_count == 924
+        assert mf.nblocks == 1024
+
+    def test_empty_batch_no_dirty(self):
+        mf = BitmapMetafile(1024, bits_per_block=256)
+        mf.allocate(np.empty(0, dtype=np.int64))
+        assert mf.dirty_block_count == 0

@@ -1,0 +1,51 @@
+"""Shared fixtures: small, fast simulator configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fs import MediaType, RAIDGroupConfig, VolSpec, WaflSim
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+def small_ssd_sim(
+    *,
+    aggregate_policy=None,
+    vol_policy=None,
+    n_groups: int = 1,
+    seed: int = 7,
+) -> WaflSim:
+    """A small all-SSD system: n_groups x (3+1) x 32768-block devices,
+    two volumes totalling ~38% of physical capacity."""
+    from repro.fs import PolicyKind
+
+    ap = aggregate_policy or PolicyKind.CACHE
+    vp = vol_policy or PolicyKind.CACHE
+    groups = [
+        RAIDGroupConfig(
+            ndata=3,
+            nparity=1,
+            blocks_per_disk=32768,
+            media=MediaType.SSD,
+            stripes_per_aa=2048,
+        )
+        for _ in range(n_groups)
+    ]
+    phys = n_groups * 3 * 32768
+    vols = [
+        VolSpec("volA", logical_blocks=phys // 4),
+        VolSpec("volB", logical_blocks=phys // 8),
+    ]
+    return WaflSim.build_raid(
+        groups, vols, aggregate_policy=ap, vol_policy=vp, seed=seed
+    )
+
+
+@pytest.fixture
+def ssd_sim() -> WaflSim:
+    return small_ssd_sim()

@@ -1,0 +1,121 @@
+"""Unit tests for allocation-area topologies (paper section 3.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bitmap import Bitmap
+from repro.common import GeometryError
+from repro.core import LinearAATopology, StripeAATopology
+from repro.raid import RAIDGeometry
+
+
+class TestLinearTopology:
+    def test_basic_mapping(self):
+        t = LinearAATopology(nblocks=1024, blocks_per_aa=256)
+        assert t.num_aas == 4
+        assert t.aa_blocks == 256
+        assert t.aa_of_vbn(np.array([0, 255, 256, 1023])).tolist() == [0, 0, 1, 3]
+
+    def test_extents(self):
+        t = LinearAATopology(1024, 256)
+        assert t.aa_extents(2) == [(512, 768)]
+
+    def test_validation(self):
+        with pytest.raises(GeometryError):
+            LinearAATopology(1000, 256)  # not divisible
+        with pytest.raises(GeometryError):
+            LinearAATopology(1024, 10)  # not multiple of 8
+        with pytest.raises(GeometryError):
+            LinearAATopology(1024, 0)
+
+    def test_scores_from_bitmap(self):
+        t = LinearAATopology(1024, 256)
+        bm = Bitmap(1024)
+        bm.set_range(0, 100)
+        bm.set_range(512, 768)
+        assert t.scores_from_bitmap(bm).tolist() == [156, 256, 0, 256]
+
+    def test_free_vbns_ascending(self):
+        t = LinearAATopology(1024, 256)
+        bm = Bitmap(1024)
+        bm.allocate(np.array([256, 258]))
+        free = t.free_vbns(bm, 1, limit=3)
+        assert free.tolist() == [257, 259, 260]
+
+    def test_aa_score_single(self):
+        t = LinearAATopology(1024, 256)
+        bm = Bitmap(1024)
+        bm.set_range(0, 10)
+        assert t.aa_score(bm, 0) == 246
+        assert t.aa_score(bm, 1) == 256
+
+    def test_aa_out_of_range(self):
+        t = LinearAATopology(1024, 256)
+        bm = Bitmap(1024)
+        with pytest.raises(GeometryError):
+            t.aa_extents(4)
+        with pytest.raises(GeometryError):
+            t.free_vbns(bm, -1)
+
+
+class TestStripeTopology:
+    @pytest.fixture
+    def topo(self):
+        g = RAIDGeometry(ndata=3, nparity=1, blocks_per_disk=256)
+        return StripeAATopology(g, stripes_per_aa=64)
+
+    def test_basic_mapping(self, topo):
+        assert topo.num_aas == 4
+        assert topo.aa_blocks == 3 * 64
+        assert topo.nblocks == 3 * 256
+
+    def test_aa_of_vbn_uses_stripe(self, topo):
+        # VBN 0 = disk 0 stripe 0 -> AA 0; VBN 256 = disk 1 stripe 0 -> AA 0.
+        assert topo.aa_of_vbn(np.array([0, 256, 512])).tolist() == [0, 0, 0]
+        # Stripe 64 (first of AA 1) on every disk.
+        assert topo.aa_of_vbn(np.array([64, 320, 576])).tolist() == [1, 1, 1]
+
+    def test_extents_one_per_disk(self, topo):
+        ext = topo.aa_extents(1)
+        assert ext == [(64, 128), (320, 384), (576, 640)]
+
+    def test_scores_fold_disks(self, topo):
+        bm = Bitmap(topo.nblocks)
+        bm.set_range(0, 64)  # disk 0, all of AA 0's stripes
+        bm.set_range(320, 330)  # disk 1, 10 blocks of AA 1
+        scores = topo.scores_from_bitmap(bm)
+        assert scores.tolist() == [192 - 64, 192 - 10, 192, 192]
+
+    def test_free_vbns_stripe_major(self, topo):
+        bm = Bitmap(topo.nblocks)
+        free = topo.free_vbns(bm, 0, limit=7)
+        # Stripe 0 across disks 0,1,2 then stripe 1 across disks...
+        assert free.tolist() == [0, 256, 512, 1, 257, 513, 2]
+
+    def test_free_vbns_skips_allocated(self, topo):
+        bm = Bitmap(topo.nblocks)
+        bm.allocate(np.array([256]))  # disk 1, stripe 0
+        free = topo.free_vbns(bm, 0, limit=5)
+        assert free.tolist() == [0, 512, 1, 257, 513]
+
+    def test_validation(self):
+        g = RAIDGeometry(ndata=3, nparity=1, blocks_per_disk=256)
+        with pytest.raises(GeometryError):
+            StripeAATopology(g, stripes_per_aa=100)  # does not divide 256
+        with pytest.raises(GeometryError):
+            StripeAATopology(g, stripes_per_aa=12)  # not multiple of 8
+
+    def test_bitmap_size_mismatch(self, topo):
+        with pytest.raises(GeometryError):
+            topo.scores_from_bitmap(Bitmap(64))
+
+    def test_scores_match_per_aa_queries(self, topo):
+        rng = np.random.default_rng(5)
+        bm = Bitmap(topo.nblocks)
+        bm.allocate(rng.choice(topo.nblocks, size=300, replace=False))
+        scores = topo.scores_from_bitmap(bm)
+        for aa in range(topo.num_aas):
+            assert scores[aa] == topo.aa_score(bm, aa)
+            assert scores[aa] == topo.free_vbns(bm, aa).size

@@ -1,0 +1,265 @@
+"""Unit tests for the histogram-based partial sort (paper section 3.3.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common import CacheError
+from repro.core import HBPS
+from repro.core.hbps import PAGE_SIZE
+
+
+class TestBinMapping:
+    def test_paper_bin_layout(self):
+        """32K max score with 1K bins: bin 0 is the best range, plus a
+        final bin for completely full AAs (score 0)."""
+        h = HBPS(32768, bin_width=1024)
+        assert h.nbins == 33
+        assert h.bin_of(32768) == 0
+        assert h.bin_of(31745) == 0
+        assert h.bin_of(31744) == 1
+        assert h.bin_of(1) == 31
+        assert h.bin_of(0) == 32
+
+    def test_bin_bounds_roundtrip(self):
+        h = HBPS(32768, bin_width=1024)
+        for b in range(h.nbins):
+            lo, hi = h.bin_bounds(b)
+            assert h.bin_of(lo) == b
+            assert h.bin_of(hi) == b
+
+    def test_bin_bounds_non_dividing_width(self):
+        h = HBPS(100, bin_width=30)
+        assert h.nbins == 5
+        assert h.bin_bounds(4) == (0, 0)
+        lo, hi = h.bin_bounds(3)
+        assert (lo, hi) == (1, 10)
+
+    def test_score_out_of_range_raises(self):
+        h = HBPS(100, bin_width=10)
+        with pytest.raises(CacheError):
+            h.bin_of(101)
+        with pytest.raises(CacheError):
+            h.bin_of(-1)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            HBPS(0)
+        with pytest.raises(ValueError):
+            HBPS(100, bin_width=0)
+        with pytest.raises(ValueError):
+            HBPS(100, bin_width=101)
+        with pytest.raises(ValueError):
+            HBPS(100, list_capacity=0)
+
+
+class TestInsertPop:
+    def test_pop_returns_best_bin(self):
+        h = HBPS(32768)
+        h.insert(1, 100)
+        h.insert(2, 32000)
+        h.insert(3, 16000)
+        item, b = h.pop_best()
+        assert item == 2 and b == 0
+        item, b = h.pop_best()
+        assert item == 3
+        item, b = h.pop_best()
+        assert item == 1
+        assert h.pop_best() is None
+        assert h.total_count == 0
+
+    def test_pop_error_margin(self):
+        """Popped item is always within one bin width of the max —
+        the paper's 3.125% guarantee."""
+        h = HBPS(32768, bin_width=1024)
+        scores = {i: int(s) for i, s in enumerate(
+            np.random.default_rng(0).integers(0, 32769, size=500))}
+        for i, s in scores.items():
+            h.insert(i, s)
+        remaining = dict(scores)
+        while remaining:
+            popped = h.pop_best()
+            if popped is None:
+                break
+            item, b = popped
+            true_max = max(remaining.values())
+            assert remaining[item] >= true_max - 1024
+            del remaining[item]
+
+    def test_duplicate_listed_insert_raises(self):
+        h = HBPS(32768)
+        h.insert(1, 32768)
+        with pytest.raises(CacheError):
+            h.insert(1, 100)
+
+    def test_peek_does_not_remove(self):
+        h = HBPS(32768)
+        h.insert(1, 32768)
+        assert h.peek_best() == (1, 0)
+        assert h.total_count == 1
+        assert h.pop_best() == (1, 0)
+
+
+class TestUpdate:
+    def test_update_moves_bins(self):
+        h = HBPS(32768)
+        h.insert(1, 100)
+        h.update(1, 100, 32768)
+        assert h.pop_best() == (1, 0)
+
+    def test_update_within_bin_is_noop(self):
+        h = HBPS(32768)
+        h.insert(1, 32768)
+        h.update(1, 32768, 32700)
+        assert h.counts[0] == 1
+        h.check_invariants()
+
+    def test_update_unlisted_item_counts_only(self):
+        h = HBPS(32768, list_capacity=2)
+        h.insert(1, 32768)
+        h.insert(2, 32760)
+        h.insert(3, 100)  # bin 31; not listed (capacity 2, worse bin)
+        assert not h.is_listed(3)
+        h.update(3, 100, 5000)  # moves bins while staying unlisted
+        assert h.counts[31] == 0
+        assert h.counts[h.bin_of(5000)] == 1
+        h.check_invariants()
+
+    def test_rising_item_gets_listed_with_eviction(self):
+        h = HBPS(32768, list_capacity=2)
+        h.insert(1, 32768)
+        h.insert(2, 31000)
+        h.insert(3, 100)
+        assert h.listed_count == 2
+        h.update(3, 100, 32768)  # rises into the best bin
+        assert h.is_listed(3)
+        assert h.listed_count == 2  # someone was evicted
+        assert h.evictions == 1
+        h.check_invariants()
+
+    def test_histogram_underflow_detected(self):
+        h = HBPS(32768)
+        h.insert(1, 32768)
+        with pytest.raises(CacheError):
+            h.update(2, 100, 200)  # bin 31 is empty
+
+
+class TestRemove:
+    def test_remove_listed(self):
+        h = HBPS(32768)
+        h.insert(1, 32768)
+        h.remove(1, 32768)
+        assert h.total_count == 0
+        assert h.pop_best() is None
+
+    def test_remove_unlisted(self):
+        h = HBPS(32768, list_capacity=1)
+        h.insert(1, 32768)
+        h.insert(2, 100)
+        assert not h.is_listed(2)
+        h.remove(2, 100)
+        assert h.total_count == 1
+        h.check_invariants()
+
+
+class TestReplenish:
+    def test_needs_replenish_signals(self):
+        h = HBPS(32768, list_capacity=1)
+        h.insert(1, 32768)
+        h.insert(2, 100)
+        h.pop_best()
+        assert h.pop_best() is None
+        assert h.needs_replenish
+
+    def test_rebuild_restores_best_first(self):
+        h = HBPS(32768, list_capacity=3)
+        h.rebuild([(i, i * 100) for i in range(300)])
+        assert h.total_count == 300
+        item, b = h.pop_best()
+        assert item == 299
+        h.check_invariants()
+
+    def test_rebuild_empty(self):
+        h = HBPS(32768)
+        h.insert(1, 5)
+        h.rebuild(())
+        assert h.total_count == 0
+        assert not h.needs_replenish
+
+
+class TestCapacityInvariant:
+    def test_list_never_exceeds_capacity(self):
+        h = HBPS(32768, list_capacity=10)
+        rng = np.random.default_rng(1)
+        for i in range(200):
+            h.insert(i, int(rng.integers(0, 32769)))
+            assert h.listed_count <= 10
+        h.check_invariants()
+
+    def test_better_bins_fully_listed(self):
+        """The error-margin precondition: every bin strictly better
+        than the worst listed bin is completely listed."""
+        h = HBPS(32768, list_capacity=5)
+        rng = np.random.default_rng(2)
+        for i in range(100):
+            h.insert(i, int(rng.integers(0, 32769)))
+        h.check_invariants()  # includes the full-listing check
+
+    def test_memory_is_two_pages(self):
+        h = HBPS(32768)
+        for i in range(10000):
+            h.insert(i, i % 32769)
+        assert h.memory_bytes == 2 * PAGE_SIZE
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_structure(self):
+        h = HBPS(32768, list_capacity=100)
+        rng = np.random.default_rng(3)
+        for i in range(500):
+            h.insert(i, int(rng.integers(0, 32769)))
+        h2 = HBPS.from_pages(h.to_pages(), list_capacity=100)
+        assert h2.total_count == h.total_count
+        assert np.array_equal(h2.counts, h.counts)
+        assert h2.listed_count == h.listed_count
+        h2.check_invariants()
+
+    def test_pages_are_exactly_two_blocks(self):
+        h = HBPS(32768)
+        assert len(h.to_pages()) == 2 * PAGE_SIZE
+
+    def test_bad_magic_rejected(self):
+        from repro.common import SerializationError
+
+        with pytest.raises(SerializationError):
+            HBPS.from_pages(b"\x00" * (2 * PAGE_SIZE))
+
+    def test_bad_length_rejected(self):
+        from repro.common import SerializationError
+
+        with pytest.raises(SerializationError):
+            HBPS.from_pages(b"\x00" * 100)
+
+    def test_loaded_pop_respects_bins(self):
+        h = HBPS(32768)
+        h.insert(1, 32768)
+        h.insert(2, 50)
+        h2 = HBPS.from_pages(h.to_pages())
+        item, b = h2.pop_best()
+        assert item == 1 and b == 0
+
+    def test_empty_roundtrip(self):
+        h = HBPS(32768)
+        h2 = HBPS.from_pages(h.to_pages())
+        assert h2.total_count == 0
+
+
+class TestCounters:
+    def test_operation_counters(self):
+        h = HBPS(32768)
+        h.insert(1, 32768)
+        h.update(1, 32768, 100)
+        h.pop_best()
+        assert h.updates == 1
+        assert h.pops == 1

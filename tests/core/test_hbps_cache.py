@@ -1,0 +1,148 @@
+"""Unit tests for the RAID-agnostic (HBPS-backed) AA cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common import CacheError
+from repro.core import RAIDAgnosticAACache
+from repro.core.hbps import PAGE_SIZE
+
+
+def make_cache(scores, **kw):
+    scores = np.asarray(scores, dtype=np.int64)
+    return RAIDAgnosticAACache(len(scores), 32768, scores, **kw)
+
+
+class TestSelection:
+    def test_pop_best_is_near_optimal(self):
+        c = make_cache([100, 32000, 16000, 31000])
+        aa = c.pop_best()
+        # Both 32000 and 31000 land in top bins; popped AA must be
+        # within one bin (1024) of the max.
+        assert aa in (1, 3)
+
+    def test_pop_marks_checked_out(self):
+        c = make_cache([10, 20])
+        aa = c.pop_best()
+        assert aa in c.checked_out
+
+    def test_best_bin_score(self):
+        c = make_cache([100, 32768])
+        assert c.best_bin_score() == 32768
+
+    def test_memory_independent_of_size(self):
+        small = make_cache([1] * 4)
+        big = RAIDAgnosticAACache(1_000_000, 32768)
+        assert small.memory_bytes == big.memory_bytes == 2 * PAGE_SIZE
+
+
+class TestReturnAndChanges:
+    def test_return_unchanged(self):
+        c = make_cache([10, 32768])
+        aa = c.pop_best()
+        c.return_aa(aa, 32768)
+        assert c.pop_best() == aa
+
+    def test_return_requires_checkout(self):
+        c = make_cache([10, 20])
+        with pytest.raises(CacheError):
+            c.return_aa(0, 10)
+
+    def test_changes_reinstate_checked_out(self):
+        c = make_cache([10, 32768])
+        aa = c.pop_best()
+        c.apply_changes([(aa, 32768, 5)])
+        assert aa not in c.checked_out
+        c.check_invariants()
+
+    def test_changes_move_tracked_items(self):
+        c = make_cache([10, 20])
+        c.apply_changes([(0, 10, 32768)])
+        assert c.pop_best() == 0
+
+    def test_invariants_after_random_traffic(self):
+        rng = np.random.default_rng(0)
+        scores = rng.integers(0, 32769, size=200)
+        c = make_cache(scores, list_capacity=20)
+        snapshot = scores.copy()
+        for _ in range(300):
+            if rng.random() < 0.3:
+                aa = c.pop_best()
+                if aa is not None:
+                    new = int(rng.integers(0, 32769))
+                    c.apply_changes([(aa, int(snapshot[aa]), new)])
+                    snapshot[aa] = new
+            else:
+                aa = int(rng.integers(200))
+                if aa in c.checked_out:
+                    continue
+                new = int(rng.integers(0, 32769))
+                c.apply_changes([(aa, int(snapshot[aa]), new)])
+                snapshot[aa] = new
+            c.check_invariants()
+
+
+class TestReplenish:
+    def test_replenish_refills_list(self):
+        c = make_cache([100, 200], list_capacity=2)
+        c.pop_best()
+        c.pop_best()
+        assert c.pop_best() is None
+        # Both AAs checked out; replenish keeps them out.
+        c.replenish(np.array([100, 200]))
+        assert c.pop_best() is None
+
+    def test_replenish_after_returns(self):
+        scores = np.arange(0, 32000, 1000)
+        c = make_cache(scores, list_capacity=4)
+        popped = [c.pop_best() for _ in range(4)]
+        for aa in popped:
+            c.apply_changes([(aa, int(scores[aa]), 0)])
+            scores[aa] = 0
+        c.replenish(scores)
+        aa = c.pop_best()
+        assert scores[aa] >= scores.max() - 1024
+        c.check_invariants()
+
+    def test_replenish_length_mismatch(self):
+        c = make_cache([1, 2])
+        with pytest.raises(CacheError):
+            c.replenish(np.array([1, 2, 3]))
+
+
+class TestSeededPages:
+    def test_roundtrip_seeding(self):
+        c = make_cache(np.arange(0, 32768, 100))
+        pages = c.to_pages()
+        s = RAIDAgnosticAACache.from_pages(pages, c.num_aas)
+        assert s.seeded
+        aa = s.pop_best()
+        assert aa is not None
+        s.check_invariants()
+
+    def test_seeded_sustains_pops_and_changes(self):
+        """The TopAA property: a seeded cache keeps the allocator fed
+        while score changes stream in (paper section 3.4)."""
+        base = np.arange(0, 32768, 330)
+        c = make_cache(base)
+        s = RAIDAgnosticAACache.from_pages(c.to_pages(), c.num_aas)
+        for i in range(20):
+            aa = s.pop_best()
+            assert aa is not None
+            s.apply_changes([(aa, 0, int(base[aa]) // 2)])
+            s.check_invariants()
+
+    def test_seeded_update_unlisted_dropped(self):
+        c = make_cache(np.arange(0, 32768, 330), list_capacity=5)
+        s = RAIDAgnosticAACache.from_pages(c.to_pages(), c.num_aas, list_capacity=5)
+        # Change an AA that is not listed in the seed: dropped silently.
+        s.apply_changes([(0, 0, 32768)])
+        s.check_invariants()
+
+    def test_replenish_clears_seeded(self):
+        c = make_cache(np.arange(0, 32768, 330))
+        s = RAIDAgnosticAACache.from_pages(c.to_pages(), c.num_aas)
+        s.replenish(np.arange(0, 32768, 330))
+        assert not s.seeded

@@ -1,0 +1,157 @@
+"""Unit tests for the RAID-aware (max-heap) AA cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common import CacheError
+from repro.core import RAIDAwareAACache
+
+
+def full_cache(scores):
+    return RAIDAwareAACache(len(scores), np.asarray(scores, dtype=np.int64))
+
+
+class TestFullBuild:
+    def test_pop_best_order(self):
+        c = full_cache([10, 50, 30, 40, 20])
+        order = [c.pop_best() for _ in range(5)]
+        assert order == [1, 3, 2, 4, 0]
+        assert c.pop_best() is None
+
+    def test_best_score_peeks(self):
+        c = full_cache([10, 50, 30])
+        assert c.best_score() == 50
+        assert c.pop_best() == 1
+        assert c.best_score() == 30
+
+    def test_fully_populated(self):
+        c = full_cache([1, 2, 3])
+        assert c.fully_populated
+        assert c.known_count == 3
+
+    def test_memory_model(self):
+        c = RAIDAwareAACache(1_000_000, np.zeros(1_000_000, dtype=np.int64))
+        # Paper: ~1 MiB for 1M AAs (section 3.3.1).
+        assert c.memory_bytes == 8_000_000
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(CacheError):
+            RAIDAwareAACache(4, np.zeros(3, dtype=np.int64))
+
+
+class TestCheckout:
+    def test_popped_aa_not_returned_twice(self):
+        c = full_cache([5, 5, 5])
+        seen = {c.pop_best(), c.pop_best(), c.pop_best()}
+        assert seen == {0, 1, 2}
+
+    def test_push_back_restores(self):
+        c = full_cache([10, 20])
+        aa = c.pop_best()
+        assert aa == 1
+        c.push_back(1)
+        assert c.pop_best() == 1
+
+    def test_push_back_requires_checkout(self):
+        c = full_cache([10, 20])
+        with pytest.raises(CacheError):
+            c.push_back(0)
+
+    def test_checked_out_tracking(self):
+        c = full_cache([10, 20])
+        c.pop_best()
+        assert c.checked_out == frozenset({1})
+
+
+class TestApplyChanges:
+    def test_rebalance_after_score_change(self):
+        c = full_cache([10, 20, 30])
+        c.apply_changes([(0, 10, 99)])
+        assert c.pop_best() == 0
+
+    def test_checked_out_aa_reinstated_by_change(self):
+        c = full_cache([10, 20])
+        aa = c.pop_best()
+        assert aa == 1
+        c.apply_changes([(1, 20, 5)])
+        assert c.checked_out == frozenset()
+        assert c.pop_best() == 0  # 10 > 5
+        assert c.pop_best() == 1
+
+    def test_stale_entries_invalidated(self):
+        c = full_cache([10, 20, 30])
+        c.apply_changes([(2, 30, 1)])
+        c.apply_changes([(2, 1, 25)])
+        assert [c.pop_best() for _ in range(3)] == [2, 1, 0]
+
+    def test_invariants_after_many_changes(self):
+        rng = np.random.default_rng(0)
+        scores = rng.integers(0, 1000, size=50)
+        c = full_cache(scores)
+        snapshot = scores.copy()
+        for _ in range(200):
+            aa = int(rng.integers(50))
+            if aa in c.checked_out:
+                continue
+            new = int(rng.integers(0, 1000))
+            c.apply_changes([(aa, int(snapshot[aa]), new)])
+            snapshot[aa] = new
+        c.check_invariants()
+        # Drain: must be non-increasing and complete.
+        out = []
+        while True:
+            aa = c.pop_best()
+            if aa is None:
+                break
+            out.append(int(snapshot[aa]))
+        assert out == sorted(out, reverse=True)
+        assert len(out) == 50
+
+    def test_compaction_bounds_heap(self):
+        c = full_cache(list(range(8)))
+        for i in range(1000):
+            c.apply_changes([(i % 8, 0, i % 100)])
+        assert len(c._heap) <= 4 * 8 + 16
+        assert c.compactions > 0
+
+
+class TestSeededMode:
+    def test_starts_unknown(self):
+        c = RAIDAwareAACache(10)
+        assert not c.fully_populated
+        assert c.known_count == 0
+        assert c.pop_best() is None
+
+    def test_populate_makes_available(self):
+        c = RAIDAwareAACache(10)
+        c.populate(3, 50)
+        c.populate(7, 80)
+        assert c.pop_best() == 7
+        assert c.pop_best() == 3
+
+    def test_populate_twice_rejected(self):
+        c = RAIDAwareAACache(10)
+        c.populate(3, 50)
+        with pytest.raises(CacheError):
+            c.populate(3, 60)
+
+    def test_changes_for_unknown_aas_skipped(self):
+        """Score transitions for not-yet-populated AAs are deferred to
+        the background rebuild (TopAA mount path)."""
+        c = RAIDAwareAACache(10)
+        c.populate(0, 5)
+        c.apply_changes([(9, 100, 50)])  # unknown AA: ignored
+        assert c.known_count == 1
+        assert c.score_of(9) == -1
+
+    def test_background_population_completes(self):
+        c = RAIDAwareAACache(6)
+        for aa, s in [(0, 10), (1, 60)]:
+            c.populate(aa, s)
+        for aa in range(2, 6):
+            c.populate(aa, aa * 10)
+        assert c.fully_populated
+        assert c.pop_best() == 1  # 60
+        assert c.pop_best() == 5  # 50

@@ -1,0 +1,106 @@
+"""Property-based tests: the RAID-aware cache against a reference model.
+
+The reference is a plain dict of scores plus a checked-out set.  After
+any sequence of pops, push-backs, and CP-boundary score changes:
+
+* ``pop_best`` must return an AA of maximal score among available ones;
+* no AA is ever handed out twice concurrently;
+* draining the cache yields every available AA exactly once, in
+  non-increasing score order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RAIDAwareAACache
+
+N_AAS = 24
+MAX_SCORE = 500
+
+
+@st.composite
+def op_sequences(draw):
+    return draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["pop", "push_back", "change"]),
+                st.integers(0, N_AAS - 1),
+                st.integers(0, MAX_SCORE),
+            ),
+            max_size=120,
+        )
+    )
+
+
+@given(
+    initial=st.lists(
+        st.integers(0, MAX_SCORE), min_size=N_AAS, max_size=N_AAS
+    ),
+    ops=op_sequences(),
+)
+@settings(max_examples=300, deadline=None)
+def test_heap_cache_against_reference(initial, ops):
+    cache = RAIDAwareAACache(N_AAS, np.asarray(initial, dtype=np.int64))
+    scores = dict(enumerate(initial))
+    out: set[int] = set()
+
+    for kind, aa, score in ops:
+        if kind == "pop":
+            got = cache.pop_best()
+            if got is None:
+                assert len(out) == N_AAS
+                continue
+            assert got not in out
+            available = [s for a, s in scores.items() if a not in out]
+            assert scores[got] == max(available)
+            out.add(got)
+        elif kind == "push_back":
+            if aa in out:
+                cache.push_back(aa)
+                out.discard(aa)
+        else:  # change
+            # Score transitions always reinstate non-held checkouts.
+            cache.apply_changes([(aa, scores[aa], score)])
+            scores[aa] = score
+            out.discard(aa)
+        assert cache.checked_out == frozenset(out)
+
+    # Drain: every available AA exactly once, non-increasing scores.
+    drained = []
+    while True:
+        aa = cache.pop_best()
+        if aa is None:
+            break
+        drained.append(aa)
+    assert sorted(drained) == sorted(a for a in range(N_AAS) if a not in out)
+    drained_scores = [scores[a] for a in drained]
+    assert drained_scores == sorted(drained_scores, reverse=True)
+    cache.check_invariants()
+
+
+@given(
+    initial=st.lists(st.integers(0, MAX_SCORE), min_size=N_AAS, max_size=N_AAS),
+    held_changes=st.lists(st.integers(0, MAX_SCORE), min_size=1, max_size=10),
+)
+@settings(max_examples=100, deadline=None)
+def test_held_aa_not_reissued(initial, held_changes):
+    """An AA held across CP boundaries never re-enters the heap while
+    held, no matter how its score changes."""
+    cache = RAIDAwareAACache(N_AAS, np.asarray(initial, dtype=np.int64))
+    held = cache.pop_best()
+    score = initial[held]
+    for new in held_changes:
+        cache.apply_changes([(held, score, new)], held=frozenset((held,)))
+        score = new
+        assert held in cache.checked_out
+        got = cache.pop_best()
+        if got is not None:
+            assert got != held
+            cache.push_back(got)
+    # Returning it re-inserts at the latest score.
+    cache.push_back(held)
+    assert cache.score_of(held) == score
+    cache.check_invariants()

@@ -1,0 +1,94 @@
+"""Unit tests for AA segment cleaning (paper section 3.3.1 extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common import CacheError
+from repro.core.segment_cleaner import clean_best_aas
+from repro.fs import PolicyKind
+from repro.workloads import RandomOverwriteWorkload, fill_volumes
+
+from ..conftest import small_ssd_sim
+
+
+@pytest.fixture
+def aged():
+    sim = small_ssd_sim()
+    fill_volumes(sim, ops_per_cp=8192)
+    wl = RandomOverwriteWorkload(sim, ops_per_cp=2048, seed=4)
+    sim.run(wl, 10)
+    return sim
+
+
+class TestCleaning:
+    def test_produces_empty_aas(self, aged):
+        g = aged.store.groups[0]
+        before = g.topology.scores_from_bitmap(g.metafile.bitmap)
+        empties_before = int((before == g.topology.aa_blocks).sum())
+        rep = clean_best_aas(aged, 0, n_aas=2)
+        after = g.topology.scores_from_bitmap(g.metafile.bitmap)
+        empties_after = int((after == g.topology.aa_blocks).sum())
+        assert rep.aas_cleaned == 2
+        assert empties_after >= empties_before + (2 - rep.aas_already_empty) - 1
+
+    def test_moves_fewest_blocks_first(self, aged):
+        """Just-in-time cleaning of cache-provided AAs relocates the
+        fewest in-use blocks (the paper's ROI argument)."""
+        g = aged.store.groups[0]
+        scores = g.topology.scores_from_bitmap(g.metafile.bitmap)
+        best = int(scores.max())
+        rep = clean_best_aas(aged, 0, n_aas=1)
+        assert rep.selected_scores
+        # The selected AA was (close to) the emptiest one.
+        assert rep.selected_scores[0] >= best - g.topology.aa_blocks // 10
+
+    def test_preserves_consistency(self, aged):
+        clean_best_aas(aged, 0, n_aas=3)
+        aged.verify_consistency()
+        for g in aged.store.groups:
+            g.keeper.verify_against(g.metafile.bitmap)
+            g.cache.check_invariants()
+
+    def test_data_survives_relocation(self, aged):
+        """Every mapped logical block still resolves to a live physical
+        block after cleaning (the container-map rewrite worked)."""
+        vol = aged.vols["volA"]
+        mapped = np.flatnonzero(vol.l2v >= 0)[:500]
+        clean_best_aas(aged, 0, n_aas=3)
+        p = vol.lookup_physical(mapped)
+        assert p.size == mapped.size
+        g = aged.store.groups[0]
+        local = p - g.offset
+        assert bool(np.all(g.metafile.bitmap.test(local)))
+
+    def test_cleaning_then_workload(self, aged):
+        clean_best_aas(aged, 0, n_aas=2)
+        wl = RandomOverwriteWorkload(aged, ops_per_cp=1024, seed=5)
+        aged.run(wl, 5)
+        aged.verify_consistency()
+
+    def test_report_accounting(self, aged):
+        rep = clean_best_aas(aged, 0, n_aas=2)
+        assert rep.blocks_moved >= rep.map_updates
+        assert rep.aas_cleaned <= 2
+
+    def test_requires_cache(self):
+        sim = small_ssd_sim(aggregate_policy=PolicyKind.RANDOM)
+        fill_volumes(sim, ops_per_cp=8192)
+        with pytest.raises(CacheError):
+            clean_best_aas(sim, 0, n_aas=1)
+
+    def test_improves_subsequent_stripe_quality(self, aged):
+        """Cleaned AAs give the next CPs fuller stripes."""
+        wl = RandomOverwriteWorkload(aged, ops_per_cp=2048, seed=6)
+        aged.run(wl, 3)
+        before = aged.metrics.tail(3).full_stripe_fraction
+        clean_best_aas(aged, 0, n_aas=4)
+        aged.run(wl, 3)
+        after = aged.metrics.tail(3).full_stripe_fraction
+        # At this small sim's utilization stripes are already near-full;
+        # cleaning must not make them worse (the bench ablates the gain
+        # at realistic utilization).
+        assert after >= before - 0.01

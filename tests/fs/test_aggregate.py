@@ -1,0 +1,142 @@
+"""Unit tests for physical stores (RAID aggregates, linear stores)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common import GeometryError
+from repro.fs import (
+    LinearStore,
+    MediaType,
+    PolicyKind,
+    RAIDGroupConfig,
+    RAIDStore,
+)
+
+
+def make_store(n_groups=2, media=MediaType.SSD, **kw):
+    cfgs = [
+        RAIDGroupConfig(
+            ndata=3, nparity=1, blocks_per_disk=8192, media=media, stripes_per_aa=1024
+        )
+        for _ in range(n_groups)
+    ]
+    return RAIDStore(cfgs, **kw)
+
+
+class TestRAIDStore:
+    def test_global_space_concatenates_groups(self):
+        st = make_store()
+        assert st.nblocks == 2 * 3 * 8192
+        assert st.free_count == st.nblocks
+
+    def test_group_of(self):
+        st = make_store()
+        bound = 3 * 8192
+        assert st.group_of(np.array([0, bound - 1, bound])).tolist() == [0, 0, 1]
+
+    def test_allocate_and_free_roundtrip(self):
+        st = make_store()
+        v = st.allocate(1000)
+        assert v.size == 1000
+        assert st.free_count == st.nblocks - 1000
+        st.log_free(v)
+        st.cp_boundary()
+        assert st.free_count == st.nblocks
+
+    def test_cp_report_contents(self):
+        st = make_store()
+        st.allocate(600)
+        rep = st.cp_boundary()
+        assert rep.blocks_written == 600
+        assert rep.device_busy_us > 0
+        assert rep.full_stripes == 200  # 600 blocks / 3 disks
+        assert rep.partial_stripes == 0
+        assert len(rep.groups) == 2
+        assert rep.metafile_blocks >= 2
+        assert rep.spanned_blocks >= 600
+
+    def test_devices_priced_per_group(self):
+        st = make_store()
+        st.allocate(600)
+        rep = st.cp_boundary()
+        assert sum(g.blocks for g in rep.groups) == 600
+        for grp in rep.groups:
+            assert grp.blocks > 0
+            assert grp.busy_us > 0
+            # Empty AAs fill stripe-major: blocks spread evenly on disks.
+            assert grp.blocks_per_disk.max() - grp.blocks_per_disk.min() <= 1
+
+    def test_parity_device_writes(self):
+        st = make_store(n_groups=1)
+        st.allocate(300)
+        st.cp_boundary()
+        parity = st.groups[0].parity_devices[0]
+        assert parity.stats.host_blocks_written == 100  # stripes touched
+
+    def test_ssd_trim_on_free(self):
+        st = make_store(n_groups=1)
+        v = st.allocate(3000)
+        st.cp_boundary()
+        dev = st.groups[0].data_devices[0]
+        assert dev.live_fraction() > 0
+        st.log_free(v)
+        st.cp_boundary()
+        assert dev.live_fraction() == 0.0
+
+    def test_selected_fraction_trace(self):
+        st = make_store()
+        st.allocate(10)
+        fr = st.selected_aa_free_fractions()
+        assert fr.size >= 1
+        assert np.all((fr >= 0) & (fr <= 1))
+
+    def test_charge_reads(self):
+        st = make_store()
+        st.charge_reads(300)
+        rep = st.cp_boundary()
+        assert rep.device_busy_us > 0
+
+    def test_empty_config_rejected(self):
+        with pytest.raises(GeometryError):
+            RAIDStore([])
+
+    def test_random_policy_store(self):
+        st = make_store(policy=PolicyKind.RANDOM, seed=3)
+        v = st.allocate(500)
+        assert v.size == 500
+        st.cp_boundary()
+
+    def test_object_media_rejected_in_raid(self):
+        with pytest.raises(GeometryError):
+            RAIDStore([RAIDGroupConfig(media=MediaType.OBJECT)])
+
+
+class TestLinearStore:
+    def test_allocate_sequential(self):
+        st = LinearStore(32768 * 2, policy=PolicyKind.CACHE)
+        v = st.allocate(100)
+        assert np.all(np.diff(v) == 1)
+
+    def test_cp_boundary_prices_device(self):
+        st = LinearStore(32768 * 2)
+        st.allocate(500)
+        rep = st.cp_boundary()
+        assert rep.blocks_written == 500
+        assert rep.chains == 1
+        assert rep.device_busy_us > 0
+
+    def test_free_path(self):
+        st = LinearStore(32768 * 2)
+        v = st.allocate(100)
+        st.log_free(v)
+        rep = st.cp_boundary()
+        assert rep.blocks_freed == 100
+        assert st.free_count == st.nblocks
+
+    def test_metafile_accounting(self):
+        st = LinearStore(32768 * 4)
+        st.allocate(10)
+        rep = st.cp_boundary()
+        assert rep.metafile_blocks == 1

@@ -1,0 +1,52 @@
+"""Unit tests for the AZCS device layout (paper section 3.2.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fs import azcs_device_blocks, azcs_expand
+
+
+class TestAzcsExpand:
+    def test_full_region_is_contiguous(self):
+        """Writing all 63 data blocks of a region plus its checksum
+        covers LBAs 0..63 with no holes (Figure 4C's good case)."""
+        lbas = azcs_expand(np.arange(63))
+        assert lbas.tolist() == list(range(64))
+
+    def test_single_block_touches_checksum(self):
+        lbas = azcs_expand(np.array([0]))
+        assert lbas.tolist() == [0, 63]
+
+    def test_second_region(self):
+        lbas = azcs_expand(np.array([63]))  # first data block of region 1
+        assert lbas.tolist() == [64, 127]
+
+    def test_straddling_regions(self):
+        lbas = azcs_expand(np.array([62, 63]))
+        assert 63 in lbas and 127 in lbas
+
+    def test_empty(self):
+        assert azcs_expand(np.array([], dtype=np.int64)).size == 0
+
+    def test_output_sorted_unique(self):
+        lbas = azcs_expand(np.arange(0, 200, 3))
+        assert np.array_equal(lbas, np.unique(lbas))
+
+    def test_device_blocks(self):
+        assert azcs_device_blocks(63) == 64
+        assert azcs_device_blocks(126) == 128
+        assert azcs_device_blocks(64) == 66  # 2 regions, second partial
+
+    def test_aligned_aa_no_checksum_rewrites(self):
+        """Consecutive AZCS-aligned extents never share checksum blocks."""
+        a = azcs_expand(np.arange(0, 63 * 4))
+        b = azcs_expand(np.arange(63 * 4, 63 * 8))
+        assert np.intersect1d(a, b).size == 0
+
+    def test_misaligned_aa_shares_checksum(self):
+        """Consecutive misaligned extents write the same checksum block
+        twice — the Figure 4B problem."""
+        a = azcs_expand(np.arange(0, 100))
+        b = azcs_expand(np.arange(100, 200))
+        assert np.intersect1d(a, b).size > 0

@@ -1,0 +1,93 @@
+"""Unit tests for the consistency-point engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common import OutOfSpaceError
+from repro.fs import CPBatch, MediaType, RAIDGroupConfig, VolSpec, WaflSim
+
+from ..conftest import small_ssd_sim
+
+
+def batch(sim, n, seed=0, reads=0):
+    rng = np.random.default_rng(seed)
+    name = next(iter(sim.vols))
+    size = sim.vols[name].spec.logical_blocks
+    return CPBatch(
+        writes={name: rng.integers(0, size, size=n)}, ops=n, reads=reads
+    )
+
+
+class TestRunCP:
+    def test_basic_cp(self, ssd_sim):
+        stats = ssd_sim.engine.run_cp(batch(ssd_sim, 500))
+        assert stats.ops == 500
+        assert stats.physical_blocks > 0
+        assert stats.physical_blocks == stats.virtual_blocks
+        assert stats.cpu_us > 0
+        assert stats.device_busy_us > 0
+
+    def test_duplicate_writes_coalesce(self, ssd_sim):
+        name = next(iter(ssd_sim.vols))
+        ids = np.array([7, 7, 7, 8])
+        stats = ssd_sim.engine.run_cp(CPBatch(writes={name: ids}, ops=4))
+        assert stats.physical_blocks == 2
+
+    def test_overwrites_free_previous(self, ssd_sim):
+        name = next(iter(ssd_sim.vols))
+        ids = np.arange(100)
+        ssd_sim.engine.run_cp(CPBatch(writes={name: ids}, ops=100))
+        s2 = ssd_sim.engine.run_cp(CPBatch(writes={name: ids}, ops=100))
+        # Old virtual + physical pairs freed at the second CP boundary.
+        assert s2.blocks_freed == 200
+
+    def test_deletes_free_both_spaces(self, ssd_sim):
+        name = next(iter(ssd_sim.vols))
+        ids = np.arange(50)
+        ssd_sim.engine.run_cp(CPBatch(writes={name: ids}, ops=50))
+        before = ssd_sim.store.free_count
+        s = ssd_sim.engine.run_cp(CPBatch(deletes={name: ids}, ops=50))
+        assert s.blocks_freed == 100  # 50 virtual + 50 physical
+        assert ssd_sim.store.free_count == before + 50
+
+    def test_reads_charge_devices(self, ssd_sim):
+        s0 = ssd_sim.engine.run_cp(batch(ssd_sim, 10))
+        s1 = ssd_sim.engine.run_cp(batch(ssd_sim, 10, reads=5000))
+        assert s1.device_busy_us > s0.device_busy_us
+
+    def test_out_of_space(self):
+        phys = 3 * 8192
+        sim = WaflSim.build_raid(
+            [RAIDGroupConfig(ndata=3, nparity=1, blocks_per_disk=8192,
+                             media=MediaType.SSD, stripes_per_aa=1024)],
+            # Virtual space far exceeds physical so the aggregate
+            # exhausts first.
+            [VolSpec("v", logical_blocks=phys - 100,
+                     virtual_blocks=8 * phys - (8 * phys) % 32768)],
+            seed=0,
+        )
+        with pytest.raises(OutOfSpaceError):
+            for i in range(50):
+                ids = np.arange(sim.vols["v"].spec.logical_blocks)
+                sim.engine.run_cp(CPBatch(writes={"v": ids}, ops=10))
+                # Defeat physical freeing so space leaks.
+                for g in sim.store.groups:
+                    g.delayed_frees._per_block.clear()
+                    g.delayed_frees._pending.clear()
+
+    def test_metrics_accumulate(self, ssd_sim):
+        ssd_sim.engine.run_cp(batch(ssd_sim, 100))
+        ssd_sim.engine.run_cp(batch(ssd_sim, 100))
+        assert ssd_sim.metrics.total_ops == 200
+        assert len(ssd_sim.metrics.cps) == 2
+        assert ssd_sim.metrics.cps[1].cp_index == 1
+
+    def test_cache_maintenance_tracked(self, ssd_sim):
+        ssd_sim.engine.run_cp(batch(ssd_sim, 200))
+        assert ssd_sim.engine.cache_maintenance_us > 0
+
+    def test_empty_batch(self, ssd_sim):
+        stats = ssd_sim.engine.run_cp(CPBatch(ops=0))
+        assert stats.physical_blocks == 0

@@ -1,0 +1,43 @@
+"""Smoke tests for the library-level experiment runners (quick mode)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (
+    fig9_tables,
+    fig10_tables,
+    run_fig9,
+    run_fig10,
+)
+
+
+class TestQuickRunners:
+    def test_fig9_quick_shape(self):
+        results = run_fig9(quick=True)
+        small = results["HDD-sized AA (4k stripes)"]
+        aligned = results["SMR AA (zone + AZCS aligned)"]
+        assert small["rewrites"] > aligned["rewrites"]
+        assert aligned["drive_mbps"] > small["drive_mbps"]
+        tables = fig9_tables(results)
+        assert len(tables) == 2
+        assert "Figure 9" in tables[0]
+
+    def test_fig10_quick_shape(self):
+        size_rows, size_series, count_rows, count_series = run_fig10(quick=True)
+        # TopAA flat in size, walk linear.
+        assert (
+            size_series[(4, True)]["blocks_read"]
+            == size_series[(16, True)]["blocks_read"]
+        )
+        assert (
+            size_series[(16, False)]["blocks_read"]
+            > 2 * size_series[(4, False)]["blocks_read"]
+        )
+        assert (
+            count_series[(16, False)]["blocks_read"]
+            > 10 * count_series[(16, True)]["blocks_read"]
+        )
+        tables = fig10_tables(size_rows, count_rows)
+        assert "Figure 10(A)" in tables[0]
+        assert "Figure 10(B)" in tables[1]

@@ -1,0 +1,91 @@
+"""Tests for Flash Pool-style mixed-media tiering (extension;
+paper section 2.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fs import CPBatch, MediaType, RAIDGroupConfig, VolSpec, WaflSim
+
+
+def build_flash_pool(seed=0):
+    groups = [
+        RAIDGroupConfig(ndata=3, nparity=1, blocks_per_disk=16384,
+                        media=MediaType.SSD, stripes_per_aa=2048),
+        RAIDGroupConfig(ndata=3, nparity=1, blocks_per_disk=32768,
+                        media=MediaType.HDD, stripes_per_aa=4096),
+        RAIDGroupConfig(ndata=3, nparity=1, blocks_per_disk=32768,
+                        media=MediaType.HDD, stripes_per_aa=4096),
+    ]
+    vols = [VolSpec("db", logical_blocks=60_000)]
+    return WaflSim.build_raid(groups, vols, seed=seed)
+
+
+class TestTiering:
+    def test_detection(self):
+        sim = build_flash_pool()
+        assert sim.store.supports_tiering
+        assert sim.store.media_kinds == [MediaType.SSD, MediaType.HDD, MediaType.HDD]
+
+    def test_all_ssd_is_not_tiered(self):
+        groups = [RAIDGroupConfig(ndata=3, nparity=1, blocks_per_disk=16384,
+                                  media=MediaType.SSD, stripes_per_aa=2048)]
+        sim = WaflSim.build_raid(groups, [VolSpec("v", logical_blocks=10000)])
+        assert not sim.store.supports_tiering
+
+    def test_first_writes_land_on_capacity_tier(self):
+        sim = build_flash_pool()
+        sim.engine.run_cp(CPBatch(writes={"db": np.arange(5000)}, ops=5000))
+        ssd_used = sim.store.groups[0].metafile.bitmap.allocated_count
+        hdd_used = sum(
+            g.metafile.bitmap.allocated_count for g in sim.store.groups[1:]
+        )
+        assert ssd_used == 0
+        assert hdd_used == 5000
+
+    def test_overwrites_land_on_ssd_tier(self):
+        sim = build_flash_pool()
+        sim.engine.run_cp(CPBatch(writes={"db": np.arange(5000)}, ops=5000))
+        sim.engine.run_cp(CPBatch(writes={"db": np.arange(2000)}, ops=2000))
+        ssd_used = sim.store.groups[0].metafile.bitmap.allocated_count
+        assert ssd_used == 2000
+
+    def test_fallback_when_ssd_full(self):
+        sim = build_flash_pool()
+        ssd_capacity = sim.store.groups[0].topology.nblocks
+        sim.engine.run_cp(CPBatch(writes={"db": np.arange(60_000)}, ops=60_000))
+        # Overwrite more than the SSD tier can hold: spills to HDD.
+        sim.engine.run_cp(CPBatch(writes={"db": np.arange(56_000)}, ops=56_000))
+        ssd_used = sim.store.groups[0].metafile.bitmap.allocated_count
+        assert ssd_used <= ssd_capacity
+        assert sim.utilization > 0
+        sim.verify_consistency()
+
+    def test_mixed_batch_splits(self):
+        sim = build_flash_pool()
+        sim.engine.run_cp(CPBatch(writes={"db": np.arange(1000)}, ops=1000))
+        # Half overwrites (hot), half fresh (cold).
+        ids = np.arange(500, 1500)
+        sim.engine.run_cp(CPBatch(writes={"db": ids}, ops=1000))
+        ssd_used = sim.store.groups[0].metafile.bitmap.allocated_count
+        assert ssd_used == 500
+        sim.verify_consistency()
+
+    def test_explicit_tier_allocation(self):
+        sim = build_flash_pool()
+        fast = sim.store.allocate(100, tier="fast")
+        cap = sim.store.allocate(100, tier="capacity")
+        ssd_span = sim.store.groups[0].topology.nblocks
+        assert (fast < ssd_span).all()
+        assert (cap >= ssd_span).all()
+
+    def test_tiered_consistency_under_churn(self):
+        sim = build_flash_pool(seed=3)
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            ids = rng.integers(0, 60_000, size=2000)
+            sim.engine.run_cp(CPBatch(writes={"db": ids}, ops=2000))
+        sim.verify_consistency()
+        for g in sim.store.groups:
+            g.keeper.verify_against(g.metafile.bitmap)

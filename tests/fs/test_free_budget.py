@@ -1,0 +1,88 @@
+"""Tests for HBPS-budgeted delayed-free application (paper's second
+HBPS use: delayed-free scores)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fs import CPBatch
+from repro.workloads import RandomOverwriteWorkload, fill_volumes
+
+from ..conftest import small_ssd_sim
+
+
+class TestFreeBudget:
+    def test_budget_defers_frees(self):
+        sim = small_ssd_sim()
+        fill_volumes(sim, ops_per_cp=8192)
+        sim.set_free_budget(1)
+        size = sim.vols["volA"].spec.logical_blocks
+        rng = np.random.default_rng(0)
+        ids = rng.integers(0, size, size=3000)
+        sim.engine.run_cp(CPBatch(writes={"volA": ids}, ops=3000))
+        sim.engine.run_cp(CPBatch(writes={"volA": ids}, ops=3000))
+        # With a 1-metafile-block budget, random frees cannot all drain.
+        pending = sum(g.delayed_frees.pending_count for g in sim.store.groups)
+        assert pending > 0
+
+    def test_budget_eventually_drains(self):
+        sim = small_ssd_sim()
+        fill_volumes(sim, ops_per_cp=8192)
+        sim.set_free_budget(4)
+        size = sim.vols["volA"].spec.logical_blocks
+        rng = np.random.default_rng(1)
+        sim.engine.run_cp(
+            CPBatch(writes={"volA": rng.integers(0, size, 2000)}, ops=2000)
+        )
+        # Idle CPs keep applying the backlog.
+        for _ in range(40):
+            sim.engine.run_cp(CPBatch(ops=0))
+        pending = sum(g.delayed_frees.pending_count for g in sim.store.groups)
+        pending += sum(v.delayed_frees.pending_count for v in sim.vols.values())
+        assert pending == 0
+        sim.verify_consistency()
+
+    def test_budget_prefers_dense_blocks(self):
+        """The budgeted path frees more blocks per metafile block
+        touched than FIFO order would: it picks the fullest logs."""
+        sim = small_ssd_sim()
+        fill_volumes(sim, ops_per_cp=8192)
+        sim.set_free_budget(1)
+        vol = sim.vols["volA"]
+        # One dense run of frees and a scattering.
+        dense = np.arange(0, 1000)
+        rng = np.random.default_rng(2)
+        sparse = rng.integers(5000, vol.spec.logical_blocks, size=50)
+        sim.engine.run_cp(
+            CPBatch(writes={"volA": np.concatenate([dense, sparse])}, ops=1050)
+        )
+        # This CP logged 1050 virtual frees (dense old VBNs from the
+        # sequential fill plus scattered ones) and its boundary applied
+        # one metafile block's worth: the dense population goes first.
+        applied = vol.delayed_frees.total_logged - vol.delayed_frees.pending_count
+        assert applied >= 500
+
+    def test_unset_budget_restores_full_drain(self):
+        sim = small_ssd_sim()
+        fill_volumes(sim, ops_per_cp=8192)
+        sim.set_free_budget(1)
+        sim.set_free_budget(None)
+        size = sim.vols["volA"].spec.logical_blocks
+        rng = np.random.default_rng(3)
+        sim.engine.run_cp(
+            CPBatch(writes={"volA": rng.integers(0, size, 2000)}, ops=2000)
+        )
+        sim.engine.run_cp(CPBatch(ops=0))
+        pending = sum(g.delayed_frees.pending_count for g in sim.store.groups)
+        assert pending == 0
+
+    def test_consistency_under_budgeted_churn(self):
+        sim = small_ssd_sim()
+        fill_volumes(sim, ops_per_cp=8192)
+        sim.set_free_budget(2)
+        wl = RandomOverwriteWorkload(sim, ops_per_cp=1024, seed=4)
+        sim.run(wl, 10)
+        for _ in range(60):  # drain
+            sim.engine.run_cp(CPBatch(ops=0))
+        sim.verify_consistency()

@@ -1,0 +1,120 @@
+"""Tests for the Iron checker/repair tool (extension; paper section 3.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fs import CPBatch
+from repro.fs.iron import repair, scan
+from repro.workloads import RandomOverwriteWorkload, fill_volumes
+
+from ..conftest import small_ssd_sim
+
+
+@pytest.fixture
+def sim():
+    s = small_ssd_sim()
+    fill_volumes(s, ops_per_cp=8192)
+    s.run(RandomOverwriteWorkload(s, ops_per_cp=1024, seed=3), 5)
+    return s
+
+
+class TestScan:
+    def test_clean_system_scans_clean(self, sim):
+        rep = scan(sim)
+        assert rep.clean, [str(f) for f in rep.findings]
+
+    def test_detects_virtual_leak(self, sim):
+        vol = sim.vols["volA"]
+        free = vol.topology.free_vbns(vol.metafile.bitmap, vol.topology.num_aas - 1,
+                                      limit=7)
+        vol.metafile.bitmap.allocate(free)  # orphan allocations
+        rep = scan(sim)
+        assert rep.count("leaked") == 7
+
+    def test_detects_virtual_corruption(self, sim):
+        vol = sim.vols["volA"]
+        mapped = vol.l2v[vol.l2v >= 0][:5]
+        vol.metafile.bitmap.free(mapped)  # referenced blocks marked free
+        rep = scan(sim)
+        assert rep.count("corrupt") == 5
+
+    def test_detects_physical_corruption(self, sim):
+        g = sim.store.groups[0]
+        vol = sim.vols["volA"]
+        p = vol.v2p[vol.v2p >= 0][:3] - g.offset
+        g.metafile.bitmap.free(p)
+        rep = scan(sim)
+        assert rep.count("corrupt") == 3
+
+    def test_detects_score_divergence(self, sim):
+        g = sim.store.groups[0]
+        g.keeper._scores[0] += 1  # simulated memory scribble
+        rep = scan(sim)
+        assert rep.count("score-divergence") >= 1
+
+    def test_snapshot_held_blocks_are_not_leaks(self, sim):
+        sim.create_snapshot("volA", "s")
+        size = sim.vols["volA"].spec.logical_blocks
+        rng = np.random.default_rng(1)
+        sim.engine.run_cp(
+            CPBatch(writes={"volA": rng.integers(0, size, 500)}, ops=500)
+        )
+        rep = scan(sim)
+        assert rep.clean, [str(f) for f in rep.findings]
+
+
+class TestRepair:
+    def test_repair_fixes_corruption(self, sim):
+        vol = sim.vols["volA"]
+        mapped = vol.l2v[vol.l2v >= 0][:5]
+        vol.metafile.bitmap.free(mapped)
+        g = sim.store.groups[0]
+        g.keeper._scores[0] += 3
+        rep = repair(sim)
+        assert rep.repaired
+        assert not rep.clean  # it found the damage...
+        assert scan(sim).clean  # ...and fixed it
+        sim.verify_consistency()
+
+    def test_repair_reclaims_leaks(self, sim):
+        g = sim.store.groups[0]
+        free_before = g.metafile.free_count
+        # Orphan 64 physical blocks (allocated, never referenced).
+        orphans = g.topology.free_vbns(g.metafile.bitmap, 0, limit=64)
+        g.metafile.bitmap.allocate(orphans)
+        repair(sim)
+        assert g.metafile.free_count == free_before
+        assert scan(sim).clean
+
+    def test_system_runs_after_repair(self, sim):
+        vol = sim.vols["volA"]
+        mapped = vol.l2v[vol.l2v >= 0][:10]
+        vol.metafile.bitmap.free(mapped)
+        repair(sim)
+        sim.run(RandomOverwriteWorkload(sim, ops_per_cp=1024, seed=5), 5)
+        sim.verify_consistency()
+        assert scan(sim).clean
+
+    def test_repair_on_clean_system_is_idempotent(self, sim):
+        u_before = sim.utilization
+        rep = repair(sim)
+        assert rep.clean
+        assert sim.utilization == pytest.approx(u_before)
+        sim.verify_consistency()
+
+    def test_repair_object_store(self):
+        from repro.fs import VolSpec, WaflSim
+
+        s = WaflSim.build_object(32768 * 2, [VolSpec("v", logical_blocks=20000)],
+                                 seed=0)
+        fill_volumes(s, ops_per_cp=8192)
+        vol = s.vols["v"]
+        mapped = vol.l2v[vol.l2v >= 0][:5]
+        s.store.metafile.bitmap.free(vol.v2p[mapped])
+        assert scan(s).count("corrupt") == 5
+        repair(s)
+        assert scan(s).clean
+        s.run(RandomOverwriteWorkload(s, ops_per_cp=512, seed=1), 3)
+        s.verify_consistency()

@@ -1,0 +1,109 @@
+"""Unit tests for the TopAA mount path (paper section 3.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fs import (
+    CPBatch,
+    background_rebuild,
+    export_topaa,
+    simulate_mount,
+)
+from repro.workloads import RandomOverwriteWorkload, fill_volumes
+
+from ..conftest import small_ssd_sim
+
+
+@pytest.fixture
+def aged_sim():
+    sim = small_ssd_sim()
+    fill_volumes(sim, ops_per_cp=8192)
+    wl = RandomOverwriteWorkload(sim, ops_per_cp=2048, seed=3)
+    sim.run(wl, 10)
+    return sim
+
+
+class TestExport:
+    def test_image_shape(self, aged_sim):
+        img = export_topaa(aged_sim)
+        assert len(img.group_blocks) == 1
+        assert set(img.vol_pages) == {"volA", "volB"}
+        assert img.total_blocks == 1 + 2 * 2
+
+    def test_blocks_are_4k(self, aged_sim):
+        img = export_topaa(aged_sim)
+        assert all(len(b) == 4096 for b in img.group_blocks)
+        assert all(len(p) == 8192 for p in img.vol_pages.values())
+
+
+class TestMountPaths:
+    def test_topaa_mount_reads_constant_blocks(self, aged_sim):
+        img = export_topaa(aged_sim)
+        rep = simulate_mount(aged_sim, img)
+        assert rep.used_topaa
+        assert rep.blocks_read == img.total_blocks
+        assert rep.caches_built == 3
+
+    def test_full_rebuild_reads_all_metafiles(self, aged_sim):
+        expected = sum(
+            g.metafile.metafile_block_count for g in aged_sim.store.groups
+        ) + sum(v.metafile.metafile_block_count for v in aged_sim.vols.values())
+        rep = simulate_mount(aged_sim, None)
+        assert not rep.used_topaa
+        assert rep.blocks_read == expected
+        assert rep.modeled_read_us > 0
+
+    def test_cps_run_after_topaa_mount(self, aged_sim):
+        img = export_topaa(aged_sim)
+        simulate_mount(aged_sim, img)
+        wl = RandomOverwriteWorkload(aged_sim, ops_per_cp=1024, seed=5)
+        aged_sim.run(wl, 5)
+        aged_sim.verify_consistency()
+
+    def test_cps_run_after_full_rebuild(self, aged_sim):
+        simulate_mount(aged_sim, None)
+        wl = RandomOverwriteWorkload(aged_sim, ops_per_cp=1024, seed=5)
+        aged_sim.run(wl, 5)
+        aged_sim.verify_consistency()
+
+    def test_seeded_selection_quality(self, aged_sim):
+        """AAs selected right after a TopAA mount are high quality —
+        the whole point of persisting the best AAs."""
+        img = export_topaa(aged_sim)
+        simulate_mount(aged_sim, img)
+        from repro.workloads import reset_measurement_state
+
+        reset_measurement_state(aged_sim)
+        wl = RandomOverwriteWorkload(aged_sim, ops_per_cp=1024, seed=5)
+        aged_sim.run(wl, 3)
+        sel = aged_sim.store.selected_aa_free_fractions()
+        overall_free = 1 - aged_sim.utilization
+        assert sel.size > 0
+        assert sel.mean() >= overall_free * 0.9
+
+
+class TestBackgroundRebuild:
+    def test_rebuild_completes_seeded_state(self, aged_sim):
+        img = export_topaa(aged_sim)
+        simulate_mount(aged_sim, img)
+        rep = background_rebuild(aged_sim)
+        assert rep["hbps_caches_refreshed"] == 2
+        for vol in aged_sim.vols.values():
+            assert not vol.cache.seeded
+        for g in aged_sim.store.groups:
+            assert g.cache.fully_populated
+
+    def test_rebuild_then_cps_consistent(self, aged_sim):
+        img = export_topaa(aged_sim)
+        simulate_mount(aged_sim, img)
+        background_rebuild(aged_sim)
+        wl = RandomOverwriteWorkload(aged_sim, ops_per_cp=1024, seed=6)
+        aged_sim.run(wl, 5)
+        aged_sim.verify_consistency()
+
+    def test_rebuild_noop_after_full_mount(self, aged_sim):
+        simulate_mount(aged_sim, None)
+        rep = background_rebuild(aged_sim)
+        assert rep == {"heap_aas_populated": 0, "hbps_caches_refreshed": 0}

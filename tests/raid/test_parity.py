@@ -1,0 +1,92 @@
+"""Unit tests for stripe-write classification and parity accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.raid import RAIDGeometry, analyze_raid_writes, chain_lengths
+
+
+@pytest.fixture
+def g():
+    return RAIDGeometry(ndata=4, nparity=1, blocks_per_disk=1024)
+
+
+class TestChainLengths:
+    def test_single_run(self):
+        assert chain_lengths(np.array([3, 4, 5])).tolist() == [3]
+
+    def test_multiple_runs(self):
+        assert chain_lengths(np.array([0, 1, 5, 9, 10, 11])).tolist() == [2, 1, 3]
+
+    def test_empty(self):
+        assert chain_lengths(np.array([])).size == 0
+
+    def test_sums_to_input(self):
+        d = np.array([0, 2, 3, 4, 9])
+        assert chain_lengths(d).sum() == d.size
+
+
+class TestAnalyze:
+    def test_full_stripe(self, g):
+        stats = analyze_raid_writes(g, g.stripe_vbns(0))
+        assert stats.full_stripes == 1
+        assert stats.partial_stripes == 0
+        assert stats.parity_blocks_read == 0
+        assert stats.parity_blocks_written == 1
+        assert stats.full_stripe_fraction == 1.0
+
+    def test_partial_stripe_parity_reads(self, g):
+        # One block of a 4-wide stripe: subtractive = 1+1=2 reads,
+        # reconstructive = 3 reads -> 2.
+        stats = analyze_raid_writes(g, np.array([0]))
+        assert stats.partial_stripes == 1
+        assert stats.parity_blocks_read == 2
+
+    def test_nearly_full_stripe_uses_reconstruction(self, g):
+        # 3 of 4 blocks: subtractive = 3+1 = 4; reconstructive = 1.
+        v = g.stripe_vbns(0)[:3]
+        stats = analyze_raid_writes(g, v)
+        assert stats.parity_blocks_read == 1
+
+    def test_blocks_per_disk(self, g):
+        v = np.concatenate([g.stripe_vbns(0), np.array([1])])  # extra on disk 0
+        stats = analyze_raid_writes(g, v)
+        assert stats.blocks_per_disk.tolist() == [2, 1, 1, 1]
+
+    def test_chains_per_disk(self, g):
+        # Disk 0: dbns 0,1,2 and 10 -> 2 chains; disk 1: dbn 0 -> 1.
+        v = np.array([0, 1, 2, 10, 1024])
+        stats = analyze_raid_writes(g, v)
+        assert stats.chains_per_disk.tolist() == [2, 1, 0, 0]
+        assert stats.total_chains == 3
+        assert stats.mean_chain_length == pytest.approx(5 / 3)
+
+    def test_tetris_counting(self, g):
+        # Stripes 0 and 63 share a tetris; stripe 64 starts the next.
+        v = np.concatenate([g.stripe_vbns(0), g.stripe_vbns(63), g.stripe_vbns(64)])
+        stats = analyze_raid_writes(g, v)
+        assert stats.tetrises == 2
+
+    def test_empty_input(self, g):
+        stats = analyze_raid_writes(g, np.array([], dtype=np.int64))
+        assert stats.data_blocks == 0
+        assert stats.stripes_written == 0
+        assert stats.mean_chain_length == 0.0
+
+    def test_raid_dp_parity_writes(self):
+        g2 = RAIDGeometry(ndata=4, nparity=2, blocks_per_disk=1024)
+        stats = analyze_raid_writes(g2, g2.stripe_vbns(0))
+        assert stats.parity_blocks_written == 2
+
+    def test_fragmentation_raises_partial_fraction(self, g):
+        """The Figure 1 story: scattered writes -> partial stripes."""
+        rng = np.random.default_rng(0)
+        scattered = rng.choice(g.data_blocks, size=64, replace=False)
+        dense = np.concatenate([g.stripe_vbns(s) for s in range(16)])
+        frag = analyze_raid_writes(g, scattered)
+        tight = analyze_raid_writes(g, dense)
+        assert frag.full_stripe_fraction < tight.full_stripe_fraction
+        assert frag.parity_blocks_read > tight.parity_blocks_read
+        assert frag.mean_chain_length < tight.mean_chain_length

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface and bench harness helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ConfigResult, fmt_table
+from repro.cli import main
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "ICPP 2018" in out
+        assert "BLOCK_SIZE" in out
+
+    def test_fig10_quick(self, capsys):
+        assert main(["fig10", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10(A)" in out
+        assert "Figure 10(B)" in out
+        assert "TopAA" in out
+
+    def test_fig9_quick(self, capsys):
+        assert main(["fig9", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "drive-throughput gain" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["definitely-not-a-command"])
+
+
+class TestHarness:
+    def test_fmt_table_alignment(self):
+        t = fmt_table(["a", "bee"], [[1, 2.5], [333, 0.001]], title="T")
+        lines = t.splitlines()
+        assert lines[0] == "T"
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows equal width
+
+    def test_fmt_table_thousands(self):
+        t = fmt_table(["x"], [[123456.0]])
+        assert "123,456" in t
+
+    def test_config_result_capacity(self):
+        r = ConfigResult(
+            label="x", cpu_us_per_op=200.0, device_us_per_op=20.0,
+            agg_selected_free=0, vol_selected_free=0, aggregate_free=0,
+            write_amplification=1, metafile_blocks_per_op=0,
+            full_stripe_fraction=0, mean_chain_length=0,
+        )
+        # 20 cores / 200us = 100k; device 1e6/20 = 50k -> device-bound.
+        assert r.capacity_ops == pytest.approx(50_000)
+
+    def test_config_result_curve_monotone_latency(self):
+        import numpy as np
+
+        r = ConfigResult(
+            label="x", cpu_us_per_op=100.0, device_us_per_op=10.0,
+            agg_selected_free=0, vol_selected_free=0, aggregate_free=0,
+            write_amplification=1, metafile_blocks_per_op=0,
+            full_stripe_fraction=0, mean_chain_length=0,
+        )
+        pts = r.curve(np.linspace(100, 20000, 10))
+        lats = [p.latency_ms for p in pts]
+        assert lats == sorted(lats)
