@@ -14,7 +14,23 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record of every evaluation figure.
 """
 
-from .common import BLOCK_SIZE, RAID_AGNOSTIC_AA_BLOCKS, TETRIS_STRIPES
+from .common import (
+    BLOCK_SIZE,
+    RAID_AGNOSTIC_AA_BLOCKS,
+    TETRIS_STRIPES,
+    DegradedError,
+    FaultError,
+    MediaError,
+    TransientIOError,
+)
+from .faults import (
+    ChaosScenario,
+    FaultInjector,
+    FaultKind,
+    RecoveryMetrics,
+    default_scenario,
+    run_chaos,
+)
 from .core import (
     HBPS,
     AggregateAllocator,
@@ -58,6 +74,16 @@ __all__ = [
     "BLOCK_SIZE",
     "RAID_AGNOSTIC_AA_BLOCKS",
     "TETRIS_STRIPES",
+    "DegradedError",
+    "FaultError",
+    "MediaError",
+    "TransientIOError",
+    "ChaosScenario",
+    "FaultInjector",
+    "FaultKind",
+    "RecoveryMetrics",
+    "default_scenario",
+    "run_chaos",
     "HBPS",
     "AggregateAllocator",
     "LinearAATopology",

@@ -38,3 +38,21 @@ class SerializationError(ReproError):
 
 class MountError(ReproError):
     """Failure while mounting an aggregate or FlexVol."""
+
+
+class FaultError(ReproError):
+    """Base class for injected-fault I/O failures (:mod:`repro.faults`)."""
+
+
+class TransientIOError(FaultError):
+    """A read failed transiently; retrying (with backoff) may succeed."""
+
+
+class MediaError(FaultError):
+    """Media damage that RAID could not reconstruct (paper section 3.4:
+    the case that escalates to WAFL Iron)."""
+
+
+class DegradedError(MediaError):
+    """A RAID group has more failed devices than its parity budget can
+    reconstruct; reads through the missing data are impossible."""

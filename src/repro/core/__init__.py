@@ -8,6 +8,7 @@ from .hbps_cache import RAIDAgnosticAACache
 from .heap_cache import RAIDAwareAACache
 from .policies import (
     AASource,
+    BitmapWalkSource,
     HBPSSource,
     HeapSource,
     LinearScanSource,
@@ -23,7 +24,12 @@ from .sizing import (
     fit_aa_size,
 )
 from .topaa import (
+    PAGE_KIND_HBPS,
+    PAGE_KIND_HEAP_SEED,
+    TOPAA_HEADER_BYTES,
     deserialize_heap_seed,
+    seal_page,
+    unseal_page,
     load_hbps_cache,
     seed_heap_cache,
     serialize_heap_seed,
@@ -41,6 +47,7 @@ __all__ = [
     "RAIDAgnosticAACache",
     "RAIDAwareAACache",
     "AASource",
+    "BitmapWalkSource",
     "HBPSSource",
     "HeapSource",
     "LinearScanSource",
@@ -53,7 +60,12 @@ __all__ = [
     "aa_size_for_ssd",
     "aa_size_raid_agnostic",
     "fit_aa_size",
+    "PAGE_KIND_HBPS",
+    "PAGE_KIND_HEAP_SEED",
+    "TOPAA_HEADER_BYTES",
     "deserialize_heap_seed",
+    "seal_page",
+    "unseal_page",
     "load_hbps_cache",
     "seed_heap_cache",
     "serialize_heap_seed",

@@ -33,6 +33,7 @@ __all__ = [
     "HBPSSource",
     "RandomSource",
     "LinearScanSource",
+    "BitmapWalkSource",
 ]
 
 
@@ -147,6 +148,57 @@ class RandomSource:
         for aa in range(self.num_aas):
             if aa not in self._out:
                 self._out.add(aa)
+                return aa
+        return None
+
+    def return_aa(self, aa: int, score: int) -> None:
+        self._out.discard(aa)
+
+    def cp_flush(
+        self, changes: list[ScoreChange], held: frozenset[int] = frozenset()
+    ) -> None:
+        for aa, _old, _new in changes:
+            if aa not in held:
+                self._out.discard(aa)
+
+    def best_score(self) -> int | None:
+        return None
+
+
+class BitmapWalkSource:
+    """Degraded-mode fallback: consult the bitmap directly per AA.
+
+    Used while a file system's AA cache is being rebuilt after damage
+    (:mod:`repro.faults`): the source walks AAs in ring order and only
+    proposes AAs the bitmap says have free blocks, so allocation never
+    fails while the cache is offline — at the cost of scanning bitmap
+    bits on every selection (the very cost the caches exist to avoid;
+    see paper section 2.5).
+    """
+
+    def __init__(self, topology, metafile) -> None:
+        self.topology = topology
+        self.metafile = metafile
+        self._cursor = 0
+        self._out: set[int] = set()
+        #: AAs handed out while degraded (recovery metric).
+        self.selects = 0
+        #: Bitmap bits examined finding them (the degradation cost).
+        self.bits_scanned = 0
+
+    def next_aa(self) -> int | None:
+        num = self.topology.num_aas
+        if len(self._out) >= num:
+            return None
+        for _ in range(num):
+            aa = self._cursor
+            self._cursor = (self._cursor + 1) % num
+            if aa in self._out:
+                continue
+            self.bits_scanned += self.topology.aa_blocks
+            if self.topology.aa_score(self.metafile.bitmap, aa) > 0:
+                self._out.add(aa)
+                self.selects += 1
                 return aa
         return None
 

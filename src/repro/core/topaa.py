@@ -20,6 +20,9 @@ Two on-disk layouts, both reproduced here byte-for-byte in spirit:
 
 from __future__ import annotations
 
+import struct
+import zlib
+
 import numpy as np
 
 from ..common.constants import BLOCK_SIZE, TOPAA_RAID_AWARE_ENTRIES
@@ -33,9 +36,81 @@ __all__ = [
     "seed_heap_cache",
     "serialize_hbps_cache",
     "load_hbps_cache",
+    "seal_page",
+    "unseal_page",
+    "TOPAA_HEADER_BYTES",
+    "PAGE_KIND_HEAP_SEED",
+    "PAGE_KIND_HBPS",
 ]
 
 _SENTINEL = np.uint32(0xFFFFFFFF)
+
+# ----------------------------------------------------------------------
+# Sealed-page envelope: every persisted TopAA page carries a checksum
+# header so a corrupt, truncated, or stale page is detected at mount
+# instead of seeding garbage caches.  This models WAFL's per-block
+# checksums (the BCS trailer / AZCS checksum blocks of section 3.2.4)
+# applied to the TopAA metafile: the header rides in the block's
+# checksum area, so the *modeled* read cost stays one 4 KiB block per
+# RAID group and two per FlexVol.
+# ----------------------------------------------------------------------
+
+_PAGE_MAGIC = 0x41416F54  # "ToAA"
+_PAGE_VERSION = 1
+#: magic u32 | version u16 | kind u16 | num_aas u32 | payload_len u32 | crc32 u32
+_PAGE_HEADER = struct.Struct("<IHHIII")
+TOPAA_HEADER_BYTES = _PAGE_HEADER.size
+
+PAGE_KIND_HEAP_SEED = 1
+PAGE_KIND_HBPS = 2
+
+
+def seal_page(payload: bytes, kind: int, num_aas: int) -> bytes:
+    """Wrap a serialized TopAA payload with its checksum header.
+
+    ``num_aas`` records the topology the page was exported for, so a
+    page persisted before a grow/shrink (or for a different file
+    system) is detected as stale rather than silently seeding a cache
+    of the wrong shape.
+    """
+    header = _PAGE_HEADER.pack(
+        _PAGE_MAGIC, _PAGE_VERSION, kind, num_aas, len(payload),
+        zlib.crc32(payload),
+    )
+    return header + payload
+
+
+def unseal_page(blob: bytes, kind: int, num_aas: int) -> bytes:
+    """Verify and strip a sealed page's header, returning the payload.
+
+    Raises :class:`SerializationError` whose message names the failure
+    (``truncated``, ``bad-magic``, ``bad-version``, ``wrong-kind``,
+    ``stale``, or ``bad-crc``) — the mount path uses these to decide a
+    per-filesystem fallback to the bitmap walk.
+    """
+    if len(blob) < TOPAA_HEADER_BYTES:
+        raise SerializationError("TopAA page truncated: header incomplete")
+    magic, version, pkind, page_aas, payload_len, crc = _PAGE_HEADER.unpack_from(blob, 0)
+    if magic != _PAGE_MAGIC:
+        raise SerializationError("TopAA page bad-magic")
+    if version != _PAGE_VERSION:
+        raise SerializationError(f"TopAA page bad-version {version}")
+    if pkind != kind:
+        raise SerializationError(
+            f"TopAA page wrong-kind: expected {kind}, found {pkind}"
+        )
+    payload = blob[TOPAA_HEADER_BYTES:]
+    if len(payload) != payload_len:
+        raise SerializationError(
+            f"TopAA page truncated: {len(payload)} of {payload_len} payload bytes"
+        )
+    if zlib.crc32(payload) != crc:
+        raise SerializationError("TopAA page bad-crc")
+    if page_aas != num_aas:
+        raise SerializationError(
+            f"TopAA page stale: exported for {page_aas} AAs, file system has {num_aas}"
+        )
+    return payload
 
 
 def serialize_heap_seed(

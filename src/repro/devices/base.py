@@ -62,12 +62,25 @@ class Device(abc.ABC):
         self.nblocks = int(nblocks)
         self.name = name
         self.stats = DeviceStats()
+        #: Whole-device failure flag (:mod:`repro.faults`).  A failed
+        #: device absorbs no I/O; the owning RAID group routes its reads
+        #: through parity reconstruction and skips its writes.
+        self.failed = False
+
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Mark the device failed (injected whole-disk fault)."""
+        self.failed = True
+
+    def revive(self) -> None:
+        """Bring a failed device back (post-reconstruction replacement)."""
+        self.failed = False
 
     # ------------------------------------------------------------------
     def write_blocks(self, dbns: np.ndarray) -> float:
         """Write the given sorted unique DBNs; returns busy time (us)."""
         dbns = np.asarray(dbns, dtype=np.int64)
-        if dbns.size == 0:
+        if dbns.size == 0 or self.failed:
             return 0.0
         us = self._write_cost(dbns)
         self.stats.host_blocks_written += int(dbns.size)
@@ -78,6 +91,8 @@ class Device(abc.ABC):
     def read_blocks(self, n_random: int, n_sequential: int = 0) -> float:
         """Charge ``n_random`` random and ``n_sequential`` streaming
         block reads; returns busy time (us)."""
+        if self.failed:
+            return 0.0
         us = self._read_cost(n_random, n_sequential)
         self.stats.blocks_read += n_random + n_sequential
         self.stats.busy_us += us

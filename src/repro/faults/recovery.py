@@ -1,0 +1,108 @@
+"""Degraded-mode recovery orchestration.
+
+The self-healing sequence after detected metafile damage:
+
+1. :func:`escalate` — put the damaged file systems (and only those)
+   into degraded allocation (direct bitmap walk) and run a *scoped*
+   :func:`repro.fs.iron.repair` that recomputes their bitmaps and
+   score keepers from the reference maps, leaving the AA caches
+   offline.  Allocation keeps succeeding throughout — the graceful
+   degradation the paper attributes to caches being an optimization,
+   never a correctness dependency.
+2. Run CPs in this state for as long as the operator likes; the
+   :class:`~repro.core.policies.BitmapWalkSource` counts its selects
+   and scanned bits (the cost of running cache-less).
+3. :func:`exit_degraded` — rebuild fresh AA caches from a charged
+   bitmap walk and swap them in, returning the system to the cached
+   fast path.
+"""
+
+from __future__ import annotations
+
+from ..core.heap_cache import RAIDAwareAACache
+from ..core.hbps_cache import RAIDAgnosticAACache
+from ..fs.aggregate import LinearStore, RAIDStore
+from ..fs.filesystem import WaflSim
+from ..fs.iron import IronReport, repair
+
+__all__ = ["attach_everywhere", "instances", "degraded_instances", "escalate", "exit_degraded"]
+
+
+def instances(sim: WaflSim) -> dict[str, object]:
+    """All fault-addressable file-system instances by ``where`` label."""
+    out: dict[str, object] = {}
+    store = sim.store
+    if isinstance(store, RAIDStore):
+        for g in store.groups:
+            out[g.where] = g
+    elif isinstance(store, LinearStore):
+        out[store.where] = store
+    for vol in sim.vols.values():
+        out[vol.where] = vol
+    return out
+
+
+def attach_everywhere(sim: WaflSim, injector) -> None:
+    """Attach one injector to every read path in the simulator."""
+    sim.store.attach_injector(injector)
+    for vol in sim.vols.values():
+        vol.attach_injector(injector)
+
+
+def degraded_instances(sim: WaflSim) -> list[str]:
+    """Labels of file systems currently allocating via the bitmap walk."""
+    return [w for w, fs in instances(sim).items() if fs.degraded_alloc]
+
+
+def escalate(sim: WaflSim, wheres) -> IronReport:
+    """Scoped Iron escalation for damaged file systems.
+
+    Each named instance enters degraded allocation, then a scoped
+    repair rewrites its bitmap and score keeper from the reference
+    maps (``rebuild_caches=False`` keeps the caches offline — the
+    degraded window models the rebuild time).  Returns the repair
+    report: exactly the findings that were fixed.
+    """
+    scope = set(wheres)
+    if not scope:
+        return IronReport(repaired=True)
+    by_where = instances(sim)
+    for where in scope:
+        fs = by_where.get(where)
+        if fs is not None and not fs.degraded_alloc:
+            fs.enter_degraded()
+    return repair(sim, scope=scope, rebuild_caches=False)
+
+
+def exit_degraded(sim: WaflSim) -> int:
+    """Rebuild AA caches for every degraded file system and swap them
+    in (the background rebuild completing).  Charges one bitmap walk
+    per rebuilt cache; returns the number of metafile blocks read."""
+    blocks_read = 0
+    store = sim.store
+    group_touched = False
+    if isinstance(store, RAIDStore):
+        for g in store.groups:
+            if not g.degraded_alloc:
+                continue
+            blocks_read += g.read_metafile()
+            scores = g.topology.scores_from_bitmap(g.metafile.bitmap)
+            g.adopt_cache(RAIDAwareAACache(g.topology.num_aas, scores))
+            group_touched = True
+        if group_touched:
+            store.rebind_allocators()
+    elif isinstance(store, LinearStore) and store.degraded_alloc:
+        blocks_read += store.read_metafile()
+        scores = store.topology.scores_from_bitmap(store.metafile.bitmap)
+        store.adopt_cache(
+            RAIDAgnosticAACache(store.topology.num_aas, store.topology.aa_blocks, scores)
+        )
+    for vol in sim.vols.values():
+        if not vol.degraded_alloc:
+            continue
+        blocks_read += vol.read_metafile()
+        scores = vol.topology.scores_from_bitmap(vol.metafile.bitmap)
+        vol.adopt_cache(
+            RAIDAgnosticAACache(vol.topology.num_aas, vol.topology.aa_blocks, scores)
+        )
+    return blocks_read

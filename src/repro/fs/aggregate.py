@@ -28,7 +28,7 @@ import numpy as np
 from ..bitmap.delayed_frees import DelayedFreeLog
 from ..bitmap.metafile import BitmapMetafile
 from ..common.constants import RAID_AGNOSTIC_AA_BLOCKS
-from ..common.errors import GeometryError
+from ..common.errors import DegradedError, GeometryError, MediaError, TransientIOError
 from ..common.rng import make_rng
 from ..core.aa import LinearAATopology, StripeAATopology
 from ..core.allocator import AggregateAllocator, LinearAllocator, RAIDGroupAllocator
@@ -127,6 +127,11 @@ class GroupCPReport:
     tetrises: int = 0
     chains: int = 0
     parity_reads: int = 0
+    #: Reads issued to surviving devices to stand in for failed ones
+    #: (degraded writes, degraded metafile/client reads).
+    reconstruction_reads: int = 0
+    #: Stripes written while the group was degraded.
+    degraded_stripes: int = 0
     blocks_per_disk: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
     busy_us: float = 0.0
 
@@ -147,6 +152,8 @@ class StoreCPReport:
     tetrises: int = 0
     chains: int = 0
     parity_reads: int = 0
+    reconstruction_reads: int = 0
+    degraded_stripes: int = 0
     cache_ops: int = 0
     aa_switches: int = 0
     #: VBN span covered by this CP's allocations (bitmap bits examined;
@@ -218,6 +225,21 @@ class RAIDGroupRuntime:
         self._last_aa_switches = 0
         self._last_spans = 0
         self.free_budget_blocks: int | None = None
+        #: Iron/faults addressing label; rewritten to ``group:<index>``
+        #: by :class:`RAIDStore` so injector targets match Iron's
+        #: ``where`` strings.
+        self.where = f"group:{name}"
+        #: Attached :class:`repro.faults.FaultInjector` (None = no faults).
+        self.injector = None
+        #: True while allocation runs on the direct bitmap walk
+        #: (cache offline during repair; see :meth:`enter_degraded`).
+        self.degraded_alloc = False
+        # Degraded-read accounting (recovery metrics).
+        self.reconstruction_reads = 0
+        self.degraded_reads = 0
+        self.blocks_reconstructed = 0
+        self._pending_recon_us = 0.0
+        self._pending_recon_reads = 0
 
     # ------------------------------------------------------------------
     def _make_device(self, name: str) -> Device:
@@ -235,6 +257,137 @@ class RAIDGroupRuntime:
     @property
     def devices(self) -> list[Device]:
         return self.data_devices + self.parity_devices
+
+    # ------------------------------------------------------------------
+    # Fault injection and degraded mode (:mod:`repro.faults`)
+    # ------------------------------------------------------------------
+    def attach_injector(self, injector) -> None:
+        """Attach a :class:`repro.faults.FaultInjector` to this group's
+        read paths."""
+        self.injector = injector
+
+    @property
+    def failed_disks(self) -> int:
+        """Number of failed member devices (data + parity)."""
+        return sum(1 for d in self.devices if d.failed)
+
+    @property
+    def within_parity_budget(self) -> bool:
+        """True while the group can still reconstruct any single block
+        (failed members do not exceed the parity count)."""
+        return self.failed_disks <= self.geometry.nparity
+
+    @property
+    def survivor_count(self) -> int:
+        return len(self.devices) - self.failed_disks
+
+    def fail_disk(self, index: int, *, parity: bool = False) -> None:
+        """Inject a whole-device failure (data disk ``index``, or a
+        parity disk with ``parity=True``)."""
+        devs = self.parity_devices if parity else self.data_devices
+        if not 0 <= index < len(devs):
+            raise GeometryError(f"no {'parity' if parity else 'data'} disk {index}")
+        devs[index].fail()
+
+    def replace_disk(self, index: int, *, parity: bool = False) -> float:
+        """Replace a failed device and reconstruct its contents from the
+        survivors.  Charges one full-disk read on every surviving member
+        plus the rebuild write; returns the modeled busy time and counts
+        the reconstructed blocks."""
+        devs = self.parity_devices if parity else self.data_devices
+        if not 0 <= index < len(devs):
+            raise GeometryError(f"no {'parity' if parity else 'data'} disk {index}")
+        if not self.within_parity_budget:
+            raise DegradedError(
+                f"{self.where}: {self.failed_disks} failed disks exceed "
+                f"parity budget {self.geometry.nparity}; cannot rebuild"
+            )
+        blocks = self.config.blocks_per_disk
+        busy: list[float] = []
+        for dev in self.devices:
+            if not dev.failed:
+                busy.append(dev.read_blocks(0, blocks))
+                self.reconstruction_reads += blocks
+        devs[index].revive()
+        busy.append(devs[index].write_blocks(np.arange(blocks, dtype=np.int64)))
+        self.blocks_reconstructed += blocks
+        us = max(busy) if busy else 0.0
+        self._pending_recon_us += us
+        return us
+
+    def _reconstruct_blocks(self, n: int) -> None:
+        """Charge a degraded read of ``n`` blocks: each is rebuilt from
+        the surviving members (``survivors - 1`` extra reads per block,
+        spread uniformly), or raises when beyond the parity budget."""
+        if n <= 0:
+            return
+        if not self.within_parity_budget:
+            raise DegradedError(
+                f"{self.where}: cannot reconstruct reads with "
+                f"{self.failed_disks} failed disks (parity budget "
+                f"{self.geometry.nparity})"
+            )
+        survivors = [d for d in self.devices if not d.failed]
+        extra = n * max(len(survivors) - 1, 0)
+        per_dev = extra // max(len(survivors), 1)
+        us = 0.0
+        for dev in survivors:
+            us = max(us, dev.read_blocks(per_dev))
+        self.degraded_reads += n
+        self.reconstruction_reads += extra
+        self.blocks_reconstructed += n
+        self._pending_recon_reads += extra
+        self._pending_recon_us += us
+
+    def read_metafile(self, nblocks: int | None = None) -> int:
+        """Fault-aware bitmap-metafile read (cache rebuild walks, scrub).
+
+        Consults the attached injector: armed transient faults raise
+        :class:`TransientIOError` (the caller retries with backoff);
+        latent sector errors are reconstructed from parity when within
+        the group's budget (charging the reconstruction reads) and
+        raise :class:`MediaError` when they cannot be — the signal that
+        escalates to Iron.  Returns the metafile blocks read.
+        """
+        n = nblocks if nblocks is not None else self.metafile.metafile_block_count
+        inj = self.injector
+        if inj is not None and inj.consume(self.where, "transient-read"):
+            raise TransientIOError(f"{self.where}: transient metafile read failure")
+        # Reads landing on failed members are always degraded.
+        degraded = 0
+        if self.failed_disks:
+            degraded = (n * self.failed_disks) // len(self.devices)
+        if inj is not None:
+            degraded += inj.roll(self.where, "latent-sector-error", n)
+            degraded = min(degraded, n)
+        if degraded:
+            if not self.within_parity_budget or (
+                inj is not None and inj.consume(self.where, "unreconstructable")
+            ):
+                raise MediaError(
+                    f"{self.where}: metafile blocks damaged beyond RAID "
+                    f"reconstruction"
+                )
+            self._reconstruct_blocks(degraded)
+        return self.metafile.note_scan_read(n)
+
+    def enter_degraded(self) -> None:
+        """Serve allocations from a direct bitmap walk while the AA
+        cache is offline (being rebuilt after damage).  The current AA
+        is released; no allocation fails while degraded."""
+        from ..core.policies import BitmapWalkSource
+
+        self.allocator.release()
+        self.source = BitmapWalkSource(self.topology, self.metafile)
+        self.cache = None
+        self.allocator = RAIDGroupAllocator(
+            self.topology, self.metafile, self.source, self.keeper,
+            store_offset=self.offset,
+        )
+        self._last_cache_ops = 0
+        self._last_aa_switches = 0
+        self._last_spans = 0
+        self.degraded_alloc = True
 
     def adopt_cache(self, cache: RAIDAwareAACache) -> None:
         """Install a freshly built (possibly TopAA-seeded) cache after a
@@ -255,6 +408,7 @@ class RAIDGroupRuntime:
         self._last_cache_ops = 0
         self._last_aa_switches = 0
         self._last_spans = 0
+        self.degraded_alloc = False
 
     def cache_ops_total(self) -> int:
         if self.cache is not None:
@@ -270,9 +424,17 @@ class RAIDGroupRuntime:
         report = GroupCPReport(
             blocks_per_disk=np.zeros(self.geometry.ndata, dtype=np.int64)
         )
+        # Drain degraded reads accumulated since the last CP into this
+        # CP's accounting so reconstruction I/O is visible per CP.
+        report.reconstruction_reads += self._pending_recon_reads
+        report.busy_us += self._pending_recon_us
+        self._pending_recon_reads = 0
+        self._pending_recon_us = 0.0
         if local_vbns.size == 0:
             return report
-        stats: StripeWriteStats = analyze_raid_writes(self.geometry, local_vbns)
+        stats: StripeWriteStats = analyze_raid_writes(
+            self.geometry, local_vbns, failed_disks=self.failed_disks
+        )
         report.blocks = stats.data_blocks
         report.stripes = stats.stripes_written
         report.full_stripes = stats.full_stripes
@@ -280,13 +442,18 @@ class RAIDGroupRuntime:
         report.tetrises = stats.tetrises
         report.chains = stats.total_chains
         report.parity_reads = stats.parity_blocks_read
+        report.reconstruction_reads += stats.reconstruction_reads
+        report.degraded_stripes = stats.degraded_stripes
         report.blocks_per_disk = stats.blocks_per_disk
+        self.reconstruction_reads += stats.reconstruction_reads
 
         disks = self.geometry.disk_of(local_vbns)
         dbns = self.geometry.dbn_of(local_vbns)
         busy: list[float] = []
-        # Parity reads are spread uniformly across the group's devices.
-        reads_per_dev = stats.parity_blocks_read // max(len(self.devices), 1)
+        # Parity reads are spread uniformly across the group's surviving
+        # devices (failed devices absorb no I/O).
+        live = max(self.survivor_count, 1)
+        reads_per_dev = stats.parity_blocks_read // live
         for d, dev in enumerate(self.data_devices):
             mine = np.sort(dbns[disks == d])
             us = self._issue_writes(dev, mine)
@@ -297,7 +464,7 @@ class RAIDGroupRuntime:
             us = self._issue_writes(dev, touched_stripes)
             us += dev.read_blocks(reads_per_dev)
             busy.append(us)
-        report.busy_us = max(busy) if busy else 0.0
+        report.busy_us += max(busy) if busy else 0.0
         return report
 
     def _issue_writes(self, dev: Device, dbns: np.ndarray) -> float:
@@ -336,7 +503,8 @@ class RAIDGroupRuntime:
             disks = self.geometry.disk_of(freed)
             dbns = self.geometry.dbn_of(freed)
             for d, dev in enumerate(self.data_devices):
-                dev.trim(dbns[disks == d])
+                if not dev.failed:
+                    dev.trim(dbns[disks == d])
         return int(freed.size)
 
     def drain_counters(self) -> tuple[int, int, int]:
@@ -372,9 +540,9 @@ class RAIDStore:
         offset = 0
         for i, cfg in enumerate(group_configs):
             self.offsets.append(offset)
-            self.groups.append(
-                RAIDGroupRuntime(cfg, offset=offset, policy=policy, seed=rng, name=f"rg{i}")
-            )
+            g = RAIDGroupRuntime(cfg, offset=offset, policy=policy, seed=rng, name=f"rg{i}")
+            g.where = f"group:{i}"
+            self.groups.append(g)
             offset += cfg.ndata * cfg.blocks_per_disk
         self.nblocks = offset
         self.allocator = AggregateAllocator(
@@ -395,6 +563,15 @@ class RAIDStore:
     def group_of(self, vbns: np.ndarray) -> np.ndarray:
         """RAID-group index owning each global VBN."""
         return np.searchsorted(self._bounds, vbns, side="right") - 1
+
+    def attach_injector(self, injector) -> None:
+        """Attach a fault injector to every RAID group's read paths."""
+        for g in self.groups:
+            g.attach_injector(injector)
+
+    def fail_disk(self, group_index: int, disk_index: int, *, parity: bool = False) -> None:
+        """Inject a whole-device failure into one RAID group."""
+        self.groups[group_index].fail_disk(disk_index, parity=parity)
 
     @property
     def media_kinds(self) -> list[MediaType]:
@@ -452,8 +629,17 @@ class RAIDStore:
         for gi, g in enumerate(self.groups):
             per_dev = per_group / max(len(g.data_devices), 1)
             us = 0.0
+            degraded = 0
             for dev in g.data_devices:
-                us = max(us, dev.read_blocks(int(round(per_dev))))
+                share = int(round(per_dev))
+                if dev.failed:
+                    # Reads aimed at a failed member are reconstructed
+                    # from the survivors (charged via the group).
+                    degraded += share
+                    continue
+                us = max(us, dev.read_blocks(share))
+            if degraded:
+                g._reconstruct_blocks(degraded)
             self._pending_read_us[gi] += us
 
     def cp_boundary(self) -> StoreCPReport:
@@ -472,6 +658,8 @@ class RAIDStore:
             report.tetrises += grp.tetrises
             report.chains += grp.chains
             report.parity_reads += grp.parity_reads
+            report.reconstruction_reads += grp.reconstruction_reads
+            report.degraded_stripes += grp.degraded_stripes
             busy.append(grp.busy_us)
             report.blocks_freed += g.apply_frees()
         # Flush batched score deltas into the caches (rebalancing).
@@ -539,6 +727,10 @@ class LinearStore:
         #: metafile blocks, chosen fullest-first by the log's HBPS (the
         #: paper's "delayed-free scores" use of HBPS); None = apply all.
         self.free_budget_blocks: int | None = None
+        #: Iron/faults addressing label.
+        self.where = "store"
+        self.injector = None
+        self.degraded_alloc = False
 
     # ------------------------------------------------------------------
     @property
@@ -548,6 +740,65 @@ class LinearStore:
     @property
     def devices(self) -> list[Device]:
         return [self.device]
+
+    def attach_injector(self, injector) -> None:
+        """Attach a fault injector to this store's read paths."""
+        self.injector = injector
+
+    def read_metafile(self, nblocks: int | None = None) -> int:
+        """Fault-aware metafile read.  A natively redundant object store
+        has no local parity: armed transient faults raise
+        :class:`TransientIOError`, and any latent sector error is
+        immediately unrecoverable (:class:`MediaError` — Iron's case).
+        """
+        n = nblocks if nblocks is not None else self.metafile.metafile_block_count
+        inj = self.injector
+        if inj is not None:
+            if inj.consume(self.where, "transient-read"):
+                raise TransientIOError(f"{self.where}: transient metafile read failure")
+            if inj.roll(self.where, "latent-sector-error", n) or inj.consume(
+                self.where, "unreconstructable"
+            ):
+                raise MediaError(
+                    f"{self.where}: metafile blocks damaged (no local RAID to "
+                    f"reconstruct them)"
+                )
+        return self.metafile.note_scan_read(n)
+
+    def enter_degraded(self) -> None:
+        """Serve allocations from a direct bitmap walk while the AA
+        cache is offline (being rebuilt after damage)."""
+        from ..core.policies import BitmapWalkSource
+
+        self.allocator.release()
+        self.source = BitmapWalkSource(self.topology, self.metafile)
+        self.cache = None
+        self.allocator = LinearAllocator(
+            self.topology, self.metafile, self.source, self.keeper
+        )
+        self._last_cache_ops = 0
+        self._last_aa_switches = 0
+        self._last_spans = 0
+        self.degraded_alloc = True
+
+    def adopt_cache(self, cache: RAIDAgnosticAACache) -> None:
+        """Install a freshly built HBPS cache with a new allocator bound
+        to it (remount / exit-degraded path)."""
+        self.cache = cache
+        self.keeper = ScoreKeeper(self.topology, self.metafile.bitmap)
+
+        def replenisher() -> np.ndarray:
+            self.metafile.note_scan_read()
+            return self.topology.scores_from_bitmap(self.metafile.bitmap)
+
+        self.source = HBPSSource(cache, replenisher)
+        self.allocator = LinearAllocator(
+            self.topology, self.metafile, self.source, self.keeper
+        )
+        self._last_cache_ops = 0
+        self._last_aa_switches = 0
+        self._last_spans = 0
+        self.degraded_alloc = False
 
     def allocate(self, n: int) -> np.ndarray:
         vbns = self.allocator.allocate(n)

@@ -137,6 +137,8 @@ class CPEngine:
             tetrises=store_report.tetrises,
             write_chains=store_report.chains,
             parity_reads=store_report.parity_reads,
+            reconstruction_reads=store_report.reconstruction_reads,
+            degraded_stripes=store_report.degraded_stripes,
             device_busy_us=store_report.device_busy_us,
             device_total_us=store_report.device_total_us,
             cache_ops=cache_ops,

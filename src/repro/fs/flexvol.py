@@ -28,7 +28,7 @@ import numpy as np
 from ..bitmap.delayed_frees import DelayedFreeLog
 from ..bitmap.metafile import BitmapMetafile
 from ..common.constants import RAID_AGNOSTIC_AA_BLOCKS
-from ..common.errors import AllocationError
+from ..common.errors import AllocationError, MediaError, TransientIOError
 from ..core.aa import LinearAATopology
 from ..core.allocator import LinearAllocator
 from ..core.score import ScoreKeeper
@@ -100,6 +100,12 @@ class FlexVol:
         #: snapshot deletion (the mass-free source the paper notes adds
         #: to free-space nonuniformity, section 4.1.1).
         self._snap_mask = np.zeros(nblocks, dtype=bool)
+        #: Iron/faults addressing label (matches Iron's ``where``).
+        self.where = f"vol:{spec.name}"
+        #: Attached :class:`repro.faults.FaultInjector` (None = no faults).
+        self.injector = None
+        #: True while allocation runs on the direct bitmap walk.
+        self.degraded_alloc = False
 
     # ------------------------------------------------------------------
     @property
@@ -212,6 +218,53 @@ class FlexVol:
         self.delayed_frees.add(to_free)
         return old_p
 
+    # ------------------------------------------------------------------
+    # Fault injection and degraded mode (:mod:`repro.faults`)
+    # ------------------------------------------------------------------
+    def attach_injector(self, injector) -> None:
+        """Attach a :class:`repro.faults.FaultInjector` to this volume's
+        metafile read path."""
+        self.injector = injector
+
+    def read_metafile(self, nblocks: int | None = None) -> int:
+        """Fault-aware bitmap-metafile read (cache rebuild walks, scrub).
+
+        A FlexVol's metafile blocks live inside the aggregate, whose
+        RAID layer reconstructs ordinary latent sector errors
+        transparently; only damage RAID could not fix surfaces here.
+        Armed transient faults raise :class:`TransientIOError` (callers
+        retry with backoff); armed unreconstructable damage raises
+        :class:`MediaError`, escalating to Iron.
+        """
+        n = nblocks if nblocks is not None else self.metafile.metafile_block_count
+        inj = self.injector
+        if inj is not None:
+            if inj.consume(self.where, "transient-read"):
+                raise TransientIOError(f"{self.where}: transient metafile read failure")
+            if inj.consume(self.where, "unreconstructable"):
+                raise MediaError(
+                    f"{self.where}: metafile blocks damaged beyond RAID "
+                    f"reconstruction"
+                )
+        return self.metafile.note_scan_read(n)
+
+    def enter_degraded(self) -> None:
+        """Serve allocations from a direct bitmap walk while the AA
+        cache is offline (being rebuilt after damage).  The current AA
+        is released; no allocation fails while degraded."""
+        from ..core.policies import BitmapWalkSource
+
+        self.allocator.release()
+        self.source = BitmapWalkSource(self.topology, self.metafile)
+        self.cache = None
+        self.allocator = LinearAllocator(
+            self.topology, self.metafile, self.source, self.keeper
+        )
+        self._last_cache_ops = 0
+        self._last_aa_switches = 0
+        self._last_spans = 0
+        self.degraded_alloc = True
+
     def adopt_cache(self, cache: RAIDAgnosticAACache) -> None:
         """Install a freshly built (possibly TopAA-seeded) HBPS cache
         after a remount (see :meth:`RAIDGroupRuntime.adopt_cache` for
@@ -230,6 +283,7 @@ class FlexVol:
         self._last_cache_ops = 0
         self._last_aa_switches = 0
         self._last_spans = 0
+        self.degraded_alloc = False
 
     def stage_deletes(self, logical_ids: np.ndarray) -> np.ndarray:
         """Unmap the given logical blocks (file deletion): their virtual

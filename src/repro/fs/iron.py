@@ -67,6 +67,18 @@ class IronReport:
     def count(self, kind: str) -> int:
         return sum(f.count for f in self.findings if f.kind == kind)
 
+    def by_where(self) -> dict[str, list[IronFinding]]:
+        """Findings grouped by file-system instance (``where`` label).
+
+        The recovery path uses this to scope escalation: only the
+        volumes/groups that actually have findings are put into
+        degraded allocation and repaired.
+        """
+        grouped: dict[str, list[IronFinding]] = {}
+        for f in self.findings:
+            grouped.setdefault(f.where, []).append(f)
+        return grouped
+
 
 def _vol_reference_virtual(vol) -> np.ndarray:
     """Ground-truth allocated virtual VBNs of one volume."""
@@ -118,10 +130,21 @@ def _diff_bitmap(bitmap, reference: np.ndarray) -> tuple[int, int]:
     return leaked, corrupt
 
 
-def scan(sim: WaflSim) -> IronReport:
-    """Read-only cross-check of bitmaps, references, and scores."""
+def _in_scope(where: str, scope) -> bool:
+    return scope is None or where in scope
+
+
+def scan(sim: WaflSim, scope=None) -> IronReport:
+    """Read-only cross-check of bitmaps, references, and scores.
+
+    ``scope`` — optional collection of ``where`` labels ("vol:<name>",
+    "group:<i>", "store"); file systems outside it are not checked.
+    None checks everything.
+    """
     report = IronReport()
     for name, vol in sim.vols.items():
+        if not _in_scope(f"vol:{name}", scope):
+            continue
         ref = _vol_reference_virtual(vol)
         leaked, corrupt = _diff_bitmap(vol.metafile.bitmap, ref)
         if leaked:
@@ -139,6 +162,8 @@ def scan(sim: WaflSim) -> IronReport:
     store = sim.store
     if isinstance(store, RAIDStore):
         for gi, g in enumerate(store.groups):
+            if not _in_scope(f"group:{gi}", scope):
+                continue
             lo, hi = g.offset, g.offset + g.topology.nblocks
             local_ref = phys_ref[(phys_ref >= lo) & (phys_ref < hi)] - lo
             leaked, corrupt = _diff_bitmap(g.metafile.bitmap, local_ref)
@@ -153,45 +178,65 @@ def scan(sim: WaflSim) -> IronReport:
                     IronFinding("score-divergence", f"group:{gi}", diverged)
                 )
     elif isinstance(store, LinearStore):
-        leaked, corrupt = _diff_bitmap(store.metafile.bitmap, phys_ref)
-        if leaked:
-            report.findings.append(IronFinding("leaked", "store", leaked))
-        if corrupt:
-            report.findings.append(IronFinding("corrupt", "store", corrupt))
+        if _in_scope("store", scope):
+            leaked, corrupt = _diff_bitmap(store.metafile.bitmap, phys_ref)
+            if leaked:
+                report.findings.append(IronFinding("leaked", "store", leaked))
+            if corrupt:
+                report.findings.append(IronFinding("corrupt", "store", corrupt))
     return report
 
 
-def repair(sim: WaflSim) -> IronReport:
+def repair(sim: WaflSim, scope=None, *, rebuild_caches: bool = True) -> IronReport:
     """Recompute bitmaps, scores, and caches from the reference maps.
 
-    Returns the findings that were repaired.  Note: blocks reported as
-    *leaked* on the physical side that belonged to data not tracked by
-    any container map (e.g. synthetic aging fills) are reclaimed — Iron
-    trusts the file trees, exactly like the real tool.
+    Returns only the findings that were actually fixed — with ``scope``
+    set, file systems outside it are neither scanned nor touched, so
+    escalation driven by :meth:`IronReport.by_where` repairs exactly
+    the damaged instances.
+
+    ``rebuild_caches=False`` repairs bitmaps and score keepers but
+    leaves the AA caches offline: each repaired file system is put into
+    (or kept in) degraded allocation — the bitmap walk — so the caller
+    controls when caches come back (see :mod:`repro.faults.recovery`).
+
+    Note: blocks reported as *leaked* on the physical side that
+    belonged to data not tracked by any container map (e.g. synthetic
+    aging fills) are reclaimed — Iron trusts the file trees, exactly
+    like the real tool.
     """
-    report = scan(sim)
+    report = scan(sim, scope)
     # Volumes: rewrite virtual bitmaps to reference truth.
-    for vol in sim.vols.values():
+    for name, vol in sim.vols.items():
+        if not _in_scope(f"vol:{name}", scope):
+            continue
         ref = _vol_reference_virtual(vol)
         bm = vol.metafile.bitmap
+        vol.allocator.release()
         bm.clear_range(0, bm.nblocks)
         bm.allocate(ref)
         vol.metafile.drain_dirty()
         vol.keeper.recompute(bm)
-        if vol.cache is not None:
-            vol.allocator.release()
-            vol.adopt_cache(
-                RAIDAgnosticAACache(
-                    vol.topology.num_aas,
-                    vol.topology.aa_blocks,
-                    vol.keeper.scores,
+        if rebuild_caches:
+            if vol.cache is not None or vol.degraded_alloc:
+                vol.adopt_cache(
+                    RAIDAgnosticAACache(
+                        vol.topology.num_aas,
+                        vol.topology.aa_blocks,
+                        vol.keeper.scores,
+                    )
                 )
-            )
+        elif not vol.degraded_alloc:
+            vol.enter_degraded()
     # Physical stores: rewrite to container-map truth.
     phys_ref = _store_reference_physical(sim)
     store = sim.store
     if isinstance(store, RAIDStore):
-        for g in store.groups:
+        touched = False
+        for gi, g in enumerate(store.groups):
+            if not _in_scope(f"group:{gi}", scope):
+                continue
+            touched = True
             lo, hi = g.offset, g.offset + g.topology.nblocks
             local_ref = phys_ref[(phys_ref >= lo) & (phys_ref < hi)] - lo
             bm = g.metafile.bitmap
@@ -200,17 +245,35 @@ def repair(sim: WaflSim) -> IronReport:
             bm.allocate(local_ref)
             g.metafile.drain_dirty()
             g.keeper.recompute(bm)
-            if g.cache is not None:
-                g.adopt_cache(RAIDAwareAACache(g.topology.num_aas, g.keeper.scores))
-        store.rebind_allocators()
+            if rebuild_caches:
+                if g.cache is not None or g.degraded_alloc:
+                    g.adopt_cache(
+                        RAIDAwareAACache(g.topology.num_aas, g.keeper.scores)
+                    )
+            elif not g.degraded_alloc:
+                g.enter_degraded()
+        if touched:
+            store.rebind_allocators()
     elif isinstance(store, LinearStore):
-        bm = store.metafile.bitmap
-        store.allocator.release()
-        bm.clear_range(0, bm.nblocks)
-        bm.allocate(phys_ref)
-        store.metafile.drain_dirty()
-        store.keeper.recompute(bm)
-        if store.cache is not None:
-            store.cache.replenish(store.keeper.scores)
+        if _in_scope("store", scope):
+            bm = store.metafile.bitmap
+            store.allocator.release()
+            bm.clear_range(0, bm.nblocks)
+            bm.allocate(phys_ref)
+            store.metafile.drain_dirty()
+            store.keeper.recompute(bm)
+            if not rebuild_caches:
+                if not store.degraded_alloc:
+                    store.enter_degraded()
+            elif store.cache is not None:
+                store.cache.replenish(store.keeper.scores)
+            elif store.degraded_alloc:
+                store.adopt_cache(
+                    RAIDAgnosticAACache(
+                        store.topology.num_aas,
+                        store.topology.aa_blocks,
+                        store.keeper.scores,
+                    )
+                )
     report.repaired = True
     return report

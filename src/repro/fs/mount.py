@@ -12,12 +12,22 @@ bitmaps represent the persisted state:
 
 * :func:`export_topaa` captures the TopAA metafile image (one 4 KiB
   block per RAID-aware cache with the 512 best AAs; two blocks per
-  RAID-agnostic cache embedding the HBPS).
+  RAID-agnostic cache embedding the HBPS).  Every page is *sealed*
+  with a CRC32 checksum header (:func:`repro.core.topaa.seal_page`) so
+  damage is detected at mount instead of seeding garbage.
 * :func:`simulate_mount` rebuilds every AA cache either from the TopAA
   image (reading 1-2 blocks per file system) or by walking all bitmap
   metafile blocks, swaps the fresh caches into the simulator, and
   reports both measured wall time and modeled read I/O — the
   quantities behind Figure 10's "time for the first CP after boot".
+
+  The mount is *self-healing*: a corrupt, truncated, stale, or missing
+  TopAA page makes only that file system fall back to the bitmap walk
+  (recorded in :attr:`MountReport.fallbacks`); transient read failures
+  are retried with bounded backoff; and a walk that hits metafile
+  damage RAID cannot reconstruct escalates to a scoped
+  :func:`repro.fs.iron.repair` of exactly that file system.  A page
+  that fails verification can never install a cache.
 * :func:`background_rebuild` completes a seeded mount: it populates
   the remaining heap-cache AAs and replenishes the HBPS caches with
   exact scores, as WAFL's background scan does while "client
@@ -30,16 +40,20 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-import numpy as np
-
+from ..common.errors import MediaError, SerializationError, TransientIOError
 from ..core.heap_cache import RAIDAwareAACache
+from ..core.hbps_cache import RAIDAgnosticAACache
 from ..core.topaa import (
+    PAGE_KIND_HBPS,
+    PAGE_KIND_HEAP_SEED,
+    seal_page,
     seed_heap_cache,
     serialize_heap_seed,
     serialize_hbps_cache,
     load_hbps_cache,
+    unseal_page,
 )
-from .aggregate import RAIDStore
+from .aggregate import LinearStore, RAIDStore
 from .filesystem import WaflSim
 
 __all__ = ["TopAAImage", "MountReport", "export_topaa", "simulate_mount", "background_rebuild"]
@@ -48,10 +62,23 @@ __all__ = ["TopAAImage", "MountReport", "export_topaa", "simulate_mount", "backg
 #: from an HDD/SSD pool amortized over readahead).
 DEFAULT_METAFILE_READ_US = 250.0
 
+#: Retry attempts for a transient metafile-read failure before the
+#: error is raised to the caller.
+DEFAULT_MOUNT_RETRIES = 3
+
+_UNSEAL_REASONS = ("bad-magic", "bad-version", "wrong-kind", "bad-crc", "stale", "truncated")
+
 
 @dataclass
 class TopAAImage:
-    """Persisted TopAA metafile contents for one aggregate."""
+    """Persisted TopAA metafile contents for one aggregate.
+
+    Every entry is a sealed page: payload prefixed by the CRC32
+    checksum header of :func:`repro.core.topaa.seal_page`.  The header
+    models the block's per-block checksum area (BCS/AZCS), so the
+    *modeled* read cost stays 1 block per RAID group and 2 per
+    FlexVol/linear store.
+    """
 
     #: One 4 KiB block per RAID group (512 best AAs each).
     group_blocks: list[bytes] = field(default_factory=list)
@@ -79,10 +106,21 @@ class MountReport:
     #: Wall-clock seconds spent building caches (real work in this
     #: process: bitmap popcount walks vs page decoding).
     build_wall_s: float = 0.0
-    #: Modeled read-I/O time for those blocks.
+    #: Modeled read-I/O time for those blocks (plus retry backoff).
     modeled_read_us: float = 0.0
     #: Caches built (RAID groups + volumes + linear store).
     caches_built: int = 0
+    #: File systems whose TopAA page was unusable, mapped to the reason
+    #: ("missing-page", "bad-crc", "stale", "truncated", ...); each
+    #: fell back to its own bitmap walk.
+    fallbacks: dict[str, str] = field(default_factory=dict)
+    #: File systems whose bitmap walk hit unreconstructable damage and
+    #: were repaired in place by a scoped Iron pass.
+    repairs: list[str] = field(default_factory=list)
+    #: Transient read failures absorbed by retry.
+    transient_retries: int = 0
+    #: Modeled backoff time spent on those retries.
+    retry_backoff_us: float = 0.0
 
     @property
     def modeled_total_us(self) -> float:
@@ -94,19 +132,76 @@ def export_topaa(sim: WaflSim) -> TopAAImage:
     """Capture the TopAA metafile image of a running system.
 
     WAFL updates these blocks as part of normal CPs; capturing at an
-    arbitrary CP boundary is therefore representative.
+    arbitrary CP boundary is therefore representative.  Pages are
+    sealed with their checksum header and the exporting topology's AA
+    count (stale detection).
     """
     image = TopAAImage()
     store = sim.store
     if isinstance(store, RAIDStore):
         for g in store.groups:
-            image.group_blocks.append(serialize_heap_seed(g.keeper.scores))
+            image.group_blocks.append(
+                seal_page(
+                    serialize_heap_seed(g.keeper.scores),
+                    PAGE_KIND_HEAP_SEED,
+                    g.topology.num_aas,
+                )
+            )
     elif getattr(store, "cache", None) is not None:
-        image.store_pages = serialize_hbps_cache(store.cache)
+        image.store_pages = seal_page(
+            serialize_hbps_cache(store.cache), PAGE_KIND_HBPS, store.topology.num_aas
+        )
     for name, vol in sim.vols.items():
         if vol.cache is not None:
-            image.vol_pages[name] = serialize_hbps_cache(vol.cache)
+            image.vol_pages[name] = seal_page(
+                serialize_hbps_cache(vol.cache), PAGE_KIND_HBPS, vol.topology.num_aas
+            )
     return image
+
+
+def _unseal_reason(exc: SerializationError) -> str:
+    msg = str(exc)
+    for token in _UNSEAL_REASONS:
+        if token in msg:
+            return token
+    return "invalid"
+
+
+def _walk_bitmap(
+    sim: WaflSim,
+    fs,
+    report: MountReport,
+    *,
+    max_retries: int,
+    backoff_us: float,
+) -> bool:
+    """Charge one fault-guarded bitmap-metafile walk of ``fs``.
+
+    Transient failures retry with linear backoff (charged to the
+    report); damage RAID cannot reconstruct escalates to a scoped Iron
+    repair of exactly this file system.  Returns True when Iron
+    repaired (and rebuilt the cache of) the file system in place, so
+    the caller must not install a cache of its own.
+    """
+    for attempt in range(max_retries + 1):
+        try:
+            report.blocks_read += fs.read_metafile()
+            return False
+        except TransientIOError:
+            if attempt == max_retries:
+                raise
+            report.transient_retries += 1
+            report.retry_backoff_us += backoff_us * (attempt + 1)
+        except MediaError:
+            from .iron import repair as iron_repair
+
+            iron_repair(sim, scope={fs.where})
+            # The repair pass recomputed everything from the reference
+            # maps — charge the walk it performed.
+            report.blocks_read += fs.metafile.note_scan_read()
+            report.repairs.append(fs.where)
+            return True
+    return False  # pragma: no cover - loop always returns/raises
 
 
 def simulate_mount(
@@ -114,6 +209,8 @@ def simulate_mount(
     image: TopAAImage | None,
     *,
     metafile_read_us: float = DEFAULT_METAFILE_READ_US,
+    max_retries: int = DEFAULT_MOUNT_RETRIES,
+    retry_backoff_us: float | None = None,
 ) -> MountReport:
     """Rebuild all AA caches as a mount would and install them.
 
@@ -121,50 +218,134 @@ def simulate_mount(
     group, 2 per volume); with ``None`` every bitmap metafile block is
     walked to recompute scores.  Only cache-backed stores/volumes are
     rebuilt (baseline policies have no mount cost).
+
+    Every TopAA page is verified (CRC32, magic, version, kind, AA
+    count) before anything is built from it; any failure — including a
+    file system present in the simulator but absent from the image —
+    downgrades that one file system to the bitmap walk and is recorded
+    in :attr:`MountReport.fallbacks`.  The walk itself is fault-guarded
+    (see :func:`_walk_bitmap`).
     """
+    if retry_backoff_us is None:
+        retry_backoff_us = 4 * metafile_read_us
     report = MountReport(used_topaa=image is not None)
     t0 = time.perf_counter()
     store = sim.store
     if isinstance(store, RAIDStore):
         for gi, g in enumerate(store.groups):
-            if g.cache is None:
+            if g.cache is None and not g.degraded_alloc:
                 continue
+            cache = None
             if image is not None:
-                cache = seed_heap_cache(g.topology.num_aas, image.group_blocks[gi])
-                report.blocks_read += 1
-            else:
-                report.blocks_read += g.metafile.note_scan_read()
+                blob = image.group_blocks[gi] if gi < len(image.group_blocks) else None
+                if blob is None:
+                    report.fallbacks[g.where] = "missing-page"
+                else:
+                    try:
+                        payload = unseal_page(
+                            blob, PAGE_KIND_HEAP_SEED, g.topology.num_aas
+                        )
+                    except SerializationError as exc:
+                        report.fallbacks[g.where] = _unseal_reason(exc)
+                    else:
+                        cache = seed_heap_cache(g.topology.num_aas, payload)
+                        report.blocks_read += 1
+            if cache is None:
+                if _walk_bitmap(
+                    sim, g, report, max_retries=max_retries, backoff_us=retry_backoff_us
+                ):
+                    report.caches_built += 1
+                    continue
                 scores = g.topology.scores_from_bitmap(g.metafile.bitmap)
                 cache = RAIDAwareAACache(g.topology.num_aas, scores)
             g.adopt_cache(cache)
             report.caches_built += 1
         store.rebind_allocators()
-    for name, vol in sim.vols.items():
-        if vol.cache is None:
-            continue
+    elif isinstance(store, LinearStore) and (
+        store.cache is not None or store.degraded_alloc
+    ):
+        cache = None
         if image is not None:
-            cache = load_hbps_cache(image.vol_pages[name], vol.topology.num_aas)
-            report.blocks_read += 2
-        else:
-            report.blocks_read += vol.metafile.note_scan_read()
+            if image.store_pages is None:
+                report.fallbacks[store.where] = "missing-page"
+            else:
+                try:
+                    payload = unseal_page(
+                        image.store_pages, PAGE_KIND_HBPS, store.topology.num_aas
+                    )
+                except SerializationError as exc:
+                    report.fallbacks[store.where] = _unseal_reason(exc)
+                else:
+                    cache = load_hbps_cache(payload, store.topology.num_aas)
+                    report.blocks_read += 2
+        if cache is None:
+            if _walk_bitmap(
+                sim, store, report, max_retries=max_retries, backoff_us=retry_backoff_us
+            ):
+                report.caches_built += 1
+                cache = None
+            else:
+                scores = store.topology.scores_from_bitmap(store.metafile.bitmap)
+                cache = RAIDAgnosticAACache(
+                    store.topology.num_aas, store.topology.aa_blocks, scores
+                )
+        if cache is not None:
+            store.adopt_cache(cache)
+            report.caches_built += 1
+    for name, vol in sim.vols.items():
+        if vol.cache is None and not vol.degraded_alloc:
+            continue
+        cache = None
+        if image is not None:
+            blob = image.vol_pages.get(name)
+            if blob is None:
+                report.fallbacks[vol.where] = "missing-page"
+            else:
+                try:
+                    payload = unseal_page(blob, PAGE_KIND_HBPS, vol.topology.num_aas)
+                except SerializationError as exc:
+                    report.fallbacks[vol.where] = _unseal_reason(exc)
+                else:
+                    cache = load_hbps_cache(payload, vol.topology.num_aas)
+                    report.blocks_read += 2
+        if cache is None:
+            if _walk_bitmap(
+                sim, vol, report, max_retries=max_retries, backoff_us=retry_backoff_us
+            ):
+                report.caches_built += 1
+                continue
             scores = vol.topology.scores_from_bitmap(vol.metafile.bitmap)
-            from ..core.hbps_cache import RAIDAgnosticAACache
-
             cache = RAIDAgnosticAACache(
                 vol.topology.num_aas, vol.topology.aa_blocks, scores
             )
         vol.adopt_cache(cache)
         report.caches_built += 1
     report.build_wall_s = time.perf_counter() - t0
-    report.modeled_read_us = report.blocks_read * metafile_read_us
+    report.modeled_read_us = (
+        report.blocks_read * metafile_read_us + report.retry_backoff_us
+    )
     return report
 
 
-def background_rebuild(sim: WaflSim) -> dict[str, int]:
+def background_rebuild(sim: WaflSim, *, max_retries: int = DEFAULT_MOUNT_RETRIES) -> dict[str, int]:
     """Complete a TopAA-seeded mount: populate the heap caches' unknown
     AAs and replenish HBPS caches with exact scores (the background
     bitmap walk).  Returns counts of AAs populated / caches refreshed.
+
+    The walks go through each file system's fault-guarded
+    ``read_metafile`` with bounded retries, so an injector's transient
+    faults delay rather than kill the background scan.
     """
+
+    def _read(fs) -> None:
+        for attempt in range(max_retries + 1):
+            try:
+                fs.read_metafile()
+                return
+            except TransientIOError:
+                if attempt == max_retries:
+                    raise
+
     populated = 0
     refreshed = 0
     store = sim.store
@@ -173,7 +354,7 @@ def background_rebuild(sim: WaflSim) -> dict[str, int]:
             cache = g.cache
             if cache is None or cache.fully_populated:
                 continue
-            g.metafile.note_scan_read()
+            _read(g)
             scores = g.topology.scores_from_bitmap(g.metafile.bitmap)
             for aa in range(g.topology.num_aas):
                 if cache.score_of(aa) < 0 and aa not in cache.checked_out:
@@ -183,7 +364,7 @@ def background_rebuild(sim: WaflSim) -> dict[str, int]:
     for vol in sim.vols.values():
         if vol.cache is None or not vol.cache.seeded:
             continue
-        vol.metafile.note_scan_read()
+        _read(vol)
         scores = vol.topology.scores_from_bitmap(vol.metafile.bitmap)
         vol.cache.replenish(scores)
         vol.keeper.recompute(vol.metafile.bitmap)

@@ -47,6 +47,14 @@ class StripeWriteStats:
     parity_blocks_read: int = 0
     #: Distinct tetrises (64-stripe write units) touched.
     tetrises: int = 0
+    #: Stripes written while the group was missing devices (every
+    #: touched stripe counts while degraded).
+    degraded_stripes: int = 0
+    #: Extra reads forced by degraded-mode parity computation: with a
+    #: device missing, parity for a touched stripe can only be computed
+    #: from the surviving members, so the group reads every surviving
+    #: block it did not write (reconstruct-on-write).
+    reconstruction_reads: int = 0
     #: Blocks written per data disk.
     blocks_per_disk: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
     #: Contiguous write chains per data disk.
@@ -90,12 +98,23 @@ def analyze_raid_writes(
     vbns: np.ndarray,
     *,
     stripes_per_tetris: int = TETRIS_STRIPES,
+    failed_disks: int = 0,
 ) -> StripeWriteStats:
     """Classify one CP's writes (group-relative ``vbns``) against
     ``geometry`` and charge parity I/O.
 
     The input VBNs must be unique (each block is written once per CP —
     guaranteed by the COW allocator).
+
+    ``failed_disks`` puts the analysis into degraded mode: the group is
+    missing that many members (data or parity), so the subtractive
+    parity strategy is unavailable (old data/parity may live on the
+    missing device) and every touched stripe's parity is recomputed
+    from the surviving blocks that were not written this CP.  The extra
+    reads are charged as :attr:`StripeWriteStats.reconstruction_reads`
+    (and folded into ``parity_blocks_read`` so existing latency
+    accounting sees them).  The caller must stay within the parity
+    budget (``failed_disks <= nparity``).
     """
     vbns = np.asarray(vbns, dtype=np.int64)
     stats = StripeWriteStats(
@@ -118,12 +137,22 @@ def analyze_raid_writes(
     stats.partial_stripes = stats.stripes_written - stats.full_stripes
     stats.parity_blocks_written = stats.stripes_written * geometry.nparity
 
-    # Parity reads for partial stripes: min(subtractive, reconstructive).
-    k = counts[~full]
-    if k.size:
-        subtractive = k + geometry.nparity
-        reconstructive = geometry.ndata - k
-        stats.parity_blocks_read = int(np.minimum(subtractive, reconstructive).sum())
+    if failed_disks:
+        # Degraded mode: read every surviving member block not written
+        # this CP, for every touched stripe (full stripes included —
+        # their parity must still encode the missing device's data).
+        survivors = geometry.ndata + geometry.nparity - failed_disks
+        reads = np.maximum(survivors - counts, 0)
+        stats.reconstruction_reads = int(reads.sum())
+        stats.parity_blocks_read = stats.reconstruction_reads
+        stats.degraded_stripes = stats.stripes_written
+    else:
+        # Parity reads for partial stripes: min(subtractive, reconstructive).
+        k = counts[~full]
+        if k.size:
+            subtractive = k + geometry.nparity
+            reconstructive = geometry.ndata - k
+            stats.parity_blocks_read = int(np.minimum(subtractive, reconstructive).sum())
 
     stats.tetrises = count_tetrises(touched, stripes_per_tetris)
 

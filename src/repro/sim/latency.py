@@ -24,7 +24,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["LoadPoint", "latency_throughput_curve", "peak_throughput"]
+__all__ = [
+    "LoadPoint",
+    "latency_throughput_curve",
+    "peak_throughput",
+    "degraded_read_amplification",
+    "degraded_curve",
+]
 
 
 @dataclass(frozen=True)
@@ -118,6 +124,59 @@ def system_curve(
             latency_us = service_us / (1.0 - rho_cap) * max(rho, 1.0)
         points.append(LoadPoint(float(load), float(achieved), float(latency_us) / 1000.0))
     return points
+
+
+def degraded_read_amplification(ndata: int, nparity: int, failed_disks: int) -> float:
+    """Expected device-read amplification while a RAID group is
+    missing ``failed_disks`` members.
+
+    A client read landing on a surviving member costs one device read;
+    a read landing on a failed member must be reconstructed from all
+    surviving members (``ndisks - failed`` reads).  With reads spread
+    uniformly over members, the expectation is::
+
+        1 + (failed / ndisks) * (survivors - 1)
+
+    Amplification is 1.0 for a healthy group and grows toward the
+    survivor count as more members fail (within the parity budget).
+    """
+    ndisks = ndata + nparity
+    if not 0 <= failed_disks <= nparity:
+        raise ValueError(
+            f"failed_disks must be within the parity budget [0, {nparity}], "
+            f"got {failed_disks}"
+        )
+    survivors = ndisks - failed_disks
+    return 1.0 + (failed_disks / ndisks) * (survivors - 1)
+
+
+def degraded_curve(
+    service_us_per_op: float,
+    offered_per_client: np.ndarray | list[float],
+    *,
+    ndata: int,
+    nparity: int,
+    failed_disks: int,
+    device_fraction: float = 1.0,
+    nclients: int = 16,
+    rho_cap: float = 0.98,
+) -> list[LoadPoint]:
+    """Latency-throughput sweep for a degraded RAID group.
+
+    Scales the device component of the measured service time (the
+    ``device_fraction`` share of ``service_us_per_op``) by the
+    degraded read amplification, leaving the CPU share unchanged —
+    the modeled latency cost of running with failed members that
+    :func:`repro.raid.parity.analyze_raid_writes` charges per CP.
+    """
+    amp = degraded_read_amplification(ndata, nparity, failed_disks)
+    if not 0.0 <= device_fraction <= 1.0:
+        raise ValueError(f"device_fraction must be in [0, 1], got {device_fraction}")
+    device_us = service_us_per_op * device_fraction
+    degraded_service = service_us_per_op - device_us + device_us * amp
+    return latency_throughput_curve(
+        degraded_service, offered_per_client, nclients=nclients, rho_cap=rho_cap
+    )
 
 
 def peak_throughput(points: list[LoadPoint]) -> LoadPoint:

@@ -37,6 +37,11 @@ class CPStats:
     tetrises: int = 0
     write_chains: int = 0
     parity_reads: int = 0
+    #: Extra reads forced by degraded-mode RAID (parity reconstruction
+    #: of blocks on failed members; see :mod:`repro.faults`).
+    reconstruction_reads: int = 0
+    #: Stripes written while a RAID group was missing devices.
+    degraded_stripes: int = 0
     #: Device busy time: bottleneck (max over devices) and sum.
     device_busy_us: float = 0.0
     device_total_us: float = 0.0
@@ -79,6 +84,16 @@ class MetricsLog:
     @property
     def total_device_busy_us(self) -> float:
         return self._sum("device_busy_us")
+
+    @property
+    def total_reconstruction_reads(self) -> int:
+        """Degraded-mode reconstruction reads across the run."""
+        return int(self._sum("reconstruction_reads"))
+
+    @property
+    def total_degraded_stripes(self) -> int:
+        """Stripes written in degraded RAID mode across the run."""
+        return int(self._sum("degraded_stripes"))
 
     @property
     def cpu_us_per_op(self) -> float:

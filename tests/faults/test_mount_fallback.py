@@ -1,0 +1,140 @@
+"""Self-healing mount: checksummed TopAA pages, per-FS fallback,
+bounded retries, media-error escalation (satellites of the
+fault-injection PR)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import TransientIOError
+from repro.core import PAGE_KIND_HBPS, seal_page, unseal_page
+from repro.core.topaa import serialize_hbps_cache
+from repro.faults import FaultInjector, FaultKind, attach_everywhere, corrupt_bytes
+from repro.fs import export_topaa, simulate_mount
+from repro.fs.iron import scan
+from repro.workloads import RandomOverwriteWorkload, fill_volumes
+
+from ..conftest import small_ssd_sim
+
+
+@pytest.fixture
+def aged_sim():
+    s = small_ssd_sim()
+    fill_volumes(s, ops_per_cp=8192)
+    s.run(RandomOverwriteWorkload(s, ops_per_cp=2048, seed=3), 6)
+    return s
+
+
+class TestPageVerification:
+    def test_corrupt_page_falls_back_only_that_fs(self, aged_sim):
+        img = export_topaa(aged_sim)
+        img.vol_pages["volB"] = corrupt_bytes(img.vol_pages["volB"], 8, rng=2)
+        rep = simulate_mount(aged_sim, img)
+        assert rep.fallbacks == {"vol:volB": "bad-crc"}
+        assert rep.caches_built == 3
+        # volB was rebuilt from its bitmap (exact scores, not seeded);
+        # the corrupt page never installed a cache.
+        assert aged_sim.vol("volB").cache.seeded is False
+        # The others really did load from TopAA (seeded).
+        assert aged_sim.vol("volA").cache.seeded is True
+        # Fallback pays the full metafile walk for volB only.
+        expected = (img.total_blocks - 2) + aged_sim.vol(
+            "volB"
+        ).metafile.metafile_block_count
+        assert rep.blocks_read == expected
+
+    def test_missing_vol_page_falls_back(self, aged_sim):
+        """A volume present in the simulator but absent from the TopAA
+        image must not crash the mount (regression: KeyError)."""
+        img = export_topaa(aged_sim)
+        del img.vol_pages["volA"]
+        rep = simulate_mount(aged_sim, img)
+        assert rep.fallbacks == {"vol:volA": "missing-page"}
+        assert rep.caches_built == 3
+        aged_sim.run(RandomOverwriteWorkload(aged_sim, ops_per_cp=1024, seed=5), 3)
+        aged_sim.verify_consistency()
+
+    def test_truncated_page_detected(self, aged_sim):
+        img = export_topaa(aged_sim)
+        img.vol_pages["volB"] = img.vol_pages["volB"][:100]
+        rep = simulate_mount(aged_sim, img)
+        assert rep.fallbacks["vol:volB"] == "truncated"
+
+    def test_stale_page_detected(self, aged_sim):
+        """A page exported for a different AA count (pre-grow image)
+        must not seed a cache of the wrong shape."""
+        img = export_topaa(aged_sim)
+        vol = aged_sim.vol("volB")
+        img.vol_pages["volB"] = seal_page(
+            serialize_hbps_cache(vol.cache), PAGE_KIND_HBPS, vol.topology.num_aas + 1
+        )
+        rep = simulate_mount(aged_sim, img)
+        assert rep.fallbacks["vol:volB"] == "stale"
+
+    def test_wrong_kind_detected(self, aged_sim):
+        img = export_topaa(aged_sim)
+        vol = aged_sim.vol("volB")
+        payload = unseal_page(
+            img.vol_pages["volB"], PAGE_KIND_HBPS, vol.topology.num_aas
+        )
+        img.vol_pages["volB"] = seal_page(payload, 1, vol.topology.num_aas)
+        rep = simulate_mount(aged_sim, img)
+        assert rep.fallbacks["vol:volB"] == "wrong-kind"
+
+    def test_corrupt_group_block_falls_back(self, aged_sim):
+        img = export_topaa(aged_sim)
+        img.group_blocks[0] = corrupt_bytes(img.group_blocks[0], 8, rng=2)
+        rep = simulate_mount(aged_sim, img)
+        assert rep.fallbacks == {"group:0": "bad-crc"}
+        assert aged_sim.store.groups[0].cache.fully_populated
+
+    def test_pristine_image_has_no_fallbacks(self, aged_sim):
+        img = export_topaa(aged_sim)
+        rep = simulate_mount(aged_sim, img)
+        assert rep.fallbacks == {}
+        assert rep.repairs == []
+        assert rep.blocks_read == img.total_blocks
+
+
+class TestFaultyMountReads:
+    def test_transient_read_retries_with_backoff(self, aged_sim):
+        inj = FaultInjector(seed=1)
+        attach_everywhere(aged_sim, inj)
+        img = export_topaa(aged_sim)
+        img.vol_pages["volB"] = corrupt_bytes(img.vol_pages["volB"], 8, rng=2)
+        inj.arm("vol:volB", FaultKind.TRANSIENT_READ, count=2)
+        rep = simulate_mount(aged_sim, img)
+        assert rep.transient_retries == 2
+        assert rep.retry_backoff_us > 0
+        assert rep.modeled_read_us > rep.blocks_read * 250.0
+        assert rep.fallbacks == {"vol:volB": "bad-crc"}
+
+    def test_retries_exhausted_raises(self, aged_sim):
+        inj = FaultInjector(seed=1)
+        attach_everywhere(aged_sim, inj)
+        img = export_topaa(aged_sim)
+        img.vol_pages["volB"] = corrupt_bytes(img.vol_pages["volB"], 8, rng=2)
+        inj.arm("vol:volB", FaultKind.TRANSIENT_READ, count=10)
+        with pytest.raises(TransientIOError):
+            simulate_mount(aged_sim, img, max_retries=2)
+
+    def test_media_error_escalates_to_scoped_repair(self, aged_sim):
+        inj = FaultInjector(seed=1)
+        attach_everywhere(aged_sim, inj)
+        img = export_topaa(aged_sim)
+        img.vol_pages["volB"] = corrupt_bytes(img.vol_pages["volB"], 8, rng=2)
+        inj.arm("vol:volB", FaultKind.UNRECONSTRUCTABLE)
+        rep = simulate_mount(aged_sim, img)
+        assert rep.repairs == ["vol:volB"]
+        assert rep.caches_built == 3
+        assert scan(aged_sim).clean
+        aged_sim.run(RandomOverwriteWorkload(aged_sim, ops_per_cp=1024, seed=5), 3)
+        aged_sim.verify_consistency()
+
+    def test_cps_run_after_degraded_mount(self, aged_sim):
+        img = export_topaa(aged_sim)
+        img.vol_pages["volB"] = corrupt_bytes(img.vol_pages["volB"], 8, rng=2)
+        del img.vol_pages["volA"]
+        simulate_mount(aged_sim, img)
+        aged_sim.run(RandomOverwriteWorkload(aged_sim, ops_per_cp=1024, seed=7), 5)
+        aged_sim.verify_consistency()

@@ -32,10 +32,12 @@ class TestExport:
         assert set(img.vol_pages) == {"volA", "volB"}
         assert img.total_blocks == 1 + 2 * 2
 
-    def test_blocks_are_4k(self, aged_sim):
+    def test_blocks_are_4k_plus_checksum_header(self, aged_sim):
+        from repro.core import TOPAA_HEADER_BYTES
+
         img = export_topaa(aged_sim)
-        assert all(len(b) == 4096 for b in img.group_blocks)
-        assert all(len(p) == 8192 for p in img.vol_pages.values())
+        assert all(len(b) == 4096 + TOPAA_HEADER_BYTES for b in img.group_blocks)
+        assert all(len(p) == 8192 + TOPAA_HEADER_BYTES for p in img.vol_pages.values())
 
 
 class TestMountPaths:
