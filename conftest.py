@@ -1,0 +1,12 @@
+"""Root conftest: makes ``src/`` importable and registers the
+``--audit`` plugin (:mod:`repro.analysis.pytest_plugin`), which arms
+the CP-time invariant auditor for every engine a test constructs."""
+
+import pathlib
+import sys
+
+_SRC = str(pathlib.Path(__file__).resolve().parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+pytest_plugins = ["repro.analysis.pytest_plugin"]

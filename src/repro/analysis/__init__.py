@@ -1,0 +1,40 @@
+"""Static and runtime verification for the reproduction codebase.
+
+* :mod:`repro.analysis.simlint` — AST lint rules (determinism,
+  layering, unit safety, error hygiene); ``repro lint``.
+* :mod:`repro.analysis.auditor` — CP-time whole-system invariant
+  auditor; ``repro audit`` and ``pytest --audit``.
+* :mod:`repro.analysis.rules` — the rule catalogue and the enforced
+  package DAG.
+
+This package sits at the top of the dependency DAG: it may import
+everything, nothing imports it.
+"""
+
+from .auditor import (
+    AuditReport,
+    InvariantAuditor,
+    Violation,
+    arm_global,
+    audit_sim,
+    disarm_global,
+)
+from .rules import LAYER_RANK, RULES, Rule
+from .simlint import Finding, format_findings, lint_file, lint_paths, lint_source
+
+__all__ = [
+    "AuditReport",
+    "InvariantAuditor",
+    "Violation",
+    "arm_global",
+    "audit_sim",
+    "disarm_global",
+    "LAYER_RANK",
+    "RULES",
+    "Rule",
+    "Finding",
+    "format_findings",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,36 @@
+"""pytest plugin: ``--audit`` arms the CP-time invariant auditor.
+
+Registered from the repository's root ``conftest.py`` via
+``pytest_plugins``.  With ``--audit``, every :class:`~repro.fs.cp.
+CPEngine` built during the test session gets an
+:class:`~repro.analysis.auditor.InvariantAuditor`, so *every*
+consistency point run by *any* test is cross-checked; a violation
+surfaces as an :class:`~repro.common.errors.AuditError` raised from
+``run_cp`` inside the offending test.
+"""
+
+from __future__ import annotations
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--audit",
+        action="store_true",
+        default=False,
+        help="arm the repro invariant auditor for every CP engine "
+        "constructed during the session",
+    )
+
+
+def pytest_configure(config) -> None:
+    if config.getoption("--audit"):
+        from .auditor import arm_global
+
+        arm_global()
+
+
+def pytest_unconfigure(config) -> None:
+    if config.getoption("--audit"):
+        from .auditor import disarm_global
+
+        disarm_global()

@@ -1,0 +1,184 @@
+"""The simlint rule catalogue and the enforced dependency DAG.
+
+Rule identifiers are stable and documented in the README; inline
+waivers use ``# simlint: disable=<rule>[,<rule>...]`` on the offending
+line, or ``# simlint: disable-file=<rule>`` in the first comment block
+of a module.
+
+Rule families
+-------------
+* **D — determinism.**  Every experiment must be bit-for-bit
+  reproducible from a seed, so hot-path code may not consult ambient
+  entropy (wall clocks, unseeded generators, the stdlib ``random``
+  module) or iterate Python ``set`` objects, whose order is salted per
+  process.
+* **L — layering.**  Packages form a strict DAG; an import reaching a
+  *later* package is a leak that eventually turns into a cycle (the
+  pre-existing ``bitmap -> core`` edge this linter was dogfooded on).
+* **U — unit safety.**  Identifiers carry unit suffixes (``_bytes``,
+  ``_blocks``, ``_us``...); additive arithmetic across different
+  suffixes is a unit mix-up unless it flows through
+  :mod:`repro.common.units` converters.
+* **E — error hygiene.**  Bare/over-broad excepts and silently dropped
+  library errors hide exactly the corruption the auditor exists to
+  surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Rule",
+    "RULES",
+    "LAYER_RANK",
+    "UNIT_SUFFIXES",
+    "ORDER_SAFE_CONSUMERS",
+    "REPRO_ERROR_NAMES",
+    "WALL_CLOCK_CALLS",
+]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: stable id, summary, and what it protects."""
+
+    id: str
+    summary: str
+    rationale: str
+
+
+RULES: dict[str, Rule] = {
+    r.id: r
+    for r in (
+        Rule(
+            "D101",
+            "stdlib `random` module used",
+            "the stdlib RNG is process-global; all randomness must flow "
+            "through a seeded numpy Generator (repro.common.rng).",
+        ),
+        Rule(
+            "D102",
+            "unseeded numpy RNG (`default_rng()` with no seed, or legacy "
+            "`np.random.*` global-state calls)",
+            "an unseeded generator draws OS entropy and silently breaks "
+            "same-seed reproducibility of a whole sweep.",
+        ),
+        Rule(
+            "D103",
+            "wall-clock call (`time.time`, `datetime.now`, ...) in "
+            "simulation code",
+            "simulated time is microseconds of modeled work; wall clocks "
+            "leak host state into results.",
+        ),
+        Rule(
+            "D104",
+            "iteration over an unordered `set`/`frozenset`",
+            "set iteration order is hash-salted per process; wrap the "
+            "iterable in sorted() to fix the order.",
+        ),
+        Rule(
+            "L201",
+            "import violates the package dependency DAG",
+            "the layering common -> devices -> raid -> bitmap -> core -> "
+            "sim -> fs -> workloads -> faults -> bench -> analysis is "
+            "acyclic by construction; upward imports create cycles.",
+        ),
+        Rule(
+            "U301",
+            "additive arithmetic or comparison mixes unit suffixes",
+            "adding `_bytes` to `_blocks` (etc.) without a "
+            "repro.common.units conversion silently corrupts accounting.",
+        ),
+        Rule(
+            "E401",
+            "bare `except:`",
+            "catches SystemExit/KeyboardInterrupt and hides programming "
+            "errors; name the exception.",
+        ),
+        Rule(
+            "E402",
+            "over-broad `except Exception`/`except BaseException`",
+            "swallows unrelated failures; catch the narrowest repro error "
+            "class that the handler can actually recover from.",
+        ),
+        Rule(
+            "E403",
+            "caught-and-dropped repro error (handler body is only "
+            "pass/...)",
+            "a swallowed SimError/MediaError/CacheError turns detectable "
+            "corruption into silent corruption.",
+        ),
+    )
+}
+
+#: The enforced dependency DAG: a package may import only packages with
+#: a strictly *smaller* rank.  Top-level modules (``cli``, ``__main__``,
+#: the root ``__init__``) sit above every package and are unconstrained.
+LAYER_RANK: dict[str, int] = {
+    "common": 0,
+    "devices": 1,
+    "raid": 2,
+    "bitmap": 3,
+    "core": 4,
+    "sim": 5,
+    "fs": 6,
+    "workloads": 7,
+    "faults": 8,
+    "bench": 9,
+    "analysis": 10,
+}
+
+#: Identifier suffixes treated as units by U301.  Multiplicative
+#: operators are exempt (they *are* the conversions).
+UNIT_SUFFIXES: tuple[str, ...] = (
+    "_bytes",
+    "_blocks",
+    "_gib",
+    "_mib",
+    "_kib",
+    "_us",
+    "_ms",
+    "_ns",
+)
+
+#: Callables whose result does not depend on iteration order; passing a
+#: set straight into these is not a D104 violation.
+ORDER_SAFE_CONSUMERS: frozenset[str] = frozenset(
+    {"sorted", "len", "min", "max", "sum", "any", "all", "set", "frozenset"}
+)
+
+#: Library exception names whose silent swallowing E403 flags.
+REPRO_ERROR_NAMES: frozenset[str] = frozenset(
+    {
+        "ReproError",
+        "SimError",  # historical alias used in issue trackers/docs
+        "BitmapError",
+        "AllocationError",
+        "OutOfSpaceError",
+        "GeometryError",
+        "CacheError",
+        "SerializationError",
+        "MountError",
+        "FaultError",
+        "TransientIOError",
+        "MediaError",
+        "DegradedError",
+        "AuditError",
+    }
+)
+
+#: Dotted calls D103 flags (``perf_counter`` is allowed: it only times
+#: wall-clock reporting of benchmark runs, never simulated state).
+WALL_CLOCK_CALLS: frozenset[str] = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+    }
+)

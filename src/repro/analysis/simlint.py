@@ -1,0 +1,522 @@
+"""simlint: AST-based static analysis with codebase-specific rules.
+
+The rules (catalogue in :mod:`repro.analysis.rules`) encode properties
+the paper's evaluation depends on but Python cannot enforce by itself:
+determinism of every hot path (D), an acyclic package DAG (L), unit
+discipline between ``*_bytes``/``*_blocks``/``*_us`` quantities (U),
+and error hygiene (E).
+
+Usage::
+
+    from repro.analysis import lint_paths
+    findings = lint_paths(["src/repro"])
+
+or from the command line: ``repro lint src/repro``.
+
+Waivers: append ``# simlint: disable=D104`` to the offending line, or
+put ``# simlint: disable-file=D104`` on its own comment line to waive a
+rule for a whole module.  Waivers name specific rules; there is no
+blanket disable.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .rules import (
+    LAYER_RANK,
+    REPRO_ERROR_NAMES,
+    RULES,
+    UNIT_SUFFIXES,
+    WALL_CLOCK_CALLS,
+)
+
+__all__ = ["Finding", "lint_source", "lint_file", "lint_paths", "format_findings"]
+
+#: Rank assigned to modules outside the package DAG (``repro.cli``,
+#: ``repro/__init__`` ...): above everything, so ranked packages may
+#: not import them.
+_TOP_RANK = 99
+
+_PRAGMA_LINE = re.compile(r"#\s*simlint:\s*disable=([A-Z]\d+(?:\s*,\s*[A-Z]\d+)*)")
+_PRAGMA_FILE = re.compile(r"#\s*simlint:\s*disable-file=([A-Z]\d+(?:\s*,\s*[A-Z]\d+)*)")
+
+#: Legacy ``numpy.random`` module-level (global-state) entry points.
+_NP_RANDOM_LEGACY = frozenset(
+    {
+        "seed",
+        "random",
+        "rand",
+        "randn",
+        "randint",
+        "random_sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "binomial",
+        "poisson",
+        "exponential",
+    }
+)
+
+_UNIT_BY_WORD = {suffix.lstrip("_"): suffix for suffix in UNIT_SUFFIXES}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def _suffix_of(name: str) -> str | None:
+    for suffix in UNIT_SUFFIXES:
+        if name.endswith(suffix) and len(name) > len(suffix):
+            return suffix
+    return None
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _Linter(ast.NodeVisitor):
+    """Single-pass visitor applying every rule family."""
+
+    def __init__(self, path: str, package: str | None) -> None:
+        self.path = path
+        self.package = package
+        self.findings: list[Finding] = []
+        #: local alias -> canonical dotted origin ("np" -> "numpy").
+        self.aliases: dict[str, str] = {}
+        #: stack of scopes mapping names known to hold sets.
+        self.set_scopes: list[set[str]] = [set()]
+        #: ``self.<attr>`` names known to hold sets (module-wide).
+        self.set_attrs: set[str] = set()
+
+    # -- helpers -------------------------------------------------------
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(rule, self.path, getattr(node, "lineno", 0),
+                    getattr(node, "col_offset", 0), message)
+        )
+
+    def _canonical(self, dotted: str) -> str:
+        head, _, rest = dotted.partition(".")
+        head = self.aliases.get(head, head)
+        return f"{head}.{rest}" if rest else head
+
+    # -- imports: aliases, D101, L201 ----------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+            root = alias.name.split(".")[0]
+            if root == "random":
+                self._emit("D101", node, RULES["D101"].summary)
+            if root == "repro":
+                self._check_layering(node, alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        if node.level == 0:
+            for alias in node.names:
+                self.aliases[alias.asname or alias.name] = f"{module}.{alias.name}"
+            if module.split(".")[0] == "random":
+                self._emit("D101", node, RULES["D101"].summary)
+            if module.split(".")[0] == "repro":
+                self._check_layering(node, module)
+        else:
+            target = self._resolve_relative(node)
+            if target is not None:
+                self._check_layering(node, target)
+        self.generic_visit(node)
+
+    def _resolve_relative(self, node: ast.ImportFrom) -> str | None:
+        """Absolute ``repro.<pkg>`` target of a relative import, from the
+        linted module's own package position."""
+        if self.package is None:
+            # Top-level module: ``from . import x`` reaches siblings;
+            # top modules are unconstrained.
+            return None
+        # level 1 == same package (always allowed); level 2 == the repro
+        # root, so the first component of ``module`` names the target.
+        if node.level == 1:
+            return f"repro.{self.package}"
+        if node.level == 2:
+            first = (node.module or "").split(".")[0]
+            return f"repro.{first}" if first else "repro"
+        return "repro"
+
+    def _check_layering(self, node: ast.AST, target_module: str) -> None:
+        if self.package is None:
+            return
+        source_rank = LAYER_RANK.get(self.package)
+        if source_rank is None:
+            return
+        parts = target_module.split(".")
+        target_pkg = parts[1] if len(parts) > 1 and parts[0] == "repro" else None
+        if target_pkg is None:
+            # ``import repro`` / ``from repro import x``: the root
+            # package re-exports high-level names; treat as top.
+            target_rank = _TOP_RANK
+            target_pkg = "repro"
+        elif target_pkg == self.package:
+            return
+        else:
+            target_rank = LAYER_RANK.get(target_pkg, _TOP_RANK)
+        if target_rank >= source_rank:
+            self._emit(
+                "L201",
+                node,
+                f"package '{self.package}' (rank {source_rank}) may not import "
+                f"'{target_pkg}' (rank {target_rank}); the DAG is "
+                + " -> ".join(sorted(LAYER_RANK, key=LAYER_RANK.__getitem__)),
+            )
+
+    # -- calls: D101/D102/D103, D104 consumers, U301 conversions -------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted is not None:
+            canonical = self._canonical(dotted)
+            self._check_rng_call(node, canonical)
+            self._check_clock_call(node, canonical)
+        func_name = dotted.split(".")[-1] if dotted else None
+        if func_name in {"list", "tuple", "enumerate", "iter"}:
+            for arg in node.args:
+                if self._is_set_expr(arg):
+                    self._emit(
+                        "D104",
+                        arg,
+                        f"{RULES['D104'].summary} (materialized via {func_name}(); "
+                        f"wrap the set in sorted())",
+                    )
+        self.generic_visit(node)
+
+    def _check_rng_call(self, node: ast.Call, canonical: str) -> None:
+        if canonical.split(".")[0] == "random":
+            self._emit("D101", node, f"{RULES['D101'].summary}: {canonical}()")
+            return
+        if canonical in ("numpy.random.default_rng", "np.random.default_rng"):
+            unseeded = not node.args and not node.keywords
+            none_seed = (
+                len(node.args) == 1
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value is None
+            )
+            if unseeded or none_seed:
+                self._emit("D102", node, RULES["D102"].summary)
+            return
+        parts = canonical.split(".")
+        if (
+            len(parts) == 3
+            and parts[0] in ("numpy", "np")
+            and parts[1] == "random"
+            and parts[2] in _NP_RANDOM_LEGACY
+        ):
+            self._emit(
+                "D102", node,
+                f"legacy global-state RNG call np.random.{parts[2]}(); draw from "
+                f"a seeded Generator (repro.common.rng.make_rng) instead",
+            )
+
+    def _check_clock_call(self, node: ast.Call, canonical: str) -> None:
+        if canonical in WALL_CLOCK_CALLS:
+            self._emit("D103", node, f"{RULES['D103'].summary}: {canonical}()")
+
+    # -- D104: set bookkeeping and iteration sites ---------------------
+    def _is_set_ctor(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted in ("set", "frozenset"):
+                return True
+        return False
+
+    def _is_set_annotation(self, annotation: ast.AST | None) -> bool:
+        if annotation is None:
+            return False
+        base = annotation.value if isinstance(annotation, ast.Subscript) else annotation
+        name = _dotted(base)
+        return name is not None and name.split(".")[-1].lower() in ("set", "frozenset")
+
+    def _record_binding(self, target: ast.AST, is_set: bool) -> None:
+        if isinstance(target, ast.Name):
+            scope = self.set_scopes[-1]
+            (scope.add if is_set else scope.discard)(target.id)
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            (self.set_attrs.add if is_set else self.set_attrs.discard)(target.attr)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        is_set = self._is_set_ctor(node.value)
+        for target in node.targets:
+            self._record_binding(target, is_set)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        is_set = (node.value is not None and self._is_set_ctor(node.value)) or (
+            node.value is None and self._is_set_annotation(node.annotation)
+        )
+        if node.value is not None and not self._is_set_ctor(node.value):
+            is_set = self._is_set_annotation(node.annotation) and self._is_set_ctor(
+                node.value
+            )
+        self._record_binding(node.target, is_set or (
+            node.value is not None
+            and self._is_set_ctor(node.value)
+        ))
+        self._check_aug_or_ann_units(node)
+        self.generic_visit(node)
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if self._is_set_ctor(node):
+            return True
+        if isinstance(node, ast.Name):
+            return any(node.id in scope for scope in self.set_scopes)
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr in self.set_attrs
+        return False
+
+    def _check_iteration(self, iter_node: ast.AST) -> None:
+        if self._is_set_expr(iter_node):
+            self._emit(
+                "D104", iter_node,
+                f"{RULES['D104'].summary}; wrap it in sorted() for a stable order",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        for comp in getattr(node, "generators", []):
+            self._check_iteration(comp.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.set_scopes.append(set())
+        self.generic_visit(node)
+        self.set_scopes.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.visit_FunctionDef(node)  # type: ignore[arg-type]
+
+    # -- U301: unit suffix mixing --------------------------------------
+    def _unit_of(self, node: ast.AST) -> str | None:
+        if isinstance(node, ast.Name):
+            return _suffix_of(node.id)
+        if isinstance(node, ast.Attribute):
+            return _suffix_of(node.attr)
+        if isinstance(node, ast.Call):
+            # ``blocks_to_bytes(x)`` and friends convert *into* the unit
+            # named last; treat the converter's result as that unit.
+            dotted = _dotted(node.func)
+            if dotted is not None:
+                tail = dotted.split(".")[-1]
+                if "_to_" in tail:
+                    word = tail.rsplit("_to_", 1)[1]
+                    return _UNIT_BY_WORD.get(word)
+            return None
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+            left = self._unit_of(node.left)
+            right = self._unit_of(node.right)
+            if left is not None and right is not None and left == right:
+                return left
+        if isinstance(node, ast.UnaryOp):
+            return self._unit_of(node.operand)
+        return None
+
+    def _check_unit_pair(self, node: ast.AST, a: ast.AST, b: ast.AST, op: str) -> None:
+        ua, ub = self._unit_of(a), self._unit_of(b)
+        if ua is not None and ub is not None and ua != ub:
+            self._emit(
+                "U301", node,
+                f"'{op}' mixes units {ua} and {ub}; convert through "
+                f"repro.common.units first",
+            )
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            self._check_unit_pair(node, node.left, node.right,
+                                  "+" if isinstance(node.op, ast.Add) else "-")
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            self._check_unit_pair(node, node.target, node.value,
+                                  "+=" if isinstance(node.op, ast.Add) else "-=")
+        self._record_binding(node.target, False) if not isinstance(
+            node.op, (ast.BitOr, ast.BitAnd)
+        ) else None
+        self.generic_visit(node)
+
+    def _check_aug_or_ann_units(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            target_unit = self._unit_of(node.target)
+            value_unit = self._unit_of(node.value)
+            if (
+                target_unit is not None
+                and value_unit is not None
+                and target_unit != value_unit
+            ):
+                self._emit(
+                    "U301", node,
+                    f"assignment binds {value_unit} value to {target_unit} name; "
+                    f"convert through repro.common.units first",
+                )
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        ordering = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+        for i, op in enumerate(node.ops):
+            if isinstance(op, ordering):
+                self._check_unit_pair(node, operands[i], operands[i + 1],
+                                      type(op).__name__)
+        self.generic_visit(node)
+
+    # -- E-rules: exception hygiene ------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._emit("E401", node, RULES["E401"].summary)
+        else:
+            names = self._exception_names(node.type)
+            if names & {"Exception", "BaseException"}:
+                self._emit("E402", node, RULES["E402"].summary)
+            elif names & REPRO_ERROR_NAMES and self._body_is_noop(node.body):
+                self._emit(
+                    "E403", node,
+                    f"caught {', '.join(sorted(names & REPRO_ERROR_NAMES))} and "
+                    f"dropped it; handle, log, or re-raise",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _exception_names(node: ast.AST) -> set[str]:
+        exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+        names: set[str] = set()
+        for expr in exprs:
+            dotted = _dotted(expr)
+            if dotted is not None:
+                names.add(dotted.split(".")[-1])
+        return names
+
+    @staticmethod
+    def _body_is_noop(body: Sequence[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+                continue  # docstring or bare `...`
+            return False
+        return True
+
+
+def _pragmas(source: str) -> tuple[dict[int, set[str]], set[str]]:
+    """Per-line and file-level waivers from ``# simlint:`` pragmas."""
+    per_line: dict[int, set[str]] = {}
+    file_level: set[str] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_FILE.search(line)
+        if match:
+            file_level.update(r.strip() for r in match.group(1).split(","))
+            continue
+        match = _PRAGMA_LINE.search(line)
+        if match:
+            per_line.setdefault(lineno, set()).update(
+                r.strip() for r in match.group(1).split(",")
+            )
+    return per_line, file_level
+
+
+def _package_of(path: Path) -> str | None:
+    """The repro subpackage a file belongs to, or None for top-level
+    modules (and files outside the repro tree)."""
+    parts = path.parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            rest = parts[i + 1 : -1]
+            return rest[0] if rest else None
+    return None
+
+
+def lint_source(
+    source: str, path: str = "<string>", package: str | None = None
+) -> list[Finding]:
+    """Lint one module's source; ``package`` positions it in the DAG."""
+    tree = ast.parse(source, filename=path)
+    linter = _Linter(path, package)
+    linter.visit(tree)
+    per_line, file_level = _pragmas(source)
+    kept = []
+    for f in linter.findings:
+        if f.rule in file_level or f.rule in per_line.get(f.line, set()):
+            continue
+        kept.append(f)
+    return sorted(kept, key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def lint_file(path: str | Path) -> list[Finding]:
+    """Lint one file, inferring its package from its location."""
+    p = Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), str(p), _package_of(p))
+
+
+def lint_paths(paths: Iterable[str | Path]) -> list[Finding]:
+    """Lint every ``*.py`` file under the given files/directories."""
+    findings: list[Finding] = []
+    for entry in paths:
+        p = Path(entry)
+        files = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for f in files:
+            findings.extend(lint_file(f))
+    return findings
+
+
+def format_findings(findings: Sequence[Finding]) -> str:
+    """Human-readable report, one line per finding plus a summary."""
+    if not findings:
+        return "simlint: clean (0 findings)"
+    lines = [str(f) for f in findings]
+    by_rule: dict[str, int] = {}
+    for f in findings:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+    summary = ", ".join(f"{r}: {n}" for r, n in sorted(by_rule.items()))
+    lines.append(f"simlint: {len(findings)} finding(s) ({summary})")
+    return "\n".join(lines)

@@ -30,7 +30,7 @@ from ..fs import (
     simulate_mount,
 )
 from ..raid import RAIDGeometry
-from ..sim import peak_throughput, system_curve
+from ..sim import system_curve
 from ..workloads import OLTPWorkload, SequentialWriteWorkload, fill_volumes
 from ..workloads.aging import reset_measurement_state
 from .harness import (

@@ -142,10 +142,17 @@ def measure_random_overwrite(
     blocks_per_op: int = 2,
     working_set_fraction: float = 1.0,
     seed: int = 777,
+    audit_hook=None,
 ) -> ConfigResult:
     """Run the paper's random-overwrite measurement phase (optionally a
     mixed read/write OLTP-style load, as Figures 7/8 use) and collect
-    every quantity section 4.1 reports."""
+    every quantity section 4.1 reports.
+
+    ``audit_hook(sim)`` — when given — runs after the sweep; callers
+    pass :func:`repro.analysis.auditor.audit_sim` to get an audited
+    benchmark without this package importing ``analysis`` (which sits
+    above ``bench`` in the package DAG).
+    """
     if read_fraction > 0.0:
         wl = OLTPWorkload(
             sim, ops_per_cp=ops_per_cp, read_fraction=read_fraction,
@@ -160,6 +167,8 @@ def measure_random_overwrite(
             seed=seed,
         )
     sim.run(wl, n_cps)
+    if audit_hook is not None:
+        audit_hook(sim)
     m = sim.metrics
     agg_sel = sim.store.selected_aa_free_fractions()
     vol_sel = np.concatenate(

@@ -2,11 +2,13 @@
 
 * :class:`Bitmap` — NumPy-backed allocation bitmap.
 * :class:`BitmapMetafile` — bitmap plus metafile-block I/O accounting.
-* :class:`DelayedFreeLog` — CP-batched frees, HBPS-prioritized.
+
+(:class:`~repro.core.delayed_frees.DelayedFreeLog` lives in
+:mod:`repro.core` because it builds on HBPS; this package stays below
+``core`` in the dependency DAG enforced by ``repro lint``.)
 """
 
 from .bitmap import Bitmap
-from .delayed_frees import DelayedFreeLog
 from .metafile import BitmapMetafile
 
-__all__ = ["Bitmap", "BitmapMetafile", "DelayedFreeLog"]
+__all__ = ["Bitmap", "BitmapMetafile"]

@@ -68,6 +68,12 @@ class Bitmap:
         """Total number of free (clear) bits."""
         return self.nblocks - self._allocated
 
+    def popcount(self) -> int:
+        """Authoritative allocated-bit count, recomputed from the
+        backing bytes (one vectorized pass).  The invariant auditor
+        cross-checks this against the cached :attr:`allocated_count`."""
+        return int(np.bitwise_count(self._bytes).sum(dtype=np.int64))
+
     @property
     def raw_bytes(self) -> np.ndarray:
         """Read-only view of the backing byte array (for persistence)."""

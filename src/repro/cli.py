@@ -33,7 +33,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
     ):
         print(f"  {name:26s} = {getattr(c, name)}")
     print()
-    print("commands: fig6 fig7 fig8 fig9 fig10 all faults quickstart info")
+    print("commands: fig6 fig7 fig8 fig9 fig10 all faults lint audit quickstart info")
     return 0
 
 
@@ -158,6 +158,76 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """simlint: AST static analysis with the repo's determinism,
+    layering, unit, and error-hygiene rules (see repro.analysis.rules)."""
+    from pathlib import Path
+
+    from repro.analysis import format_findings, lint_paths
+
+    paths = args.paths or [str(Path(__file__).resolve().parent)]
+    findings = lint_paths(paths)
+    print(format_findings(findings))
+    return 1 if findings else 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    """Arm the cross-layer invariant auditor and sweep CPs through the
+    interesting regimes: snapshot churn, budgeted delayed frees, and
+    the full chaos scenario (degraded RAID, corrupt TopAA, bit flips)."""
+    from repro import (MediaType, RAIDGroupConfig, RandomOverwriteWorkload,
+                       VolSpec, WaflSim)
+    from repro.analysis import arm_global, audit_sim, disarm_global
+    from repro.common.errors import AuditError
+    from repro.faults import default_scenario, run_chaos
+    from repro.workloads import fill_volumes
+
+    n = 4 if args.quick else 8
+    t0 = time.perf_counter()
+    arm_global()
+    try:
+        sim = WaflSim.build_raid(
+            [RAIDGroupConfig(ndata=4, nparity=1, blocks_per_disk=16384,
+                             media=MediaType.SSD)],
+            [VolSpec("lun0", logical_blocks=24576),
+             VolSpec("lun1", logical_blocks=12288)],
+            seed=11,
+        )
+        fill_volumes(sim)
+        wl = RandomOverwriteWorkload(sim, ops_per_cp=1024, seed=5)
+        sim.run(wl, n)
+        sim.create_snapshot("lun0", "audit-snap")
+        sim.set_free_budget(4)
+        sim.run(wl, n)
+        sim.delete_snapshot("lun0", "audit-snap")
+        sim.set_free_budget(None)
+        sim.run(wl, n)
+        healthy = sim.engine.auditor.cps_audited
+        print(f"healthy sweep: {healthy} CPs audited "
+              f"(snapshot churn + delayed-free budget) .. OK")
+
+        sc = default_scenario(seed=args.seed, quick=args.quick)
+        metrics, chaos_sim = run_chaos(sc)
+        chaos = chaos_sim.engine.auditor.cps_audited
+        print(f"chaos sweep: {chaos} CPs audited under seed {sc.seed} "
+              f"({metrics.disk_failures} disk failure(s), "
+              f"{metrics.degraded_cps} degraded CP(s)) .. OK")
+
+        final = audit_sim(sim)
+        final_chaos = audit_sim(chaos_sim)
+        final.raise_if_failed()
+        final_chaos.raise_if_failed()
+        print(f"final structural audit: "
+              f"{final.checks_run + final_chaos.checks_run} checks .. OK")
+    except AuditError as exc:
+        print(f"\naudit FAILED:\n{exc}")
+        return 1
+    finally:
+        disarm_global()
+    print(f"audit PASSED [{time.perf_counter() - t0:.1f}s]")
+    return 0
+
+
 def _cmd_quickstart(args: argparse.Namespace) -> int:
     # Defer to the shipped example (kept as the single source of truth).
     import runpy
@@ -211,6 +281,16 @@ def main(argv: list[str] | None = None) -> int:
             p.add_argument("--seed", type=int, default=1234,
                            help="scenario seed (same seed => identical recovery)")
         p.set_defaults(fn=fn)
+    p = sub.add_parser("lint", help="simlint: AST rules (determinism, layering, units)")
+    p.add_argument("paths", nargs="*",
+                   help="files or directories (default: the installed repro package)")
+    p.set_defaults(fn=_cmd_lint)
+    p = sub.add_parser("audit", help="CP-time invariant audit incl. chaos scenario")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller configurations for interactive use")
+    p.add_argument("--seed", type=int, default=1234,
+                   help="chaos scenario seed")
+    p.set_defaults(fn=_cmd_audit)
     args = parser.parse_args(argv)
     return args.fn(args)
 

@@ -56,3 +56,8 @@ class MediaError(FaultError):
 class DegradedError(MediaError):
     """A RAID group has more failed devices than its parity budget can
     reconstruct; reads through the missing data are impossible."""
+
+
+class AuditError(ReproError):
+    """The runtime invariant auditor found a cross-layer inconsistency
+    (see :mod:`repro.analysis.auditor`)."""

@@ -3,6 +3,7 @@ write allocator (paper section 3)."""
 
 from .aa import AATopology, LinearAATopology, StripeAATopology
 from .allocator import AggregateAllocator, LinearAllocator, RAIDGroupAllocator
+from .delayed_frees import DelayedFreeLog
 from .hbps import HBPS
 from .hbps_cache import RAIDAgnosticAACache
 from .heap_cache import RAIDAwareAACache
@@ -43,6 +44,7 @@ __all__ = [
     "AggregateAllocator",
     "LinearAllocator",
     "RAIDGroupAllocator",
+    "DelayedFreeLog",
     "HBPS",
     "RAIDAgnosticAACache",
     "RAIDAwareAACache",

@@ -18,9 +18,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..bitmap.metafile import BitmapMetafile
 from ..common.constants import BITS_PER_BITMAP_BLOCK
-from ..core.hbps import HBPS
-from .metafile import BitmapMetafile
+from ..common.errors import CacheError
+from .hbps import HBPS
 
 __all__ = ["DelayedFreeLog"]
 
@@ -150,6 +151,52 @@ class DelayedFreeLog:
         if freed:
             return np.concatenate(freed)
         return np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Introspection and invariants
+    # ------------------------------------------------------------------
+    def pending_vbns(self) -> np.ndarray:
+        """Every VBN currently logged but not yet applied (sorted)."""
+        if not self._per_block:
+            return np.empty(0, dtype=np.int64)
+        chunks = [c for lst in self._per_block.values() for c in lst]
+        return np.sort(np.concatenate(chunks))
+
+    def check_invariants(self, bitmap=None) -> None:
+        """Raise :class:`~repro.common.errors.CacheError` on any broken
+        conservation property of the log.
+
+        Checks: per-block pending counts match the logged chunks, the
+        prioritizing HBPS tracks exactly the blocks with pending frees,
+        no VBN is logged twice, and — when ``bitmap`` is given — every
+        pending VBN is still allocated there (a logged free that is
+        already clear would double-free on apply).
+        """
+        for blk, count in self._pending.items():
+            chunks = self._per_block.get(blk, [])
+            actual = sum(int(c.size) for c in chunks)
+            if actual != count:
+                raise CacheError(
+                    f"delayed-free block {blk}: pending count {count} != "
+                    f"logged chunk total {actual}"
+                )
+        if set(self._per_block) != set(self._pending):
+            raise CacheError("delayed-free chunk map and pending map diverge")
+        self._hbps.check_invariants()
+        if self._hbps.total_count != len(self._pending):
+            raise CacheError(
+                f"delayed-free HBPS tracks {self._hbps.total_count} blocks "
+                f"but {len(self._pending)} have pending frees"
+            )
+        vbns = self.pending_vbns()
+        if vbns.size and np.unique(vbns).size != vbns.size:
+            raise CacheError("duplicate VBN in delayed-free log")
+        if bitmap is not None and vbns.size and not bool(np.all(bitmap.test(vbns))):
+            bad = vbns[~bitmap.test(vbns)]
+            raise CacheError(
+                f"pending delayed-free VBN(s) {bad[:8].tolist()} are already "
+                f"free in the bitmap"
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -20,8 +20,6 @@ write allocator:
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
-
 import numpy as np
 
 from ..common.constants import HBPS_BIN_WIDTH, HBPS_LIST_CAPACITY
@@ -220,7 +218,7 @@ class RAIDAgnosticAACache:
     def check_invariants(self) -> None:
         """Test hook: HBPS invariants plus out-set disjointness."""
         self._hbps.check_invariants()
-        for aa in self._out:
+        for aa in sorted(self._out):
             if self._hbps.is_listed(aa):
                 raise CacheError(f"checked-out AA {aa} still listed in HBPS")
 

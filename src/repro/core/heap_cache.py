@@ -54,6 +54,7 @@ class RAIDAwareAACache:
         "_out",
         "_heap",
         "_known",
+        "seeded",
         "pushes",
         "pops",
         "compactions",
@@ -68,6 +69,10 @@ class RAIDAwareAACache:
         self._out: set[int] = set()
         self._heap: list[tuple[int, int, int]] = []  # (-score, aa, version)
         self._known = 0
+        #: True when populated from a TopAA seed: seeded scores are a
+        #: point-in-time export and may legitimately lag the keeper
+        #: until the background rebuild refreshes them.
+        self.seeded = False
         # Maintenance-op counters for the CPU-overhead evaluation (§4.1.2).
         self.pushes = 0
         self.pops = 0
@@ -106,6 +111,14 @@ class RAIDAwareAACache:
     def score_of(self, aa: int) -> int:
         """Cache's view of an AA's score (-1 when unknown)."""
         return int(self._score[aa])
+
+    @property
+    def scores_view(self) -> np.ndarray:
+        """Read-only per-AA score array (-1 = unknown).  The invariant
+        auditor compares this against the score keeper's totals."""
+        v = self._score.view()
+        v.flags.writeable = False
+        return v
 
     # ------------------------------------------------------------------
     # Allocator-facing operations
@@ -203,13 +216,19 @@ class RAIDAwareAACache:
         heapq.heapify(self._heap)
 
     def check_invariants(self) -> None:
-        """Test hook: the heap must be able to produce every known,
-        not-checked-out AA exactly once, in non-increasing score order."""
-        seen: set[int] = set()
-        order: list[int] = []
-        snapshot = list(self._heap)
+        """Test hook: the structural max-heap property must hold over
+        the backing array, and the live entries must cover every known,
+        not-checked-out AA exactly once."""
+        h = self._heap
+        for i, entry in enumerate(h):
+            for j in (2 * i + 1, 2 * i + 2):
+                if j < len(h) and h[j] < entry:
+                    raise CacheError(
+                        f"max-heap property violated: parent {i} "
+                        f"(score {-entry[0]}) vs child {j} (score {-h[j][0]})"
+                    )
         valid = {}
-        for neg, aa, ver in snapshot:
+        for neg, aa, ver in h:
             if aa in self._out or ver != self._version[aa] or self._score[aa] != -neg:
                 continue
             if aa in valid:
@@ -224,7 +243,6 @@ class RAIDAwareAACache:
             raise CacheError(
                 f"live heap entries {len(valid)} != known available AAs {len(expected)}"
             )
-        del seen, order
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -161,6 +161,7 @@ def seed_heap_cache(num_aas: int, block: bytes) -> RAIDAwareAACache:
     TopAA block.  The caller is responsible for populating the
     remaining AAs in the background (see :mod:`repro.fs.mount`)."""
     cache = RAIDAwareAACache(num_aas)
+    cache.seeded = True
     for aa, score in deserialize_heap_seed(block):
         if aa < num_aas:
             cache.populate(aa, score)

@@ -14,7 +14,7 @@ escalate into scoped repair (:mod:`repro.faults.recovery`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

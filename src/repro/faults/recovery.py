@@ -67,7 +67,7 @@ def escalate(sim: WaflSim, wheres) -> IronReport:
     if not scope:
         return IronReport(repaired=True)
     by_where = instances(sim)
-    for where in scope:
+    for where in sorted(scope):
         fs = by_where.get(where)
         if fs is not None and not fs.degraded_alloc:
             fs.enter_degraded()

@@ -48,6 +48,12 @@ class CPBatch:
 class CPEngine:
     """Runs consistency points against one store and its volumes."""
 
+    #: When set (by :func:`repro.analysis.auditor.arm_global`), every
+    #: newly constructed engine calls it to obtain a CP-time auditor.
+    #: Kept as a plain class attribute so this module never imports
+    #: ``repro.analysis`` (which sits above ``fs`` in the package DAG).
+    default_auditor_factory = None
+
     def __init__(
         self,
         store,
@@ -55,6 +61,7 @@ class CPEngine:
         *,
         cpu_model: CpuModel | None = None,
         metrics: MetricsLog | None = None,
+        auditor=None,
     ) -> None:
         self.store = store
         self.vols = vols
@@ -63,10 +70,19 @@ class CPEngine:
         self._cp_index = 0
         #: CPU spent on AA-cache maintenance alone (0.002%-claim metric).
         self.cache_maintenance_us = 0.0
+        #: Optional CP-time auditor with before_cp(engine) /
+        #: after_cp(engine, stats) hooks (duck-typed; see
+        #: :class:`repro.analysis.auditor.InvariantAuditor`).
+        factory = type(self).default_auditor_factory
+        self.auditor = auditor if auditor is not None else (
+            factory() if factory is not None else None
+        )
 
     # ------------------------------------------------------------------
     def run_cp(self, batch: CPBatch) -> CPStats:
         """Execute one consistency point and record its statistics."""
+        if self.auditor is not None:
+            self.auditor.before_cp(self)
         virtual_blocks = 0
         tiered = getattr(self.store, "supports_tiering", False)
         for name, ids in batch.writes.items():
@@ -154,4 +170,6 @@ class CPEngine:
         self.cache_maintenance_us += self.cpu_model.cache_maintenance_us(cache_ops)
         self.metrics.add(stats)
         self._cp_index += 1
+        if self.auditor is not None:
+            self.auditor.after_cp(self, stats)
         return stats

@@ -18,7 +18,6 @@ from ..sim.cpu import CpuModel
 from ..sim.stats import CPStats, MetricsLog
 from .aggregate import (
     LinearStore,
-    MediaType,
     PolicyKind,
     RAIDGroupConfig,
     RAIDStore,

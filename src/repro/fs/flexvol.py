@@ -25,8 +25,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..bitmap.delayed_frees import DelayedFreeLog
 from ..bitmap.metafile import BitmapMetafile
+from ..core.delayed_frees import DelayedFreeLog
 from ..common.constants import RAID_AGNOSTIC_AA_BLOCKS
 from ..common.errors import AllocationError, MediaError, TransientIOError
 from ..core.aa import LinearAATopology

@@ -11,8 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 __all__ = ["CPStats", "MetricsLog"]
 
 
@@ -54,6 +52,41 @@ class CPStats:
     def full_stripe_fraction(self) -> float:
         total = self.full_stripes + self.partial_stripes
         return self.full_stripes / total if total else 0.0
+
+    def accounting_violations(self) -> list[str]:
+        """Field-level sanity failures of this record (empty = sane).
+
+        Cheap self-consistency checks the invariant auditor folds into
+        its per-CP report: counters must be non-negative and the summed
+        device time must cover the bottleneck device time.
+        """
+        out: list[str] = []
+        for name in (
+            "ops",
+            "physical_blocks",
+            "virtual_blocks",
+            "blocks_freed",
+            "metafile_blocks_dirtied",
+            "full_stripes",
+            "partial_stripes",
+            "tetrises",
+            "write_chains",
+            "parity_reads",
+            "reconstruction_reads",
+            "degraded_stripes",
+            "cache_ops",
+        ):
+            value = getattr(self, name)
+            if value < 0:
+                out.append(f"CPStats.{name} is negative ({value})")
+        if self.device_busy_us < 0 or self.device_total_us < 0 or self.cpu_us < 0:
+            out.append("negative time counter in CPStats")
+        if self.device_total_us + 1e-6 < self.device_busy_us:
+            out.append(
+                f"device_total_us {self.device_total_us} < bottleneck "
+                f"device_busy_us {self.device_busy_us}"
+            )
+        return out
 
 
 @dataclass

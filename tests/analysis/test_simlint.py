@@ -1,0 +1,220 @@
+"""Unit tests for simlint: every rule fires on a minimal synthetic
+violation, clean idioms stay clean, pragmas waive, and the shipped
+source tree itself lints clean (the dogfood gate)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import RULES, format_findings, lint_file, lint_paths, lint_source
+from repro.analysis.rules import LAYER_RANK, ORDER_SAFE_CONSUMERS
+
+
+def rules_of(source: str, package: str | None = None) -> list[str]:
+    return [f.rule for f in lint_source(source, "mod.py", package)]
+
+
+#: One minimal violation per rule id; a tuple adds the DAG package the
+#: synthetic module pretends to live in.
+VIOLATIONS: dict[str, str | tuple[str, str]] = {
+    "D101": "import random\n",
+    "D102": "import numpy as np\nrng = np.random.default_rng()\n",
+    "D103": "import time\nt0 = time.time()\n",
+    "D104": "s = {1, 2, 3}\nfor item in s:\n    print(item)\n",
+    "L201": ("from ..fs.cp import CPEngine\n", "core"),
+    "U301": "size_bytes = 1\nsize_blocks = 2\ntotal = size_bytes + size_blocks\n",
+    "E401": "try:\n    x = 1\nexcept:\n    pass\n",
+    "E402": "try:\n    x = 1\nexcept Exception:\n    x = 2\n",
+    "E403": (
+        "from repro.common.errors import CacheError\n"
+        "try:\n    x = 1\nexcept CacheError:\n    pass\n"
+    ),
+}
+
+
+class TestEveryRuleFires:
+    @pytest.mark.parametrize("rule", sorted(RULES))
+    def test_rule_fires_on_minimal_violation(self, rule):
+        spec = VIOLATIONS[rule]
+        source, package = spec if isinstance(spec, tuple) else (spec, None)
+        assert rule in rules_of(source, package)
+
+    def test_catalogue_is_covered(self):
+        assert set(VIOLATIONS) == set(RULES)
+
+
+class TestDeterminismRules:
+    def test_seeded_default_rng_is_clean(self):
+        assert rules_of("import numpy as np\nrng = np.random.default_rng(42)\n") == []
+
+    def test_default_rng_none_seed_fires(self):
+        assert "D102" in rules_of(
+            "import numpy as np\nrng = np.random.default_rng(None)\n"
+        )
+
+    def test_legacy_global_numpy_rng_fires(self):
+        assert "D102" in rules_of("import numpy as np\nnp.random.seed(3)\n")
+
+    def test_random_call_through_alias_fires(self):
+        src = "import random as rnd\nx = rnd.choice([1, 2])\n"
+        assert "D101" in rules_of(src)
+
+    def test_perf_counter_is_allowed(self):
+        assert rules_of("import time\nt0 = time.perf_counter()\n") == []
+
+    def test_wall_clock_fires(self):
+        assert "D103" in rules_of("import time\nt0 = time.monotonic()\n")
+
+    def test_sorted_set_iteration_is_clean(self):
+        assert rules_of("s = {3, 1}\nfor x in sorted(s):\n    print(x)\n") == []
+
+    @pytest.mark.parametrize("consumer", sorted(ORDER_SAFE_CONSUMERS))
+    def test_order_safe_consumers_are_clean(self, consumer):
+        assert rules_of(f"s = {{3, 1}}\nx = {consumer}(s)\n") == []
+
+    def test_list_materialization_of_set_fires(self):
+        assert "D104" in rules_of("s = {3, 1}\nx = list(s)\n")
+
+    def test_comprehension_over_set_fires(self):
+        assert "D104" in rules_of("s = {3, 1}\nxs = [x + 1 for x in s]\n")
+
+    def test_self_attribute_set_tracked_across_methods(self):
+        src = (
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._out = set()\n"
+            "    def walk(self):\n"
+            "        for x in self._out:\n"
+            "            print(x)\n"
+        )
+        assert "D104" in rules_of(src)
+
+    def test_rebound_name_is_forgotten(self):
+        src = "s = {1}\ns = [1]\nfor x in s:\n    print(x)\n"
+        assert rules_of(src) == []
+
+
+class TestLayeringRules:
+    def test_absolute_upward_import_fires(self):
+        assert "L201" in rules_of("from repro.fs import WaflSim\n", "core")
+
+    def test_old_bitmap_core_cycle_would_fire(self):
+        # The exact edge this linter was dogfooded on (delayed_frees
+        # lived in bitmap/ and imported core.hbps).
+        assert "L201" in rules_of("from ..core.hbps import HBPS\n", "bitmap")
+
+    def test_downward_import_is_clean(self):
+        assert rules_of("from ..sim.stats import CPStats\n", "fs") == []
+
+    def test_same_package_relative_import_is_clean(self):
+        assert rules_of("from .hbps import HBPS\n", "core") == []
+
+    def test_top_level_modules_are_unconstrained(self):
+        assert rules_of("from repro.analysis import lint_paths\n", None) == []
+
+    def test_dag_matches_source_layout(self):
+        pkg_dir = Path(repro.__file__).parent
+        on_disk = {
+            p.name for p in pkg_dir.iterdir() if (p / "__init__.py").exists()
+        }
+        assert set(LAYER_RANK) == on_disk
+
+
+class TestUnitRules:
+    def test_compare_across_units_fires(self):
+        src = "cap_bytes = 10\nused_blocks = 5\nok = used_blocks < cap_bytes\n"
+        assert "U301" in rules_of(src)
+
+    def test_same_unit_arithmetic_is_clean(self):
+        assert rules_of("a_blocks = 1\nb_blocks = 2\nc = a_blocks + b_blocks\n") == []
+
+    def test_converter_result_carries_target_unit(self):
+        src = (
+            "from repro.common.units import blocks_to_bytes\n"
+            "hdr_bytes = 24\n"
+            "total = blocks_to_bytes(4) + hdr_bytes\n"
+        )
+        assert rules_of(src) == []
+
+    def test_multiplicative_conversion_is_exempt(self):
+        # Multiplication *is* the conversion; only +/-/comparisons flag.
+        assert rules_of("n_blocks = 2\nsize_bytes = n_blocks * 4096\n") == []
+
+    def test_augmented_assignment_fires(self):
+        assert "U301" in rules_of("total_us = 0\nn_blocks = 5\ntotal_us += n_blocks\n")
+
+
+class TestErrorRules:
+    def test_handler_that_reraises_is_clean(self):
+        src = (
+            "from repro.common.errors import CacheError\n"
+            "try:\n    x = 1\nexcept CacheError:\n    raise\n"
+        )
+        assert rules_of(src) == []
+
+    def test_tuple_handler_with_repro_error_fires(self):
+        src = (
+            "from repro.common.errors import BitmapError\n"
+            "try:\n    x = 1\nexcept (ValueError, BitmapError):\n    pass\n"
+        )
+        assert "E403" in rules_of(src)
+
+    def test_docstring_only_body_counts_as_noop(self):
+        src = (
+            "from repro.common.errors import MountError\n"
+            "try:\n    x = 1\nexcept MountError:\n    ...\n"
+        )
+        assert "E403" in rules_of(src)
+
+
+class TestPragmas:
+    def test_line_waiver(self):
+        src = "s = {1, 2}\nfor x in s:  # simlint: disable=D104\n    print(x)\n"
+        assert rules_of(src) == []
+
+    def test_file_waiver(self):
+        src = (
+            "# simlint: disable-file=D104\n"
+            "s = {1, 2}\nfor x in s:\n    print(x)\n"
+        )
+        assert rules_of(src) == []
+
+    def test_waiver_names_specific_rules_only(self):
+        src = "s = {1, 2}\nfor x in s:  # simlint: disable=E401\n    print(x)\n"
+        assert "D104" in rules_of(src)
+
+    def test_multi_rule_waiver(self):
+        src = (
+            "import time\n"
+            "s = {1}\n"
+            "xs = [time.time() for x in s]  # simlint: disable=D103,D104\n"
+        )
+        assert rules_of(src) == []
+
+
+class TestReporting:
+    def test_finding_str_is_clickable(self):
+        findings = lint_source("import random\n", "pkg/mod.py")
+        assert str(findings[0]).startswith("pkg/mod.py:1:")
+        assert "D101" in str(findings[0])
+
+    def test_format_findings_summarizes_by_rule(self):
+        findings = lint_source("import random\nimport random\n", "m.py")
+        text = format_findings(findings)
+        assert "D101: 2" in text
+
+    def test_lint_file_infers_package(self, tmp_path):
+        mod = tmp_path / "repro" / "core" / "bad.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text("from repro.fs import WaflSim\n", encoding="utf-8")
+        assert [f.rule for f in lint_file(mod)] == ["L201"]
+
+
+class TestDogfood:
+    def test_shipped_tree_is_clean(self):
+        pkg_dir = Path(repro.__file__).parent
+        findings = lint_paths([pkg_dir])
+        assert findings == [], format_findings(findings)

@@ -5,7 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.bitmap import BitmapMetafile, DelayedFreeLog
+from repro.bitmap import BitmapMetafile
+from repro.core import DelayedFreeLog
 
 
 def make_pair(nblocks=4096, bits=256):

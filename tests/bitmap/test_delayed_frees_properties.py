@@ -6,7 +6,8 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.bitmap import BitmapMetafile, DelayedFreeLog
+from repro.bitmap import BitmapMetafile
+from repro.core import DelayedFreeLog
 
 NBLOCKS = 2048
 BITS = 256

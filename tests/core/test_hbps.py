@@ -263,3 +263,46 @@ class TestCounters:
         h.pop_best()
         assert h.updates == 1
         assert h.pops == 1
+
+
+class TestInvariantFailurePaths:
+    """check_invariants must *fail* on corrupted internals — these are
+    the detections the whole-system auditor builds on."""
+
+    def _populated(self) -> HBPS:
+        h = HBPS(32768, list_capacity=4)
+        for item, score in ((1, 32768), (2, 31000), (3, 5000), (4, 100)):
+            h.insert(item, score)
+        h.check_invariants()
+        return h
+
+    def test_corrupt_bin_count_detected(self):
+        h = self._populated()
+        h._counts[0] += 1
+        with pytest.raises(CacheError, match="sum to total"):
+            h.check_invariants()
+
+    def test_negative_bin_count_detected(self):
+        h = self._populated()
+        h._counts[0] -= 1
+        h._counts[31] += 1  # keep the total consistent
+        b = h.bin_of(100)
+        h._counts[b] -= 2  # drive one bin negative
+        h._counts[0] += 2
+        with pytest.raises(CacheError):
+            h.check_invariants()
+
+    def test_partially_listed_better_bin_detected(self):
+        h = self._populated()
+        # Unlist an item from the best bin while a worse bin stays
+        # listed: breaks the full-listing property the error margin
+        # depends on.
+        h._unlist(1)
+        with pytest.raises(CacheError, match="not fully"):
+            h.check_invariants()
+
+    def test_position_map_divergence_detected(self):
+        h = self._populated()
+        h._pos[1] = 31
+        with pytest.raises(CacheError, match="mapped elsewhere"):
+            h.check_invariants()

@@ -31,6 +31,22 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["definitely-not-a-command"])
 
+    def test_lint_clean_tree(self, capsys):
+        assert main(["lint"]) == 0
+        assert "simlint: clean" in capsys.readouterr().out
+
+    def test_lint_reports_violations(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n", encoding="utf-8")
+        assert main(["lint", str(bad)]) == 1
+        assert "D101" in capsys.readouterr().out
+
+    def test_audit_quick(self, capsys):
+        assert main(["audit", "--quick", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "audit PASSED" in out
+        assert "chaos sweep" in out
+
 
 class TestHarness:
     def test_fmt_table_alignment(self):

@@ -62,9 +62,20 @@ class TestUnits:
         assert gib_to_blocks(1) == GIB // 4096
         assert blocks_to_gib(gib_to_blocks(2.0)) == pytest.approx(2.0)
 
+    def test_zero_is_a_fixed_point(self):
+        assert bytes_to_blocks(0) == 0
+        assert blocks_to_bytes(0) == 0
+        assert gib_to_blocks(0) == 0
+        assert blocks_to_gib(0) == 0.0
+
     def test_bytes_to_blocks_rejects_partial(self):
         with pytest.raises(ValueError):
             bytes_to_blocks(4097)
+
+    @pytest.mark.parametrize("nbytes", [1, 4095, 2 * 4096 + 512])
+    def test_non_block_aligned_sizes_rejected(self, nbytes):
+        with pytest.raises(ValueError):
+            bytes_to_blocks(nbytes)
 
     def test_time_conversions(self):
         assert us_to_ms(1500) == 1.5
