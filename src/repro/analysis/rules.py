@@ -19,6 +19,11 @@ Rule families
   ``_blocks``, ``_us``...); additive arithmetic across different
   suffixes is a unit mix-up unless it flows through
   :mod:`repro.common.units` converters.
+* **B — bitmap discipline.**  The bitmap layer's perf contract is that
+  bit expansion happens behind :class:`repro.bitmap.Bitmap`, where the
+  candidate-byte scan keeps searches proportional to the result, not
+  the device; unbounded ``np.unpackbits`` elsewhere reintroduces the
+  O(nblocks) walks the paper exists to avoid.
 * **E — error hygiene.**  Bare/over-broad excepts and silently dropped
   library errors hide exactly the corruption the auditor exists to
   surface.
@@ -89,6 +94,16 @@ RULES: dict[str, Rule] = {
             "additive arithmetic or comparison mixes unit suffixes",
             "adding `_bytes` to `_blocks` (etc.) without a "
             "repro.common.units conversion silently corrupts accounting.",
+        ),
+        Rule(
+            "B501",
+            "np.unpackbits on an unbounded or whole-bitmap buffer "
+            "outside bitmap.py",
+            "unpacking expands the buffer 8x; whole-bitmap expansions "
+            "outside the Bitmap class bypass its candidate-byte scan "
+            "(bytes != 0xFF) and turn O(free) searches back into "
+            "O(nblocks) — route bit expansion through repro.bitmap "
+            "helpers or slice an explicit [lo:hi] window first.",
         ),
         Rule(
             "E401",

@@ -204,6 +204,7 @@ class _Linter(ast.NodeVisitor):
             canonical = self._canonical(dotted)
             self._check_rng_call(node, canonical)
             self._check_clock_call(node, canonical)
+            self._check_unpackbits(node, canonical)
         func_name = dotted.split(".")[-1] if dotted else None
         if func_name in {"list", "tuple", "enumerate", "iter"}:
             for arg in node.args:
@@ -246,6 +247,26 @@ class _Linter(ast.NodeVisitor):
     def _check_clock_call(self, node: ast.Call, canonical: str) -> None:
         if canonical in WALL_CLOCK_CALLS:
             self._emit("D103", node, f"{RULES['D103'].summary}: {canonical}()")
+
+    # -- B501: unbounded bit expansion outside the bitmap layer --------
+    def _check_unpackbits(self, node: ast.Call, canonical: str) -> None:
+        if canonical != "numpy.unpackbits":
+            return
+        if Path(self.path).name == "bitmap.py":
+            return  # the Bitmap class is the sanctioned expansion site
+        arg = node.args[0] if node.args else None
+        if (
+            isinstance(arg, ast.Subscript)
+            and isinstance(arg.slice, ast.Slice)
+            and arg.slice.lower is not None
+            and arg.slice.upper is not None
+        ):
+            return  # explicitly windowed [lo:hi] slice: bounded expansion
+        self._emit(
+            "B501", node,
+            f"{RULES['B501'].summary}; use Bitmap.free_in_range/test or "
+            f"slice an explicit [lo:hi] window",
+        )
 
     # -- D104: set bookkeeping and iteration sites ---------------------
     def _is_set_ctor(self, node: ast.AST) -> bool:

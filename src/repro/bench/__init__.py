@@ -1,4 +1,5 @@
-"""Shared benchmark harness (configurations, measurement, tables)."""
+"""Shared benchmark harness (configurations, measurement, tables) and
+the parallel runner (process-pool sweep + JSON perf trajectory)."""
 
 from .harness import (
     CORES,
@@ -9,6 +10,15 @@ from .harness import (
     emit,
     fmt_table,
     measure_random_overwrite,
+    popcount_audit,
+    set_bitmap_checks,
+)
+from .runner import (
+    compare_to_baseline,
+    plan_units,
+    run_bench,
+    strip_timing,
+    write_results,
 )
 
 __all__ = [
@@ -20,4 +30,11 @@ __all__ = [
     "emit",
     "fmt_table",
     "measure_random_overwrite",
+    "popcount_audit",
+    "set_bitmap_checks",
+    "compare_to_baseline",
+    "plan_units",
+    "run_bench",
+    "strip_timing",
+    "write_results",
 ]

@@ -40,12 +40,15 @@ from .harness import (
     build_aged_ssd_sim,
     fmt_table,
     measure_random_overwrite,
+    popcount_audit,
+    set_bitmap_checks,
 )
 
 __all__ = [
     "FIG6_CONFIGS",
     "FIG6_OFFERED",
     "run_fig6",
+    "run_fig6_config",
     "fig6_tables",
     "Fig7Result",
     "run_fig7",
@@ -54,13 +57,18 @@ __all__ = [
     "FIG8_ERASE_UNIT",
     "FIG8_OFFERED",
     "run_fig8",
+    "run_fig8_config",
     "fig8_tables",
     "FIG9_BLOCKS_PER_DISK",
     "FIG9_ZONE_BLOCKS",
     "FIG9_OFFERED",
+    "FIG9_SIZINGS",
     "run_fig9",
+    "run_fig9_config",
     "fig9_tables",
     "run_fig10",
+    "run_fig10_size",
+    "run_fig10_count",
     "fig10_tables",
 ]
 
@@ -79,21 +87,27 @@ FIG6_CONFIGS: dict[str, tuple[PolicyKind, PolicyKind]] = {
 FIG6_OFFERED = np.linspace(1000, 12000, 12)
 
 
+def run_fig6_config(
+    label: str, *, quick: bool = False, seed: int = 42
+) -> ConfigResult:
+    """Age and measure one Figure 6 configuration (a runner work unit)."""
+    ap, vp = FIG6_CONFIGS[label]
+    sim = build_aged_ssd_sim(
+        aggregate_policy=ap,
+        vol_policy=vp,
+        blocks_per_disk=65_536 if quick else 131_072,
+        churn_factor=1.0 if quick else 2.0,
+        seed=seed,
+    )
+    return measure_random_overwrite(sim, label, n_cps=15 if quick else 40)
+
+
 def run_fig6(*, quick: bool = False, seed: int = 42) -> dict[str, ConfigResult]:
     """Age and measure all four Figure 6 configurations."""
-    blocks_per_disk = 65_536 if quick else 131_072
-    n_cps = 15 if quick else 40
-    out: dict[str, ConfigResult] = {}
-    for label, (ap, vp) in FIG6_CONFIGS.items():
-        sim = build_aged_ssd_sim(
-            aggregate_policy=ap,
-            vol_policy=vp,
-            blocks_per_disk=blocks_per_disk,
-            churn_factor=1.0 if quick else 2.0,
-            seed=seed,
-        )
-        out[label] = measure_random_overwrite(sim, label, n_cps=n_cps)
-    return out
+    return {
+        label: run_fig6_config(label, quick=quick, seed=seed)
+        for label in FIG6_CONFIGS
+    }
 
 
 def fig6_tables(results: dict[str, ConfigResult]) -> list[str]:
@@ -197,6 +211,7 @@ def _build_fig7_sim(seed: int = 24) -> WaflSim:
     sim.store.rebind_allocators()
     fill_volumes(sim, ops_per_cp=16384, seed=seed + 1)
     reset_measurement_state(sim)
+    set_bitmap_checks(sim, False)
     return sim
 
 
@@ -226,6 +241,7 @@ def run_fig7(*, quick: bool = False, seed: int = 24) -> Fig7Result:
     it = iter(wl)
     for _ in range(n_cps):
         sim.engine.run_cp(next(it))
+    popcount_audit(sim)
     for rep in captured:
         for gi, grp in enumerate(rep.groups):
             res.blocks_per_disk[gi] += grp.blocks_per_disk
@@ -287,36 +303,41 @@ FIG8_SIZINGS: dict[str, int] = {
 FIG8_OFFERED = np.linspace(1000, 10000, 10)
 
 
+def run_fig8_config(
+    label: str, *, quick: bool = False, seed: int = 99
+) -> ConfigResult:
+    """Age and measure one Figure 8 AA sizing (a runner work unit)."""
+    sim = build_aged_ssd_sim(
+        n_groups=1,
+        ndata=3,
+        blocks_per_disk=262_144 if quick else 524_288,
+        stripes_per_aa=FIG8_SIZINGS[label],
+        erase_block_blocks=FIG8_ERASE_UNIT,
+        # Faster effective flash than the Fig 6 calibration: our
+        # open-unit FTL overstates absolute write amplification (no
+        # overprovisioned GC slack), so a paper-era program time
+        # would make both configs purely WA-bound and exaggerate
+        # the throughput ratio far past the paper's +26%.  The WA
+        # *ratio* (the substantive claim) is parameter-free.
+        program_us_per_block=1.8,
+        fill_fraction=0.85,
+        churn_factor=1.0,
+        seed=seed,
+    )
+    # The paper's Figure 8 workload is 4 KiB random reads *and*
+    # writes; read traffic is AA-size independent and keeps the
+    # comparison in the mixed regime the paper measured.
+    return measure_random_overwrite(
+        sim, label, n_cps=12 if quick else 30, ops_per_cp=8192,
+        read_fraction=0.55, blocks_per_op=2, seed=5,
+    )
+
+
 def run_fig8(*, quick: bool = False, seed: int = 99) -> dict[str, ConfigResult]:
-    blocks_per_disk = 262_144 if quick else 524_288
-    n_cps = 12 if quick else 30
-    out: dict[str, ConfigResult] = {}
-    for label, spa in FIG8_SIZINGS.items():
-        sim = build_aged_ssd_sim(
-            n_groups=1,
-            ndata=3,
-            blocks_per_disk=blocks_per_disk,
-            stripes_per_aa=spa,
-            erase_block_blocks=FIG8_ERASE_UNIT,
-            # Faster effective flash than the Fig 6 calibration: our
-            # open-unit FTL overstates absolute write amplification (no
-            # overprovisioned GC slack), so a paper-era program time
-            # would make both configs purely WA-bound and exaggerate
-            # the throughput ratio far past the paper's +26%.  The WA
-            # *ratio* (the substantive claim) is parameter-free.
-            program_us_per_block=1.8,
-            fill_fraction=0.85,
-            churn_factor=1.0,
-            seed=seed,
-        )
-        # The paper's Figure 8 workload is 4 KiB random reads *and*
-        # writes; read traffic is AA-size independent and keeps the
-        # comparison in the mixed regime the paper measured.
-        out[label] = measure_random_overwrite(
-            sim, label, n_cps=n_cps, ops_per_cp=8192, read_fraction=0.55,
-            blocks_per_op=2, seed=5,
-        )
-    return out
+    return {
+        label: run_fig8_config(label, quick=quick, seed=seed)
+        for label in FIG8_SIZINGS
+    }
 
 
 def fig8_tables(results: dict[str, ConfigResult]) -> list[str]:
@@ -360,39 +381,53 @@ def fig9_aligned_size() -> int:
     return aa_size_for_smr(g, FIG9_ZONE_BLOCKS, azcs=True).size
 
 
-def run_fig9(*, quick: bool = False, seed: int = 3) -> dict[str, dict]:
-    n_cps = 10 if quick else 25
-    out: dict[str, dict] = {}
-    for label, spa in {
+def _fig9_sizings() -> dict[str, int]:
+    return {
         "HDD-sized AA (4k stripes)": 4096,
         "SMR AA (zone + AZCS aligned)": fig9_aligned_size(),
-    }.items():
-        cfg = RAIDGroupConfig(
-            ndata=3,
-            nparity=1,
-            blocks_per_disk=FIG9_BLOCKS_PER_DISK,
-            media=MediaType.SMR,
-            stripes_per_aa=spa,
-            azcs=True,
-            smr_config=FIG9_SMR_CFG,
-        )
-        sim = WaflSim.build_raid(
-            [cfg], [VolSpec("stream", logical_blocks=500_000)], seed=seed
-        )
-        wl = SequentialWriteWorkload(sim, ops_per_cp=8192, blocks_per_op=1, wrap=False)
-        sim.run(wl, n_cps)
-        m = sim.metrics
-        rewrites = sum(d.rewrites for g in sim.store.groups for d in g.devices)
-        out[label] = {
-            "label": label,
-            "cpu": m.cpu_us_per_op,
-            "dev": m.device_us_per_op,
-            "rewrites": rewrites,
-            "drive_mbps": m.total_physical_blocks * 4096 / 1e6
-            / (m.total_device_busy_us / 1e6),
-            "blocks": m.total_physical_blocks,
-        }
-    return out
+    }
+
+
+#: Labels only (the aligned size needs a geometry computation).
+FIG9_SIZINGS = ("HDD-sized AA (4k stripes)", "SMR AA (zone + AZCS aligned)")
+
+
+def run_fig9_config(label: str, *, quick: bool = False, seed: int = 3) -> dict:
+    """Run one Figure 9 AA sizing (a runner work unit)."""
+    cfg = RAIDGroupConfig(
+        ndata=3,
+        nparity=1,
+        blocks_per_disk=FIG9_BLOCKS_PER_DISK,
+        media=MediaType.SMR,
+        stripes_per_aa=_fig9_sizings()[label],
+        azcs=True,
+        smr_config=FIG9_SMR_CFG,
+    )
+    sim = WaflSim.build_raid(
+        [cfg], [VolSpec("stream", logical_blocks=500_000)], seed=seed
+    )
+    set_bitmap_checks(sim, False)
+    wl = SequentialWriteWorkload(sim, ops_per_cp=8192, blocks_per_op=1, wrap=False)
+    sim.run(wl, 10 if quick else 25)
+    popcount_audit(sim)
+    m = sim.metrics
+    rewrites = sum(d.rewrites for g in sim.store.groups for d in g.devices)
+    return {
+        "label": label,
+        "cpu": m.cpu_us_per_op,
+        "dev": m.device_us_per_op,
+        "rewrites": rewrites,
+        "drive_mbps": m.total_physical_blocks * 4096 / 1e6
+        / (m.total_device_busy_us / 1e6),
+        "blocks": m.total_physical_blocks,
+    }
+
+
+def run_fig9(*, quick: bool = False, seed: int = 3) -> dict[str, dict]:
+    return {
+        label: run_fig9_config(label, quick=quick, seed=seed)
+        for label in FIG9_SIZINGS
+    }
 
 
 def fig9_tables(results: dict[str, dict]) -> list[str]:
@@ -457,11 +492,9 @@ def _fig10_first_cp_cost(sim: WaflSim, use_topaa: bool) -> dict:
     }
 
 
-def run_fig10(*, quick: bool = False) -> tuple[list[list], dict, list[list], dict]:
-    """Both Figure 10 sweeps: (size_rows, size_series, count_rows,
-    count_series)."""
+def run_fig10_size(*, quick: bool = False) -> tuple[list[list], dict]:
+    """Figure 10(A): first-CP cost vs FlexVol size (a runner work unit)."""
     size_mults = (4, 16) if quick else (4, 8, 16, 32)
-    counts = (4, 16) if quick else (4, 8, 16, 32)
     size_rows: list[list] = []
     size_series: dict = {}
     for mult in size_mults:
@@ -473,6 +506,12 @@ def run_fig10(*, quick: bool = False) -> tuple[list[list], dict, list[list], dic
             size_rows.append([f"{virtual} blk/vol", label, cost["blocks_read"],
                               cost["modeled_ms"], cost["build_wall_ms"]])
             size_series[(mult, use_topaa)] = cost
+    return size_rows, size_series
+
+
+def run_fig10_count(*, quick: bool = False) -> tuple[list[list], dict]:
+    """Figure 10(B): first-CP cost vs FlexVol count (a runner work unit)."""
+    counts = (4, 16) if quick else (4, 8, 16, 32)
     count_rows: list[list] = []
     count_series: dict = {}
     for n_vols in counts:
@@ -483,6 +522,14 @@ def run_fig10(*, quick: bool = False) -> tuple[list[list], dict, list[list], dic
             count_rows.append([n_vols, label, cost["blocks_read"],
                                cost["modeled_ms"], cost["build_wall_ms"]])
             count_series[(n_vols, use_topaa)] = cost
+    return count_rows, count_series
+
+
+def run_fig10(*, quick: bool = False) -> tuple[list[list], dict, list[list], dict]:
+    """Both Figure 10 sweeps: (size_rows, size_series, count_rows,
+    count_series)."""
+    size_rows, size_series = run_fig10_size(quick=quick)
+    count_rows, count_series = run_fig10_count(quick=quick)
     return size_rows, size_series, count_rows, count_series
 
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..common.errors import BitmapError
 from ..devices.ssd import SSDConfig
 from ..fs.aggregate import MediaType, PolicyKind, RAIDGroupConfig
 from ..fs.filesystem import WaflSim
@@ -29,6 +30,8 @@ __all__ = [
     "ConfigResult",
     "build_aged_ssd_sim",
     "measure_random_overwrite",
+    "set_bitmap_checks",
+    "popcount_audit",
     "fmt_table",
     "emit",
     "CORES",
@@ -36,7 +39,9 @@ __all__ = [
 ]
 
 #: Where benches persist their tables (pytest captures stdout).
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", "benchmarks", "results")
+RESULTS_DIR = os.path.normpath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "..", "benchmarks", "results")
+)
 
 #: The paper's midrange server: 20 Ivy Bridge cores (section 4.1).
 CORES = 20
@@ -77,6 +82,43 @@ class ConfigResult:
 
     def peak(self, offered: np.ndarray) -> LoadPoint:
         return peak_throughput(self.curve(offered))
+
+
+def _all_metafiles(sim: WaflSim) -> list:
+    """Every bitmap metafile in the simulation (volumes + store)."""
+    mfs = [v.metafile for v in sim.vols.values()]
+    groups = getattr(sim.store, "groups", None)
+    if groups is not None:
+        mfs.extend(g.metafile for g in groups)
+    else:
+        mfs.append(sim.store.metafile)
+    return mfs
+
+
+def set_bitmap_checks(sim: WaflSim, check: bool) -> None:
+    """Toggle per-batch bitmap validation on every metafile.
+
+    Benchmarks disable checking once aging completes (correctness is
+    audited once at teardown via :func:`popcount_audit` instead of per
+    batch) so the measurement phase times the allocation pipeline, not
+    the validation.
+    """
+    for mf in _all_metafiles(sim):
+        mf.bitmap.check = check
+
+
+def popcount_audit(sim: WaflSim) -> None:
+    """One final corruption check: every bitmap's recomputed popcount
+    must equal its running allocated counter.  Raises
+    :class:`~repro.common.errors.BitmapError` on divergence."""
+    for mf in _all_metafiles(sim):
+        bm = mf.bitmap
+        pc = bm.popcount()
+        if pc != bm.allocated_count:
+            raise BitmapError(
+                f"teardown audit: popcount {pc} != allocated counter "
+                f"{bm.allocated_count} (nblocks={bm.nblocks})"
+            )
 
 
 def build_aged_ssd_sim(
@@ -129,6 +171,7 @@ def build_aged_ssd_sim(
     )
     age_filesystem(sim, churn_factor=churn_factor, ops_per_cp=16384, seed=seed)
     reset_measurement_state(sim)
+    set_bitmap_checks(sim, False)
     return sim
 
 
@@ -167,6 +210,7 @@ def measure_random_overwrite(
             seed=seed,
         )
     sim.run(wl, n_cps)
+    popcount_audit(sim)
     if audit_hook is not None:
         audit_hook(sim)
     m = sim.metrics

@@ -90,16 +90,21 @@ class Bitmap:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
-    def allocate(self, vbns: np.ndarray) -> None:
+    def allocate(self, vbns: np.ndarray, *, trusted: bool = False) -> None:
         """Mark ``vbns`` allocated.
 
         ``vbns`` must contain no duplicates; with ``check`` enabled a
         :class:`BitmapError` is raised if any bit is already set.
+        ``trusted`` batches (internal allocator chunks already known to
+        be in-range ``int64`` arrays) skip the conversion and range
+        validation; the double-allocation check still applies.
         """
-        vbns = np.asarray(vbns, dtype=np.int64)
+        if not trusted:
+            vbns = np.asarray(vbns, dtype=np.int64)
         if vbns.size == 0:
             return
-        self._validate(vbns)
+        if not trusted:
+            self._validate(vbns)
         byte_idx = vbns >> 3
         masks = _BIT_MASKS[vbns & 7]
         if self.check and np.any(self._bytes[byte_idx] & masks):
@@ -108,16 +113,19 @@ class Bitmap:
         np.bitwise_or.at(self._bytes, byte_idx, masks)
         self._allocated += int(vbns.size)
 
-    def free(self, vbns: np.ndarray) -> None:
+    def free(self, vbns: np.ndarray, *, trusted: bool = False) -> None:
         """Mark ``vbns`` free.
 
         ``vbns`` must contain no duplicates; with ``check`` enabled a
         :class:`BitmapError` is raised if any bit is already clear.
+        ``trusted`` has the same meaning as for :meth:`allocate`.
         """
-        vbns = np.asarray(vbns, dtype=np.int64)
+        if not trusted:
+            vbns = np.asarray(vbns, dtype=np.int64)
         if vbns.size == 0:
             return
-        self._validate(vbns)
+        if not trusted:
+            self._validate(vbns)
         byte_idx = vbns >> 3
         masks = _BIT_MASKS[vbns & 7]
         if self.check and np.any((self._bytes[byte_idx] & masks) == 0):
@@ -164,14 +172,13 @@ class Bitmap:
             return 0
         full0 = -(-start // 8) * 8  # first byte-aligned bit >= start
         full1 = (stop // 8) * 8  # last byte-aligned bit <= stop
-        total = 0
         if full0 >= full1:  # range inside a single byte (or spanning edge bits only)
             bits = self._unpack(start, stop)
             return int(bits.sum(dtype=np.int64))
-        if full1 > full0:
-            total += int(
-                np.bitwise_count(self._bytes[full0 // 8 : full1 // 8]).sum(dtype=np.int64)
-            )
+        # full1 > full0 here: at least one whole byte lies in the range.
+        total = int(
+            np.bitwise_count(self._bytes[full0 // 8 : full1 // 8]).sum(dtype=np.int64)
+        )
         if start < full0:
             total += int(self._unpack(start, full0).sum(dtype=np.int64))
         if stop > full1:
@@ -184,13 +191,32 @@ class Bitmap:
         At most ``limit`` VBNs are returned when given.  This is the
         primitive the write allocator uses to assign "all free VBNs from
         the AA in sequential order" (paper section 3.1).
+
+        On mostly-full ranges — the common case once an aggregate has
+        aged — only the bytes with at least one clear bit (``!= 0xFF``)
+        are unpacked, instead of the whole AA range.
         """
         self._validate_range(start, stop)
-        bits = self._unpack(start, stop)
-        idx = np.flatnonzero(bits == 0)
+        if start == stop:
+            return np.empty(0, dtype=np.int64)
+        b0, b1 = self._byte_span(start, stop)
+        buf = self._bytes[b0:b1]
+        cand = np.flatnonzero(buf != 0xFF)
+        if cand.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if cand.size * 4 <= buf.size:
+            # Sparse free bits: gather the candidate bytes and unpack
+            # only those.  Candidate order is ascending, and bits within
+            # a byte unpack LSB-first, so the result stays ascending.
+            free = np.flatnonzero(np.unpackbits(buf[cand], bitorder="little") == 0)
+            vbns = ((cand[free >> 3] + b0) << 3) + (free & 7)
+            vbns = vbns[(vbns >= start) & (vbns < stop)]
+        else:
+            bits = np.unpackbits(buf, bitorder="little")
+            vbns = np.flatnonzero(bits[start - b0 * 8 : stop - b0 * 8] == 0) + start
         if limit is not None:
-            idx = idx[:limit]
-        return idx + start
+            vbns = vbns[:limit]
+        return vbns
 
     def allocated_in_range(self, start: int, stop: int, limit: int | None = None) -> np.ndarray:
         """Ascending VBNs of allocated blocks in ``[start, stop)``."""

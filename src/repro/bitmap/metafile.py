@@ -39,7 +39,7 @@ class BitmapMetafile:
     __slots__ = (
         "bitmap",
         "bits_per_block",
-        "_dirty_blocks",
+        "_dirty",
         "blocks_dirtied_total",
         "blocks_read_total",
         "cp_drains",
@@ -56,7 +56,10 @@ class BitmapMetafile:
             raise ValueError("bits_per_block must be a positive multiple of 8")
         self.bitmap = Bitmap(nblocks, check=check)
         self.bits_per_block = bits_per_block
-        self._dirty_blocks: set[int] = set()
+        # Dirty flags, one per metafile block.  A flat boolean array so
+        # marking a batch dirty is a single scatter (duplicates are
+        # harmless) instead of a sort/unique plus per-element set update.
+        self._dirty = np.zeros(-(-self.nblocks // bits_per_block), dtype=bool)
         #: Cumulative count of distinct metafile blocks dirtied across
         #: all CPs (the paper's metafile-update cost driver).
         self.blocks_dirtied_total = 0
@@ -84,21 +87,27 @@ class BitmapMetafile:
     @property
     def dirty_block_count(self) -> int:
         """Distinct metafile blocks dirtied since the last CP drain."""
-        return len(self._dirty_blocks)
+        return int(np.count_nonzero(self._dirty))
 
     # ------------------------------------------------------------------
     # Mutations (delegate to bitmap, record dirtied metafile blocks)
     # ------------------------------------------------------------------
-    def allocate(self, vbns: np.ndarray) -> None:
-        """Allocate ``vbns`` and mark their metafile blocks dirty."""
-        vbns = np.asarray(vbns, dtype=np.int64)
-        self.bitmap.allocate(vbns)
+    def allocate(self, vbns: np.ndarray, *, trusted: bool = False) -> None:
+        """Allocate ``vbns`` and mark their metafile blocks dirty.
+
+        ``trusted`` is forwarded to :meth:`Bitmap.allocate` for internal
+        batches already known to be in-range ``int64`` arrays.
+        """
+        if not trusted:
+            vbns = np.asarray(vbns, dtype=np.int64)
+        self.bitmap.allocate(vbns, trusted=trusted)
         self._mark_dirty(vbns)
 
-    def free(self, vbns: np.ndarray) -> None:
+    def free(self, vbns: np.ndarray, *, trusted: bool = False) -> None:
         """Free ``vbns`` and mark their metafile blocks dirty."""
-        vbns = np.asarray(vbns, dtype=np.int64)
-        self.bitmap.free(vbns)
+        if not trusted:
+            vbns = np.asarray(vbns, dtype=np.int64)
+        self.bitmap.free(vbns, trusted=trusted)
         self._mark_dirty(vbns)
 
     def set_range(self, start: int, stop: int) -> int:
@@ -123,9 +132,9 @@ class BitmapMetafile:
         since the previous drain (i.e. the metafile write I/O this CP
         must perform) and resets the dirty set.
         """
-        n = len(self._dirty_blocks)
+        n = int(np.count_nonzero(self._dirty))
         self.blocks_dirtied_total += n
-        self._dirty_blocks.clear()
+        self._dirty[:] = False
         self.cp_drains += 1
         return n
 
@@ -145,15 +154,14 @@ class BitmapMetafile:
     def _mark_dirty(self, vbns: np.ndarray) -> None:
         if vbns.size == 0:
             return
-        blocks = np.unique(vbns // self.bits_per_block)
-        self._dirty_blocks.update(blocks.tolist())
+        self._dirty[vbns // self.bits_per_block] = True
 
     def _mark_dirty_range(self, start: int, stop: int) -> None:
         if start >= stop:
             return
         first = start // self.bits_per_block
         last = (stop - 1) // self.bits_per_block
-        self._dirty_blocks.update(range(first, last + 1))
+        self._dirty[first : last + 1] = True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -33,7 +33,125 @@ def _cmd_info(args: argparse.Namespace) -> int:
     ):
         print(f"  {name:26s} = {getattr(c, name)}")
     print()
-    print("commands: fig6 fig7 fig8 fig9 fig10 all faults lint audit quickstart info")
+    print("commands: fig6 fig7 fig8 fig9 fig10 all bench profile faults lint "
+          "audit quickstart info")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Parallel benchmark sweep with JSON perf-trajectory output."""
+    import os
+
+    from repro.bench.runner import (
+        ALL_EXPERIMENTS,
+        compare_to_baseline,
+        run_bench,
+        write_results,
+    )
+
+    workers = args.workers
+    if workers <= 0:
+        workers = min(8, os.cpu_count() or 1)
+    experiments = args.experiments or None
+    print(f"bench: {', '.join(experiments or ALL_EXPERIMENTS)} "
+          f"({'quick' if args.quick else 'full'}, {workers} worker(s)"
+          + (", audited" if args.audit else "") + ")")
+
+    def progress(key: str, res: dict) -> None:
+        wall = res["timing"]["wall_s"]
+        cap = res["metrics"].get("capacity_ops") if isinstance(res["metrics"], dict) else None
+        extra = f", {cap:,.0f} ops/s peak" if cap else ""
+        print(f"  [done] {key:40s} {wall:7.2f}s{extra}")
+
+    doc = run_bench(
+        quick=args.quick,
+        workers=workers,
+        experiments=experiments,
+        seed=args.seed,
+        audit=args.audit,
+        progress=progress,
+    )
+    paths = write_results(doc, out_dir=args.out or None,
+                          trajectory_path=args.trajectory or None)
+    t = doc["timing"]
+    print(f"\n{t['units']} unit(s) in {t['total_wall_s']:.2f}s "
+          f"({t['units_per_s']:.2f} units/s, {workers} worker(s))")
+    if "optimization" in doc:
+        opt = doc["optimization"]
+        print(f"macro measure phase: {opt['before']['measure_wall_s']:.2f}s -> "
+              f"{opt['after']['measure_wall_s']:.2f}s "
+              f"({opt['speedup_measure']:.2f}x); aging "
+              f"{opt['before']['age_wall_s']:.2f}s -> "
+              f"{opt['after']['age_wall_s']:.2f}s ({opt['speedup_age']:.2f}x)")
+    for p in paths:
+        print(f"wrote {p}")
+    if args.baseline:
+        import json
+
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline = json.load(f)
+        problems = compare_to_baseline(doc, baseline, rtol=args.rtol)
+        if problems:
+            print(f"\nbaseline regression check FAILED "
+                  f"({len(problems)} metric(s) moved, rtol={args.rtol:g}):")
+            for p in problems[:40]:
+                print(f"  {p}")
+            if len(problems) > 40:
+                print(f"  ... and {len(problems) - 40} more")
+            return 1
+        print(f"\nbaseline regression check OK (rtol={args.rtol:g}) "
+              f"vs {args.baseline}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """cProfile the macro benchmark and report wall-clock hotspots next
+    to the modeled per-phase CPU decomposition."""
+    import cProfile
+    import io
+    import os
+    import pstats
+
+    from repro.bench.harness import (
+        RESULTS_DIR,
+        build_aged_ssd_sim,
+        measure_random_overwrite,
+    )
+
+    n_cps = 15 if args.quick else 40
+    prof = cProfile.Profile()
+    t0 = time.perf_counter()
+    prof.enable()
+    sim = build_aged_ssd_sim(
+        blocks_per_disk=65_536 if args.quick else 131_072,
+        churn_factor=1.0 if args.quick else 2.0,
+    )
+    t1 = time.perf_counter()
+    result = measure_random_overwrite(sim, "profile", n_cps=n_cps)
+    t2 = time.perf_counter()
+    prof.disable()
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    dump = os.path.join(RESULTS_DIR, "profile.prof")
+    prof.dump_stats(dump)
+
+    buf = io.StringIO()
+    stats = pstats.Stats(prof, stream=buf)
+    stats.sort_stats(args.sort)
+    stats.print_stats(args.top)
+    print(buf.getvalue().rstrip())
+
+    print(f"\naging {t1 - t0:.2f}s, measurement {t2 - t1:.2f}s "
+          f"({n_cps / (t2 - t1):.1f} CPs/s under profiler)")
+    print(f"cpu_us_per_op {result.cpu_us_per_op:.3f}, "
+          f"capacity {result.capacity_ops:,.0f} ops/s")
+
+    phases = sim.engine.metrics.cpu_phase_us(sim.engine.cpu_model)
+    total = sum(phases.values()) or 1.0
+    print("\nmodeled CPU by pipeline phase (measurement sweep):")
+    for name, us in sorted(phases.items(), key=lambda kv: -kv[1]):
+        print(f"  {name:20s} {us / 1e6:9.3f} s-CPU  {us / total:7.2%}")
+    print(f"\nprofile dump: {dump} (open with pstats or snakeviz)")
     return 0
 
 
@@ -281,6 +399,38 @@ def main(argv: list[str] | None = None) -> int:
             p.add_argument("--seed", type=int, default=1234,
                            help="scenario seed (same seed => identical recovery)")
         p.set_defaults(fn=fn)
+    p = sub.add_parser(
+        "bench",
+        help="parallel benchmark sweep -> benchmarks/results/*.json + BENCH_PR3.json",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="smaller configurations for interactive use")
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool size (1 = serial reference; 0 = auto)")
+    p.add_argument("--experiments", nargs="*", metavar="EXP",
+                   help="subset to run (fig6 fig7 fig8 fig9 fig10 macro)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="base seed (default: each figure's canonical seed)")
+    p.add_argument("--audit", action="store_true",
+                   help="arm the CP-time invariant auditor inside workers")
+    p.add_argument("--baseline", metavar="PATH",
+                   help="trajectory JSON to diff deterministic metrics against")
+    p.add_argument("--rtol", type=float, default=1e-9,
+                   help="relative tolerance for --baseline (default bit-exact)")
+    p.add_argument("--out", metavar="DIR",
+                   help="per-experiment JSON directory (default benchmarks/results)")
+    p.add_argument("--trajectory", metavar="PATH",
+                   help="trajectory summary path (default <repo>/BENCH_PR3.json)")
+    p.set_defaults(fn=_cmd_bench)
+    p = sub.add_parser("profile", help="cProfile the macro benchmark + modeled "
+                                       "per-phase CPU breakdown")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller configuration for interactive use")
+    p.add_argument("--top", type=int, default=25, help="rows of pstats output")
+    p.add_argument("--sort", default="cumulative",
+                   choices=["cumulative", "tottime", "calls"],
+                   help="pstats sort key")
+    p.set_defaults(fn=_cmd_profile)
     p = sub.add_parser("lint", help="simlint: AST rules (determinism, layering, units)")
     p.add_argument("paths", nargs="*",
                    help="files or directories (default: the installed repro package)")

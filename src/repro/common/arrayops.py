@@ -1,0 +1,58 @@
+"""Shared NumPy primitives for hot paths.
+
+Profiling the CP pipeline (see ``repro profile``) showed that
+``np.unique`` on medium-sized integer batches is dominated by its
+hash-table path, and that grouping by a small key space (erase blocks,
+RAID groups) is cheaper as a bincount.  These helpers centralize the
+faster equivalents so call sites stay one-liners.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sorted_unique", "sorted_unique_counts", "group_counts"]
+
+
+def sorted_unique(a: np.ndarray) -> np.ndarray:
+    """Ascending unique values of an integer array.
+
+    Equivalent to ``np.unique(a)`` but via an explicit sort + adjacent
+    comparison, which is several times faster than NumPy's hash-based
+    path for the 10K-100K-element batches a CP produces.
+    """
+    if a.size <= 1:
+        return np.sort(a)
+    x = np.sort(a)
+    keep = np.empty(x.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(x[1:], x[:-1], out=keep[1:])
+    return x[keep]
+
+
+def sorted_unique_counts(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``(values, counts)`` for an integer array, values ascending.
+
+    Equivalent to ``np.unique(a, return_counts=True)`` via the same
+    sort + adjacent comparison as :func:`sorted_unique`; counts come
+    from the gaps between run starts.
+    """
+    x = np.sort(a)
+    if x.size == 0:
+        return x, x.copy()
+    starts = np.flatnonzero(np.concatenate(([True], x[1:] != x[:-1])))
+    counts = np.diff(np.append(starts, x.size))
+    return x[starts], counts
+
+
+def group_counts(keys: np.ndarray, nkeys: int) -> tuple[np.ndarray, np.ndarray]:
+    """``(touched, counts)``: the distinct keys (ascending) and their
+    multiplicities, for keys drawn from ``range(nkeys)``.
+
+    Equivalent to ``np.unique(keys, return_counts=True)`` but via a
+    bincount, which wins when the key space is small (erase blocks of
+    one device, RAID groups of one store).
+    """
+    c = np.bincount(keys, minlength=nkeys)
+    touched = np.flatnonzero(c)
+    return touched, c[touched]

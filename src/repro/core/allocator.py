@@ -182,8 +182,10 @@ class LinearAllocator(_BaseAllocator):
             self._pos += take
             got += take
             self.spanned_blocks += int(chunk[-1] - chunk[0]) + 1
-            self.metafile.allocate(chunk)
-            self.keeper.note_alloc(chunk)
+            # The queue holds free VBNs of the current AA only: account
+            # per-AA directly and skip re-validating the trusted batch.
+            self.metafile.allocate(chunk, trusted=True)
+            self.keeper.note_alloc_aa(self._current_aa, take)
             out.append(chunk)
         self.blocks_allocated += got
         if not out:
@@ -244,7 +246,7 @@ class RAIDGroupAllocator(_BaseAllocator):
                 if not self._load_next_aa():
                     break
             # Locate the stripe group containing the current position.
-            g = int(np.searchsorted(self._starts, self._pos, side="right")) - 1
+            g = int(self._starts.searchsorted(self._pos, side="right")) - 1
             ngroups = self._starts.size - 1
             k = min(max_stripes - stripes_taken, ngroups - g)
             hi = int(self._starts[g + k])
@@ -254,7 +256,7 @@ class RAIDGroupAllocator(_BaseAllocator):
             chunk = self._qv[lo:hi]
             self._pos = hi
             # Count the distinct stripes actually consumed.
-            consumed_g = int(np.searchsorted(self._starts, hi - 1, side="right")) - 1
+            consumed_g = int(self._starts.searchsorted(hi - 1, side="right")) - 1
             stripes_taken += consumed_g - g + 1
             blocks_taken += int(chunk.size)
             # Bitmap range examined: the consumed stripe span on every
@@ -264,8 +266,9 @@ class RAIDGroupAllocator(_BaseAllocator):
             first_dbn = int(chunk[0] % geom.blocks_per_disk)
             last_dbn = int(chunk[-1] % geom.blocks_per_disk)
             self.spanned_blocks += (last_dbn - first_dbn + 1) * geom.ndata
-            self.metafile.allocate(chunk)
-            self.keeper.note_alloc(chunk)
+            # Same trusted/per-AA fast path as LinearAllocator.allocate.
+            self.metafile.allocate(chunk, trusted=True)
+            self.keeper.note_alloc_aa(self._current_aa, int(chunk.size))
             out.append(chunk)
         self.blocks_allocated += blocks_taken
         if not out:

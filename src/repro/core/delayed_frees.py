@@ -38,7 +38,14 @@ class DelayedFreeLog:
         List-page capacity for the prioritizing HBPS.
     """
 
-    __slots__ = ("bits_per_block", "_per_block", "_pending", "_hbps", "total_logged")
+    __slots__ = (
+        "bits_per_block",
+        "_per_block",
+        "_staged",
+        "_pending",
+        "_hbps",
+        "total_logged",
+    )
 
     def __init__(
         self,
@@ -47,7 +54,13 @@ class DelayedFreeLog:
         hbps_list_capacity: int = 1000,
     ) -> None:
         self.bits_per_block = bits_per_block
+        # Logged chunks, grouped by metafile block.  Grouping (a sort)
+        # is deferred: `add` stages chunks ungrouped and only the
+        # budgeted `apply_best` path — which needs per-block access —
+        # triggers `_ensure_grouped`.  The full-drain `apply_all` never
+        # pays for grouping at all.
         self._per_block: dict[int, list[np.ndarray]] = {}
+        self._staged: list[np.ndarray] = []
         self._pending: dict[int, int] = {}
         # Keep the paper's ~32-bins-per-score-space shape regardless of
         # the metafile block size used (tests shrink it).
@@ -81,6 +94,32 @@ class DelayedFreeLog:
         if vbns.size == 0:
             return
         self.total_logged += int(vbns.size)
+        self._staged.append(vbns)
+        blocks = vbns // self.bits_per_block
+        # Per-block counts via a bincount over the touched block range:
+        # the range is tiny (one block covers 32K VBNs) so this avoids
+        # the argsort/unique a per-block grouping would need.
+        bmin = int(blocks.min())
+        counts = np.bincount(blocks - bmin)
+        touched = np.flatnonzero(counts)
+        for off, cnt in zip(touched.tolist(), counts[touched].tolist()):
+            blk = bmin + off
+            old = self._pending.get(blk, 0)
+            new = old + cnt
+            self._pending[blk] = new
+            score_old = min(old, self.bits_per_block)
+            score_new = min(new, self.bits_per_block)
+            if old == 0:
+                self._hbps.insert(blk, score_new)
+            else:
+                self._hbps.update(blk, score_old, score_new)
+
+    def _ensure_grouped(self) -> None:
+        """Fold staged (ungrouped) chunks into the per-block map."""
+        if not self._staged:
+            return
+        vbns = self._staged[0] if len(self._staged) == 1 else np.concatenate(self._staged)
+        self._staged = []
         blocks = vbns // self.bits_per_block
         order = np.argsort(blocks, kind="stable")
         sorted_blocks = blocks[order]
@@ -89,28 +128,22 @@ class DelayedFreeLog:
         bounds = np.append(starts, sorted_blocks.size)
         for i, blk in enumerate(uniq.tolist()):
             chunk = sorted_vbns[bounds[i] : bounds[i + 1]]
-            old = self._pending.get(blk, 0)
-            new = old + int(chunk.size)
-            self._pending[blk] = new
             self._per_block.setdefault(blk, []).append(chunk)
-            score_old = min(old, self.bits_per_block)
-            score_new = min(new, self.bits_per_block)
-            if old == 0:
-                self._hbps.insert(blk, score_new)
-            else:
-                self._hbps.update(blk, score_old, score_new)
 
     def apply_all(self, metafile: BitmapMetafile) -> np.ndarray:
         """Apply every pending free to ``metafile``.
 
         Returns the freed VBNs (for AA-score accounting by the caller).
         """
-        if not self._per_block:
-            return np.empty(0, dtype=np.int64)
         chunks = [c for lst in self._per_block.values() for c in lst]
-        vbns = np.concatenate(chunks)
-        metafile.free(vbns)
+        chunks.extend(self._staged)
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        vbns = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+        # Logged chunks were in-range int64 when allocated: trusted batch.
+        metafile.free(vbns, trusted=True)
         self._per_block.clear()
+        self._staged = []
         self._pending.clear()
         self._hbps.rebuild(())
         return vbns
@@ -124,6 +157,7 @@ class DelayedFreeLog:
         the most space per metafile block written.  Returns the freed
         VBNs.
         """
+        self._ensure_grouped()
         freed: list[np.ndarray] = []
         applied = 0
         while applied < max_blocks and self._pending:
@@ -145,7 +179,7 @@ class DelayedFreeLog:
                 continue
             self._pending.pop(blk, None)
             vbns = np.concatenate(chunks)
-            metafile.free(vbns)
+            metafile.free(vbns, trusted=True)
             freed.append(vbns)
             applied += 1
         if freed:
@@ -157,9 +191,10 @@ class DelayedFreeLog:
     # ------------------------------------------------------------------
     def pending_vbns(self) -> np.ndarray:
         """Every VBN currently logged but not yet applied (sorted)."""
-        if not self._per_block:
-            return np.empty(0, dtype=np.int64)
         chunks = [c for lst in self._per_block.values() for c in lst]
+        chunks.extend(self._staged)
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
         return np.sort(np.concatenate(chunks))
 
     def check_invariants(self, bitmap=None) -> None:
@@ -172,6 +207,7 @@ class DelayedFreeLog:
         pending VBN is still allocated there (a logged free that is
         already clear would double-free on apply).
         """
+        self._ensure_grouped()
         for blk, count in self._pending.items():
             chunks = self._per_block.get(blk, [])
             actual = sum(int(c.size) for c in chunks)

@@ -47,7 +47,10 @@ class ScoreKeeper:
             self._scores = np.full(topology.num_aas, topology.aa_blocks, dtype=np.int64)
         else:
             self._scores = topology.scores_from_bitmap(bitmap).astype(np.int64)
-        self._pending: dict[int, int] = {}
+        # Pending (unflushed) per-AA deltas.  A flat int64 array so both
+        # accumulation (bincount add) and flush (flatnonzero) vectorize;
+        # the number of AAs is small relative to the VBN space.
+        self._pending = np.zeros(topology.num_aas, dtype=np.int64)
         #: Number of CP flushes performed (metric).
         self.flushes = 0
         #: Total per-AA delta records applied across all flushes (metric).
@@ -67,16 +70,16 @@ class ScoreKeeper:
 
     def effective_score(self, aa: int) -> int:
         """Score including pending (unflushed) deltas."""
-        return int(self._scores[aa]) + self._pending.get(aa, 0)
+        return int(self._scores[aa] + self._pending[aa])
 
     @property
     def pending_aa_count(self) -> int:
-        """AAs with unflushed deltas."""
-        return len(self._pending)
+        """AAs with unflushed (nonzero) deltas."""
+        return int(np.count_nonzero(self._pending))
 
     def has_pending(self, aa: int) -> bool:
         """Whether AA ``aa`` has an unflushed (nonzero) delta."""
-        return self._pending.get(aa, 0) != 0
+        return bool(self._pending[aa] != 0)
 
     # ------------------------------------------------------------------
     # Delta accumulation (called during a CP)
@@ -91,21 +94,21 @@ class ScoreKeeper:
 
     def note_alloc_aa(self, aa: int, count: int) -> None:
         """Record ``count`` allocations within AA ``aa`` directly."""
-        if count:
-            self._pending[aa] = self._pending.get(aa, 0) - int(count)
+        self._pending[aa] -= int(count)
 
     def note_free_aa(self, aa: int, count: int) -> None:
         """Record ``count`` frees within AA ``aa`` directly."""
-        if count:
-            self._pending[aa] = self._pending.get(aa, 0) + int(count)
+        self._pending[aa] += int(count)
 
     def _note(self, vbns: np.ndarray, *, sign: int) -> None:
         vbns = np.asarray(vbns, dtype=np.int64)
         if vbns.size == 0:
             return
-        aas, counts = np.unique(self.topology.aa_of_vbn(vbns), return_counts=True)
-        for aa, cnt in zip(aas.tolist(), counts.tolist()):
-            self._pending[aa] = self._pending.get(aa, 0) + sign * cnt
+        counts = np.bincount(self.topology.aa_of_vbn(vbns), minlength=self._pending.size)
+        if sign > 0:
+            self._pending += counts
+        else:
+            self._pending -= counts
 
     # ------------------------------------------------------------------
     # CP boundary
@@ -119,30 +122,29 @@ class ScoreKeeper:
         corruption (section 3.4 discusses its repair).
         """
         self.flushes += 1
-        if not self._pending:
+        changed = np.flatnonzero(self._pending)
+        if changed.size == 0:
             return []
-        changes: list[ScoreChange] = []
         cap = self.topology.aa_blocks
-        for aa, delta in self._pending.items():
-            if delta == 0:
-                continue
-            old = int(self._scores[aa])
-            new = old + delta
-            if not 0 <= new <= cap:
-                raise CacheError(
-                    f"AA {aa} score {old} + delta {delta} leaves [0, {cap}]"
-                )
-            self._scores[aa] = new
-            changes.append((aa, old, new))
-        self.deltas_applied += len(changes)
-        self._pending.clear()
-        return changes
+        old = self._scores[changed]
+        new = old + self._pending[changed]
+        bad = np.flatnonzero((new < 0) | (new > cap))
+        if bad.size:
+            aa = int(changed[bad[0]])
+            raise CacheError(
+                f"AA {aa} score {int(self._scores[aa])} + delta "
+                f"{int(self._pending[aa])} leaves [0, {cap}]"
+            )
+        self._scores[changed] = new
+        self._pending[changed] = 0
+        self.deltas_applied += int(changed.size)
+        return list(zip(changed.tolist(), old.tolist(), new.tolist()))
 
     def recompute(self, bitmap: Bitmap) -> None:
         """Recompute every score from the bitmap (consistency check /
         rebuild path).  Pending deltas are discarded."""
         self._scores = self.topology.scores_from_bitmap(bitmap).astype(np.int64)
-        self._pending.clear()
+        self._pending[:] = 0
 
     def verify_against(self, bitmap: Bitmap) -> None:
         """Assert applied scores match the bitmap exactly (test hook)."""

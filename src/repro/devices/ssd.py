@@ -45,6 +45,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..common.arrayops import group_counts
 from ..common.constants import DEFAULT_ERASE_BLOCK_BLOCKS, DEFAULT_SSD_OVERPROVISIONING
 from .base import Device
 
@@ -167,13 +168,13 @@ class SSD(Device):
     def _write_cost(self, dbns: np.ndarray) -> float:
         eb_size = self.config.erase_block_blocks
         ebs = dbns // eb_size
-        touched, written_per_eb = np.unique(ebs, return_counts=True)
+        touched, written_per_eb = group_counts(ebs, self.n_erase_blocks)
         already_valid = self._valid[dbns]
         # Live pages per touched unit overwritten by this batch, aligned
         # with `touched` ordering: they pay down relocation liability.
         overwritten = np.zeros(touched.size, dtype=np.int64)
         if np.any(already_valid):
-            ow_ebs, ow_counts = np.unique(ebs[already_valid], return_counts=True)
+            ow_ebs, ow_counts = group_counts(ebs[already_valid], self.n_erase_blocks)
             overwritten[np.searchsorted(touched, ow_ebs)] = ow_counts
 
         us = 0.0
@@ -208,7 +209,9 @@ class SSD(Device):
         if live.size == 0:
             return
         self._valid[live] = False
-        ebs, counts = np.unique(live // self.config.erase_block_blocks, return_counts=True)
+        ebs, counts = group_counts(
+            live // self.config.erase_block_blocks, self.n_erase_blocks
+        )
         self._valid_per_eb[ebs] -= counts
         for eb, cnt in zip(ebs.tolist(), counts.tolist()):
             sess = self._open.get(eb)

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..bitmap.metafile import BitmapMetafile
+from ..common.arrayops import sorted_unique
 from ..core.delayed_frees import DelayedFreeLog
 from ..common.constants import RAID_AGNOSTIC_AA_BLOCKS
 from ..common.errors import DegradedError, GeometryError, MediaError, TransientIOError
@@ -459,7 +460,7 @@ class RAIDGroupRuntime:
             us = self._issue_writes(dev, mine)
             us += dev.read_blocks(reads_per_dev)
             busy.append(us)
-        touched_stripes = np.unique(dbns)
+        touched_stripes = sorted_unique(dbns)
         for dev in self.parity_devices:
             us = self._issue_writes(dev, touched_stripes)
             us += dev.read_blocks(reads_per_dev)
@@ -562,7 +563,7 @@ class RAIDStore:
 
     def group_of(self, vbns: np.ndarray) -> np.ndarray:
         """RAID-group index owning each global VBN."""
-        return np.searchsorted(self._bounds, vbns, side="right") - 1
+        return self._bounds.searchsorted(vbns, side="right") - 1
 
     def attach_injector(self, injector) -> None:
         """Attach a fault injector to every RAID group's read paths."""
@@ -615,10 +616,14 @@ class RAIDStore:
         vbns = np.asarray(vbns, dtype=np.int64)
         if vbns.size == 0:
             return
+        if len(self.groups) == 1:
+            self.groups[0].delayed_frees.add(vbns)
+            return
         gids = self.group_of(vbns)
-        for gi in np.unique(gids):
-            local = vbns[gids == gi] - self.offsets[gi]
-            self.groups[gi].delayed_frees.add(local)
+        for gi, g in enumerate(self.groups):
+            mask = gids == gi
+            if mask.any():
+                g.delayed_frees.add(vbns[mask] - self.offsets[gi])
 
     def charge_reads(self, n_random: int) -> None:
         """Queue client random reads to be priced at the CP boundary,

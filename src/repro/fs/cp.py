@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..common.arrayops import sorted_unique
 from ..common.errors import OutOfSpaceError
 from ..sim.cpu import CpuModel
 from ..sim.stats import CPStats, MetricsLog
@@ -87,7 +88,7 @@ class CPEngine:
         tiered = getattr(self.store, "supports_tiering", False)
         for name, ids in batch.writes.items():
             vol = self.vols[name]
-            ids = np.unique(np.asarray(ids, dtype=np.int64))
+            ids = sorted_unique(np.asarray(ids, dtype=np.int64))
             if ids.size == 0:
                 continue
             was_mapped = vol.l2v[ids] >= 0
@@ -120,7 +121,7 @@ class CPEngine:
 
         for name, ids in batch.deletes.items():
             vol = self.vols[name]
-            ids = np.unique(np.asarray(ids, dtype=np.int64))
+            ids = sorted_unique(np.asarray(ids, dtype=np.int64))
             if ids.size == 0:
                 continue
             old_p = vol.stage_deletes(ids)
@@ -158,6 +159,8 @@ class CPEngine:
             device_busy_us=store_report.device_busy_us,
             device_total_us=store_report.device_total_us,
             cache_ops=cache_ops,
+            aa_switches=aa_switches,
+            spanned_blocks=spanned,
         )
         stats.cpu_us = self.cpu_model.cp_cpu_us(
             ops=batch.ops,

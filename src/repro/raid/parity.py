@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..common.arrayops import sorted_unique_counts
 from ..common.constants import TETRIS_STRIPES
 from .geometry import RAIDGeometry
 from .tetris import count_tetrises
@@ -129,7 +130,7 @@ def analyze_raid_writes(
 
     # Stripe occupancy: how many of each touched stripe's data blocks
     # were written in this CP.
-    touched, counts = np.unique(dbns, return_counts=True)
+    touched, counts = sorted_unique_counts(dbns)
     stats.data_blocks = int(vbns.size)
     stats.stripes_written = int(touched.size)
     full = counts == geometry.ndata

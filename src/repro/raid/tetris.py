@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..common.arrayops import sorted_unique
 from ..common.constants import TETRIS_STRIPES
 
 __all__ = ["tetris_ids", "count_tetrises", "TETRIS_STRIPES"]
@@ -21,7 +22,7 @@ def tetris_ids(stripes: np.ndarray, stripes_per_tetris: int = TETRIS_STRIPES) ->
     stripes = np.asarray(stripes, dtype=np.int64)
     if stripes.size == 0:
         return np.empty(0, dtype=np.int64)
-    return np.unique(stripes // stripes_per_tetris)
+    return sorted_unique(stripes // stripes_per_tetris)
 
 
 def count_tetrises(stripes: np.ndarray, stripes_per_tetris: int = TETRIS_STRIPES) -> int:

@@ -64,6 +64,31 @@ class CpuModel:
             + spanned_blocks * self.us_per_spanned_block
         )
 
+    def cp_cpu_breakdown(
+        self,
+        *,
+        ops: int,
+        blocks: int,
+        metafile_blocks: int,
+        aa_switches: int = 0,
+        cache_ops: int = 0,
+        spanned_blocks: int = 0,
+    ) -> dict[str, float]:
+        """Per-phase decomposition of :meth:`cp_cpu_us` (same inputs).
+
+        The values sum to ``cp_cpu_us(...)``; ``repro profile`` reports
+        them alongside the wall-clock profile so modeled CPU can be
+        attributed to pipeline phases.
+        """
+        return {
+            "client_ops": ops * self.base_us_per_op,
+            "block_processing": blocks * self.us_per_block,
+            "metafile_updates": metafile_blocks * self.us_per_metafile_block,
+            "aa_switches": aa_switches * self.us_per_aa_switch,
+            "cache_maintenance": cache_ops * self.us_per_cache_op,
+            "bitmap_scan": spanned_blocks * self.us_per_spanned_block,
+        }
+
     def cache_maintenance_us(self, cache_ops: int) -> float:
         """CPU attributable to AA-cache maintenance alone (for the
         0.002%-of-cycles claim of section 4.1.2)."""

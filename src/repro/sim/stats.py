@@ -45,6 +45,11 @@ class CPStats:
     device_total_us: float = 0.0
     #: AA-cache maintenance operations performed at the CP boundary.
     cache_ops: int = 0
+    #: Allocation-area switches made while assigning this CP's blocks.
+    aa_switches: int = 0
+    #: Bitmap VBNs spanned by the CP's allocation scans (the inverse-
+    #: free-density cost driver; see :mod:`repro.sim.cpu`).
+    spanned_blocks: int = 0
     #: Modeled WAFL CPU time for this CP (see :mod:`repro.sim.cpu`).
     cpu_us: float = 0.0
 
@@ -75,6 +80,8 @@ class CPStats:
             "reconstruction_reads",
             "degraded_stripes",
             "cache_ops",
+            "aa_switches",
+            "spanned_blocks",
         ):
             value = getattr(self, name)
             if value < 0:
@@ -163,6 +170,27 @@ class MetricsLog:
     def mean_chain_length(self) -> float:
         chains = self._sum("write_chains")
         return self.total_physical_blocks / chains if chains else 0.0
+
+    def cpu_phase_us(self, cpu_model) -> dict[str, float]:
+        """Total modeled CPU per pipeline phase across the run.
+
+        Re-derives each CP's charge decomposition from its counted
+        events via ``cpu_model.cp_cpu_breakdown`` (the same inputs
+        ``run_cp`` used), so the phase totals sum to ``total_cpu_us``.
+        """
+        totals: dict[str, float] = {}
+        for c in self.cps:
+            parts = cpu_model.cp_cpu_breakdown(
+                ops=c.ops,
+                blocks=c.physical_blocks + c.virtual_blocks,
+                metafile_blocks=c.metafile_blocks_dirtied,
+                aa_switches=c.aa_switches,
+                cache_ops=c.cache_ops,
+                spanned_blocks=c.spanned_blocks,
+            )
+            for name, us in parts.items():
+                totals[name] = totals.get(name, 0.0) + us
+        return totals
 
     def tail(self, n: int) -> "MetricsLog":
         """Metrics over the last ``n`` CPs (steady-state window)."""

@@ -26,6 +26,7 @@ VIOLATIONS: dict[str, str | tuple[str, str]] = {
     "D104": "s = {1, 2, 3}\nfor item in s:\n    print(item)\n",
     "L201": ("from ..fs.cp import CPEngine\n", "core"),
     "U301": "size_bytes = 1\nsize_blocks = 2\ntotal = size_bytes + size_blocks\n",
+    "B501": "import numpy as np\nbits = np.unpackbits(buf, bitorder='little')\n",
     "E401": "try:\n    x = 1\nexcept:\n    pass\n",
     "E402": "try:\n    x = 1\nexcept Exception:\n    x = 2\n",
     "E403": (
@@ -95,6 +96,28 @@ class TestDeterminismRules:
     def test_rebound_name_is_forgotten(self):
         src = "s = {1}\ns = [1]\nfor x in s:\n    print(x)\n"
         assert rules_of(src) == []
+
+
+class TestBitmapDisciplineRules:
+    def test_whole_array_unpack_fires(self):
+        assert "B501" in rules_of("import numpy as np\nnp.unpackbits(arr)\n")
+
+    def test_half_open_slice_fires(self):
+        assert "B501" in rules_of("import numpy as np\nnp.unpackbits(buf[b0:])\n")
+        assert "B501" in rules_of("import numpy as np\nnp.unpackbits(buf[:b1])\n")
+
+    def test_bounded_window_is_clean(self):
+        assert rules_of("import numpy as np\nnp.unpackbits(buf[b0:b1])\n") == []
+
+    def test_bitmap_py_is_exempt(self):
+        src = "import numpy as np\nnp.unpackbits(arr)\n"
+        assert [f.rule for f in lint_source(src, "src/repro/bitmap/bitmap.py",
+                                            "bitmap")] == []
+
+    def test_aliased_import_fires(self):
+        assert "B501" in rules_of(
+            "import numpy as xp\nbits = xp.unpackbits(arr)\n"
+        )
 
 
 class TestLayeringRules:

@@ -123,6 +123,60 @@ class TestRanges:
             bm.count_range(10, 5)
 
 
+class TestCountRangeEdges:
+    """Byte-boundary cases of count_range: the fast path counts whole
+    bytes with bitwise_count and unpacks only the edge bits, so every
+    alignment combination of [start, stop) must agree with a naive
+    per-bit count."""
+
+    def _naive(self, bm: Bitmap, start: int, stop: int) -> int:
+        return int(bm.test(np.arange(start, stop)).sum()) if stop > start else 0
+
+    def test_sub_byte_straddling_boundary_no_full_byte(self):
+        # [6, 10) crosses the byte 0/1 boundary but contains no whole
+        # byte: full0 == full1 == 8 takes the single-unpack path.
+        bm = Bitmap(64)
+        bm.allocate(np.array([6, 7, 8, 9]))
+        assert bm.count_range(6, 10) == 4
+        assert bm.count_range(7, 9) == 2
+        assert bm.count_range(5, 6) == 0
+
+    def test_both_ends_byte_aligned(self):
+        bm = Bitmap(64)
+        bm.set_range(8, 24)
+        assert bm.count_range(8, 24) == 16
+        assert bm.count_range(0, 64) == 16
+
+    def test_unaligned_head_aligned_tail(self):
+        bm = Bitmap(64)
+        bm.set_range(5, 32)
+        assert bm.count_range(5, 32) == 27
+        assert bm.count_range(6, 32) == 26
+
+    def test_aligned_head_unaligned_tail(self):
+        bm = Bitmap(64)
+        bm.set_range(8, 29)
+        assert bm.count_range(8, 29) == 21
+        assert bm.count_range(8, 30) == 21
+
+    def test_single_full_byte_between_edges(self):
+        # [7, 17): edge bit 7, whole byte [8, 16), edge bit 16.
+        bm = Bitmap(64)
+        bm.allocate(np.array([7, 8, 15, 16]))
+        assert bm.count_range(7, 17) == 4
+
+    def test_every_alignment_matches_naive_count(self):
+        rng = np.random.default_rng(7)
+        bm = Bitmap(80)
+        bm.allocate(np.flatnonzero(rng.random(80) < 0.4))
+        for start in range(0, 18):
+            for stop in range(start, 80, 7):
+                assert bm.count_range(start, stop) == self._naive(bm, start, stop), (
+                    start,
+                    stop,
+                )
+
+
 class TestSearch:
     def test_free_in_range(self):
         bm = Bitmap(64)
