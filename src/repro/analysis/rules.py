@@ -86,8 +86,9 @@ RULES: dict[str, Rule] = {
             "L201",
             "import violates the package dependency DAG",
             "the layering common -> devices -> raid -> bitmap -> core -> "
-            "sim -> fs -> workloads -> faults -> bench -> analysis is "
-            "acyclic by construction; upward imports create cycles.",
+            "sim -> fs -> workloads -> traffic -> faults -> bench -> "
+            "analysis is acyclic by construction; upward imports create "
+            "cycles.",
         ),
         Rule(
             "U301",
@@ -139,9 +140,13 @@ LAYER_RANK: dict[str, int] = {
     "sim": 5,
     "fs": 6,
     "workloads": 7,
-    "faults": 8,
-    "bench": 9,
-    "analysis": 10,
+    #: The traffic engine consumes the whole substrate (fs CPs, sim
+    #: stats, workload mixes) and is itself consumed only by the
+    #: drivers above it (faults' chaos-under-load, bench, cli).
+    "traffic": 8,
+    "faults": 9,
+    "bench": 10,
+    "analysis": 11,
 }
 
 #: Identifier suffixes treated as units by U301.  Multiplicative

@@ -90,6 +90,7 @@ _CANONICAL_SEEDS = {
     "fig9": 3,
     "fig10": 0,  # fig10 sweeps are seedless (deterministic builds)
     "macro": 42,
+    "traffic": 7,
 }
 
 
@@ -208,6 +209,24 @@ def _unit_macro(spec: UnitSpec) -> dict:
     }
 
 
+def _unit_traffic(spec: UnitSpec) -> dict:
+    """One multi-tenant traffic scenario: per-tenant p50/p95/p99,
+    achieved throughput, and QoS shedding under shared-backend load.
+    Everything reported is simulated-clock derived, so the whole
+    payload participates in the determinism and baseline gates."""
+    from ..traffic import run_traffic
+
+    run = run_traffic(
+        spec.unit,
+        n_tenants=2 if spec.quick else 4,
+        seed=spec.seed,
+        quick=spec.quick,
+    )
+    out = run.result.as_dict()
+    out["calibrated_capacity_ops"] = run.calibration.capacity_ops
+    return out
+
+
 _EXPERIMENTS: dict[str, tuple[str, ...]] = {}
 
 
@@ -225,6 +244,7 @@ def _unit_names(experiment: str) -> tuple[str, ...]:
                 "fig9": tuple(FIG9_SIZINGS),
                 "fig10": ("size", "count"),
                 "macro": ("random-overwrite",),
+                "traffic": ("uniform", "noisy-neighbor", "throttled"),
             }
         )
     return _EXPERIMENTS[experiment]
@@ -237,6 +257,7 @@ _RUNNERS = {
     "fig9": _unit_fig9,
     "fig10": _unit_fig10,
     "macro": _unit_macro,
+    "traffic": _unit_traffic,
 }
 
 ALL_EXPERIMENTS = tuple(_RUNNERS)

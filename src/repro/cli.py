@@ -33,8 +33,8 @@ def _cmd_info(args: argparse.Namespace) -> int:
     ):
         print(f"  {name:26s} = {getattr(c, name)}")
     print()
-    print("commands: fig6 fig7 fig8 fig9 fig10 all bench profile faults lint "
-          "audit quickstart info")
+    print("commands: fig6 fig7 fig8 fig9 fig10 all bench profile traffic "
+          "faults lint audit quickstart info")
     return 0
 
 
@@ -152,6 +152,69 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     for name, us in sorted(phases.items(), key=lambda kv: -kv[1]):
         print(f"  {name:20s} {us / 1e6:9.3f} s-CPU  {us / total:7.2%}")
     print(f"\nprofile dump: {dump} (open with pstats or snakeviz)")
+    return 0
+
+
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    """Multi-tenant traffic engine: per-tenant QoS and tail latency."""
+    from repro.bench.harness import fmt_table
+    from repro.traffic import run_traffic
+
+    t0 = time.perf_counter()
+    if args.chaos:
+        from repro.faults import PHASES, run_chaos_under_load
+
+        print(f"traffic chaos-under-load: scenario={args.scenario}, "
+              f"{args.tenants} tenant(s), seed={args.seed}")
+        metrics, engine = run_chaos_under_load(
+            scenario=args.scenario, n_tenants=args.tenants, seed=args.seed,
+        )
+        rows = [
+            [phase]
+            + [metrics.phase_p99_ms[phase][t.name] for t in engine.tenants]
+            for phase in PHASES
+        ]
+        print("\n" + fmt_table(
+            ["phase"] + [t.name for t in engine.tenants],
+            rows,
+            title="per-tenant p99 latency (ms) by fault phase",
+        ))
+        print(f"\n{metrics.cps_completed} CPs, "
+              f"{metrics.failed_allocations} failed allocations, "
+              f"{metrics.disk_failures} disk failure(s), "
+              f"{metrics.reconstruction_reads} reconstruction reads, "
+              f"rebuild {metrics.rebuild_us / 1e3:.1f} ms "
+              f"[{time.perf_counter() - t0:.1f}s]")
+        return 0 if metrics.failed_allocations == 0 else 1
+
+    print(f"traffic scenario: {args.scenario}, {args.tenants} tenant(s), "
+          f"seed={args.seed} ({'quick' if args.quick else 'full'})")
+    run = run_traffic(
+        args.scenario, n_tenants=args.tenants, seed=args.seed, quick=args.quick,
+    )
+    result = run.result
+    rows = []
+    for name in sorted(result.tenants):
+        t = result.tenants[name]
+        qos = []
+        if t.rejected:
+            qos.append(f"{t.rejected} shed")
+        rows.append([
+            t.name, t.volume, t.offered_ops_s, t.achieved_ops_s,
+            t.p50_ms, t.p95_ms, t.p99_ms,
+            t.mean_queue_depth, ", ".join(qos) or "-",
+        ])
+    print("\n" + fmt_table(
+        ["tenant", "volume", "offered/s", "achieved/s",
+         "p50 ms", "p95 ms", "p99 ms", "mean qd", "qos"],
+        rows,
+        title=f"per-tenant results ({result.cps} CPs, "
+              f"{result.horizon_s:.2f}s simulated)",
+    ))
+    print(f"\ncalibrated capacity {run.calibration.capacity_ops:,.0f} ops/s, "
+          f"run-implied capacity {result.capacity_ops:,.0f} ops/s, "
+          f"total {result.total_ops} ops "
+          f"[{time.perf_counter() - t0:.1f}s]")
     return 0
 
 
@@ -408,7 +471,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--workers", type=int, default=1,
                    help="process-pool size (1 = serial reference; 0 = auto)")
     p.add_argument("--experiments", nargs="*", metavar="EXP",
-                   help="subset to run (fig6 fig7 fig8 fig9 fig10 macro)")
+                   help="subset to run (fig6 fig7 fig8 fig9 fig10 macro traffic)")
     p.add_argument("--seed", type=int, default=None,
                    help="base seed (default: each figure's canonical seed)")
     p.add_argument("--audit", action="store_true",
@@ -422,6 +485,22 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--trajectory", metavar="PATH",
                    help="trajectory summary path (default <repo>/BENCH_PR3.json)")
     p.set_defaults(fn=_cmd_bench)
+    p = sub.add_parser(
+        "traffic",
+        help="multi-tenant traffic engine: QoS, noisy neighbors, tail latency",
+    )
+    p.add_argument("--scenario", default="noisy-neighbor",
+                   choices=["uniform", "noisy-neighbor", "throttled"],
+                   help="tenant population to run (default noisy-neighbor)")
+    p.add_argument("--tenants", type=int, default=4,
+                   help="number of tenants (one FlexVol each)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="traffic seed (same seed => byte-identical run)")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller configuration for interactive use")
+    p.add_argument("--chaos", action="store_true",
+                   help="fail and rebuild a disk mid-run; report per-phase p99")
+    p.set_defaults(fn=_cmd_traffic)
     p = sub.add_parser("profile", help="cProfile the macro benchmark + modeled "
                                        "per-phase CPU breakdown")
     p.add_argument("--quick", action="store_true",

@@ -25,6 +25,7 @@ from .recovery import (
     instances,
 )
 from .scenario import ChaosScenario, RecoveryMetrics, default_scenario, run_chaos
+from .underload import PHASES, UnderLoadMetrics, run_chaos_under_load
 
 __all__ = [
     "FaultInjector",
@@ -41,4 +42,7 @@ __all__ = [
     "RecoveryMetrics",
     "default_scenario",
     "run_chaos",
+    "PHASES",
+    "UnderLoadMetrics",
+    "run_chaos_under_load",
 ]

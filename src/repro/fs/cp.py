@@ -44,6 +44,11 @@ class CPBatch:
     reads: int = 0
     #: Per-volume logical block ids deleted (unmapped without rewrite).
     deletes: dict[str, np.ndarray] = field(default_factory=dict)
+    #: Client operations by traffic source (tenant name); empty for
+    #: single-source workloads.  Copied verbatim into the CP's
+    #: :class:`~repro.sim.stats.CPStats` so multi-tenant schedulers can
+    #: charge CP service time back to the tenants that rode in it.
+    ops_by_source: dict[str, int] = field(default_factory=dict)
 
 
 class CPEngine:
@@ -161,6 +166,7 @@ class CPEngine:
             cache_ops=cache_ops,
             aa_switches=aa_switches,
             spanned_blocks=spanned,
+            ops_by_source=dict(batch.ops_by_source),
         )
         stats.cpu_us = self.cpu_model.cp_cpu_us(
             ops=batch.ops,

@@ -27,6 +27,7 @@ import numpy as np
 __all__ = [
     "LoadPoint",
     "latency_throughput_curve",
+    "system_curve",
     "peak_throughput",
     "degraded_read_amplification",
     "degraded_curve",
@@ -57,17 +58,39 @@ def latency_throughput_curve(
 ) -> list[LoadPoint]:
     """Generate a latency-vs-achieved-throughput sweep.
 
+    All throughput values are **per client**: each of the ``nclients``
+    concurrent clients offers ``offered_per_client`` ops/s, so the
+    server sees ``offered_per_client * nclients`` ops/s total.  The
+    *knee* of the resulting curve — the saturation point where achieved
+    throughput stops tracking offered load and latency turns upward —
+    sits where total offered load reaches the whole-server capacity
+    ``1e6 / service_us_per_op`` ops/s, i.e. at
+    ``capacity / nclients`` ops/s per client.  Past the knee, achieved
+    throughput pins there while latency grows linearly with the
+    overload factor.  :func:`peak_throughput` extracts the knee point
+    from a sweep; the event-driven engine in :mod:`repro.traffic` must
+    reproduce the same knee from the same measured service time (the
+    cross-validation test pins agreement to 10%).
+
     Parameters
     ----------
     service_us_per_op:
-        Measured per-operation service time (CPU + bottleneck device).
+        Measured per-operation service time, microseconds (CPU +
+        bottleneck device; :attr:`repro.sim.stats.MetricsLog.service_us_per_op`).
+        For a multi-core server use :func:`system_curve`, which
+        separates CPU capacity from device capacity.
     offered_per_client:
-        Offered load levels, ops/s per client.
+        Offered load levels to sweep, ops/s per client.
     nclients:
         Number of concurrent clients (the paper plots per-client rates).
     rho_cap:
         Utilization ceiling for the queueing term; keeps the
         below-saturation latency finite at the knee.
+
+    Returns
+    -------
+    One :class:`LoadPoint` per offered level — offered and achieved
+    throughput in ops/s per client, mean latency in milliseconds.
     """
     if service_us_per_op <= 0:
         raise ValueError("service time must be positive")
@@ -180,8 +203,18 @@ def degraded_curve(
 
 
 def peak_throughput(points: list[LoadPoint]) -> LoadPoint:
-    """The sweep point with the highest achieved throughput (ties are
-    resolved toward lower latency) — the paper's "peak load" row."""
+    """The knee of a latency-throughput sweep.
+
+    Returns the point with the highest *achieved per-client* throughput
+    (ops/s); among points achieving it — every saturated point pins at
+    ``capacity / nclients``, so ties are common — the one with the
+    lowest latency wins.  That is the knee as the paper reports it: the
+    last operating point before queueing delay departs from the flat
+    region, a.k.a. the "peak load" row of Figures 6/8/9.  The returned
+    :class:`LoadPoint` keeps per-client units; multiply
+    ``achieved_per_client`` by the sweep's ``nclients`` for the
+    whole-server saturation throughput.
+    """
     if not points:
         raise ValueError("empty sweep")
     return max(points, key=lambda p: (p.achieved_per_client, -p.latency_ms))

@@ -52,6 +52,10 @@ class CPStats:
     spanned_blocks: int = 0
     #: Modeled WAFL CPU time for this CP (see :mod:`repro.sim.cpu`).
     cpu_us: float = 0.0
+    #: Client operations by traffic source (tenant name) — empty for
+    #: single-source workloads.  Lets the traffic engine charge CP
+    #: service back to the tenants whose ops rode in this CP.
+    ops_by_source: dict[str, int] = field(default_factory=dict)
 
     @property
     def full_stripe_fraction(self) -> float:
@@ -101,9 +105,17 @@ class MetricsLog:
     """Accumulates :class:`CPStats` and exposes run-level summaries."""
 
     cps: list[CPStats] = field(default_factory=list)
+    #: Named time series recorded alongside the per-CP records — e.g.
+    #: the traffic engine's per-tenant ``traffic.<name>.p99_ms`` and
+    #: ``traffic.<name>.achieved_ops_s`` (one sample per CP interval).
+    series: dict[str, list[float]] = field(default_factory=dict)
 
     def add(self, stats: CPStats) -> None:
         self.cps.append(stats)
+
+    def record_point(self, name: str, value: float) -> None:
+        """Append one sample to the named time series."""
+        self.series.setdefault(name, []).append(float(value))
 
     # ------------------------------------------------------------------
     def _sum(self, attr: str) -> float:

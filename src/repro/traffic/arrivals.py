@@ -1,0 +1,122 @@
+"""Tenant arrival processes for the discrete-event traffic engine.
+
+An arrival process is an iterator over operation arrival timestamps in
+simulated microseconds.  Two shapes cover the scenarios the engine
+ships: memoryless Poisson clients (the open-loop load the paper's
+latency-throughput sweeps assume) and bursty on/off clients (the
+noisy-neighbor pattern, where a tenant alternates quiet periods with
+bursts far above its mean rate).
+
+Every process draws from a seeded :class:`numpy.random.Generator`, so a
+traffic run is bit-for-bit reproducible from its scenario seed.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..common.rng import make_rng
+
+__all__ = ["ArrivalProcess", "PoissonArrivals", "OnOffArrivals"]
+
+
+class ArrivalProcess(abc.ABC):
+    """Generates successive arrival times (simulated microseconds)."""
+
+    def __init__(self, seed: int | np.random.Generator | None = None) -> None:
+        self.rng = make_rng(seed)
+
+    @abc.abstractmethod
+    def next_after(self, t_us: float) -> float:
+        """The next arrival time strictly after ``t_us``."""
+
+    @property
+    @abc.abstractmethod
+    def mean_rate_ops_s(self) -> float:
+        """Long-run mean arrival rate (ops/s) — the tenant's offered
+        load, used to derive CP intervals and report offered columns."""
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at a fixed mean rate (exponential gaps)."""
+
+    def __init__(
+        self, rate_ops_s: float, *, seed: int | np.random.Generator | None = None
+    ) -> None:
+        super().__init__(seed)
+        if rate_ops_s <= 0:
+            raise ValueError("rate_ops_s must be positive")
+        self.rate_ops_s = float(rate_ops_s)
+        self._mean_gap_us = 1e6 / self.rate_ops_s
+
+    def next_after(self, t_us: float) -> float:
+        return t_us + self.rng.exponential(self._mean_gap_us)
+
+    @property
+    def mean_rate_ops_s(self) -> float:
+        return self.rate_ops_s
+
+
+class OnOffArrivals(ArrivalProcess):
+    """Bursty on/off modulated Poisson arrivals.
+
+    The tenant alternates exponentially distributed ON periods (Poisson
+    arrivals at ``on_rate_ops_s``) with OFF periods (``off_rate_ops_s``,
+    0 by default: silent).  The long-run mean rate is the duty-cycle
+    weighted average; the *burst* rate is what a shared backend has to
+    absorb, which is why on/off tenants make good noisy neighbors.
+    """
+
+    def __init__(
+        self,
+        on_rate_ops_s: float,
+        *,
+        mean_on_us: float = 2_000_000.0,
+        mean_off_us: float = 2_000_000.0,
+        off_rate_ops_s: float = 0.0,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(seed)
+        if on_rate_ops_s <= 0:
+            raise ValueError("on_rate_ops_s must be positive")
+        if off_rate_ops_s < 0:
+            raise ValueError("off_rate_ops_s must be non-negative")
+        if mean_on_us <= 0 or mean_off_us <= 0:
+            raise ValueError("phase durations must be positive")
+        self.on_rate_ops_s = float(on_rate_ops_s)
+        self.off_rate_ops_s = float(off_rate_ops_s)
+        self.mean_on_us = float(mean_on_us)
+        self.mean_off_us = float(mean_off_us)
+        # Phase bookkeeping: the process starts ON at t=0.
+        self._on = True
+        self._phase_end_us = self.rng.exponential(self.mean_on_us)
+
+    def _advance_phase(self, t_us: float) -> None:
+        while t_us >= self._phase_end_us:
+            self._on = not self._on
+            mean = self.mean_on_us if self._on else self.mean_off_us
+            self._phase_end_us += self.rng.exponential(mean)
+
+    def next_after(self, t_us: float) -> float:
+        t = t_us
+        while True:
+            self._advance_phase(t)
+            rate = self.on_rate_ops_s if self._on else self.off_rate_ops_s
+            if rate <= 0.0:
+                # Silent phase: jump to its end and try again.
+                t = self._phase_end_us
+                continue
+            candidate = t + self.rng.exponential(1e6 / rate)
+            if candidate < self._phase_end_us:
+                return candidate
+            # The gap straddles a phase boundary: restart the draw from
+            # the boundary (memorylessness makes this exact for the
+            # exponential gap distribution).
+            t = self._phase_end_us
+
+    @property
+    def mean_rate_ops_s(self) -> float:
+        on_share = self.mean_on_us / (self.mean_on_us + self.mean_off_us)
+        return self.on_rate_ops_s * on_share + self.off_rate_ops_s * (1.0 - on_share)

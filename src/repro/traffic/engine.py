@@ -1,0 +1,450 @@
+"""The discrete-event multi-tenant traffic engine.
+
+The closed-form transform in :mod:`repro.sim.latency` answers "what
+would a single homogeneous client population see" from one measured
+service time.  This engine answers the production question the ROADMAP
+asks — what do *N tenants with different arrival processes and QoS
+limits* see when they share one aggregate — by actually serving traffic
+against the CP/allocator substrate:
+
+1. **Arrivals.** Each tenant (one per FlexVol) generates operation
+   arrivals from its own :class:`~repro.traffic.arrivals.ArrivalProcess`
+   on a shared simulated clock (microseconds).
+2. **Admission.** Arrivals pass the tenant's admission queue and
+   token-bucket QoS limits (:mod:`repro.traffic.qos`): an op's
+   *admission time* is when both its IOPS token and its dirty-block
+   budget are available; a bounded queue rejects arrivals that would
+   wait behind more than ``queue_depth`` earlier ops.
+3. **CP batching.** The scheduler accumulates admitted ops into one
+   :class:`~repro.fs.cp.CPBatch` per fixed CP interval (WAFL's timer
+   trigger), tags the batch with per-tenant op counts
+   (``ops_by_source``), generates each tenant's dirty blocks through
+   its :class:`~repro.workloads.mixes.OpMix`, and runs a real
+   consistency point on the simulator.
+4. **Service and charging.** The CP's measured cost is charged back to
+   the tenants whose ops rode in it: per-op CPU and bottleneck-device
+   time come from that CP's own :class:`~repro.sim.stats.CPStats`, and
+   a start-time fair-queueing (SFQ) backend serves the admitted ops,
+   advancing a single server clock by the per-op *occupancy*
+   ``max(cpu/cores, device)`` while each op's latency accrues the full
+   ``cpu + device`` service.  The server never runs ahead of simulated
+   time, so an overloading tenant's excess accumulates as *its own*
+   backlog while a tenant using less than its fair share is served at
+   the next free slot — per-volume isolation, the property the
+   noisy-neighbor tests pin down.  Saturation throughput equals
+   ``min(cores/cpu_us, 1/device_us)`` — the same capacity the
+   closed-form model derives from the same measurements, which is what
+   the single-tenant cross-validation test pins down.
+
+As in WAFL, client writes are acknowledged from the front end (NVRAM),
+not at CP flush: an op's modeled latency is queueing (admission wait +
+backend backlog) plus its per-op service share, not the whole CP flush
+time.  Every random draw flows from scenario seeds, so a run is
+bit-for-bit reproducible and byte-identical across process pools.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..fs.cp import CPBatch
+from ..sim.stats import CPStats
+from ..workloads.mixes import OpMix
+from .arrivals import ArrivalProcess
+from .qos import QosLimits, TokenBucket
+
+__all__ = ["TenantSpec", "TenantSummary", "TrafficResult", "TrafficEngine"]
+
+#: The paper's midrange server: CP pipeline parallelism (section 4.1).
+DEFAULT_CORES = 20
+
+
+@dataclass
+class TenantSpec:
+    """One tenant: a FlexVol plus its traffic shape and QoS contract."""
+
+    name: str
+    volume: str
+    arrivals: ArrivalProcess
+    mix: OpMix
+    qos: QosLimits | None = None
+    #: Bounded admission queue (None = unbounded open-loop queue).
+    queue_depth: int | None = None
+
+
+@dataclass
+class TenantSummary:
+    """Per-tenant outcome of a traffic run (deterministic fields only)."""
+
+    name: str
+    volume: str
+    offered_ops_s: float
+    achieved_ops_s: float
+    arrived: int
+    admitted: int
+    rejected: int
+    completed: int
+    in_flight: int
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_ms: float
+    max_queue_depth: int
+    mean_queue_depth: float
+    #: CP service charged back to this tenant (its ops' share of every
+    #: CP it rode in).
+    charged_cpu_us: float
+    charged_device_us: float
+
+
+@dataclass
+class TrafficResult:
+    """Whole-run outcome: per-tenant summaries plus backend totals."""
+
+    tenants: dict[str, TenantSummary]
+    #: Backend capacity implied by the run's own CPs (ops/s): the
+    #: op-weighted mean occupancy inverted — comparable to
+    #: :meth:`repro.bench.harness.ConfigResult.capacity_ops`.
+    capacity_ops: float
+    horizon_s: float
+    cps: int
+    total_ops: int
+
+    def as_dict(self) -> dict:
+        from dataclasses import asdict
+
+        return {
+            "capacity_ops": self.capacity_ops,
+            "horizon_s": self.horizon_s,
+            "cps": self.cps,
+            "total_ops": self.total_ops,
+            "tenants": {name: asdict(t) for name, t in sorted(self.tenants.items())},
+        }
+
+
+class _TenantState:
+    """Mutable per-tenant run state (admission + measurement)."""
+
+    def __init__(self, spec: TenantSpec) -> None:
+        self.spec = spec
+        self.buckets: list[tuple[TokenBucket, str]] = (
+            spec.qos.make_buckets() if spec.qos is not None else []
+        )
+        self.next_arrival_us = spec.arrivals.next_after(0.0)
+        self.admit_tail_us = 0.0
+        #: Admission times not yet reached (the admission queue).
+        self.pending_admits: deque[float] = deque()
+        #: Admitted ops waiting for a CP: (arrival_us, admit_us).
+        self.deferred: deque[tuple[float, float]] = deque()
+        #: Ops that rode a CP and await backend service:
+        #: (arrival_us, admit_us, s_occ_us, s_lat_us).
+        self.backend: deque[tuple[float, float, float, float]] = deque()
+        #: SFQ virtual finish tag of this tenant's last served op.
+        self.vfinish = 0.0
+        self.arrivals_us: list[float] = []
+        self.rejected_us: list[float] = []
+        self.complete_us: list[float] = []
+        self.latency_us: list[float] = []
+        self.admitted = 0
+        self.charged_cpu_us = 0.0
+        self.charged_device_us = 0.0
+
+    def take_riders(self, before_us: float) -> list[tuple[float, float]]:
+        """Admitted ops whose admission time falls before ``before_us``
+        (admission times are FIFO-monotone, so this is a prefix)."""
+        riders: list[tuple[float, float]] = []
+        while self.deferred and self.deferred[0][1] < before_us:
+            riders.append(self.deferred.popleft())
+        return riders
+
+
+class TrafficEngine:
+    """Drives one :class:`~repro.fs.filesystem.WaflSim` with N tenants.
+
+    Parameters
+    ----------
+    sim:
+        The (typically aged) simulator; each tenant's ``volume`` must
+        name one of its FlexVols.
+    tenants:
+        Tenant specs.  Tenant order is the round-robin service order.
+    cp_interval_us:
+        Simulated time between consistency points.  Default: sized so
+        the *offered* load sums to ``target_ops_per_cp`` ops per CP,
+        matching the batch sizes the figure benchmarks measure (per-op
+        CPU cost amortizes over the batch, so wildly different batch
+        sizes would shift the service time).
+    target_ops_per_cp:
+        Used only to derive the default ``cp_interval_us``.
+    cores:
+        CP pipeline parallelism for the occupancy model.
+    """
+
+    def __init__(
+        self,
+        sim,
+        tenants: list[TenantSpec],
+        *,
+        cp_interval_us: float | None = None,
+        target_ops_per_cp: int = 2048,
+        cores: int = DEFAULT_CORES,
+    ) -> None:
+        if not tenants:
+            raise ValueError("need at least one tenant")
+        names = [t.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names in {names}")
+        for t in tenants:
+            if t.volume not in sim.vols:
+                raise ValueError(f"tenant {t.name!r}: unknown volume {t.volume!r}")
+        self.sim = sim
+        self.tenants = list(tenants)
+        self.cores = int(cores)
+        if cp_interval_us is None:
+            offered = sum(t.arrivals.mean_rate_ops_s for t in tenants)
+            cp_interval_us = target_ops_per_cp / offered * 1e6
+        if cp_interval_us <= 0:
+            raise ValueError("cp_interval_us must be positive")
+        self.cp_interval_us = float(cp_interval_us)
+        self.states = [_TenantState(t) for t in tenants]
+        self.clock_us = 0.0
+        self._cp_count = 0
+        self._total_ops = 0
+        self._server_free_us = 0.0
+        #: SFQ virtual time: the start tag of the op in service.
+        self._vtime = 0.0
+        self._occ_weighted_us = 0.0
+        self._series_recorded = False
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def _generate_arrivals(self, st: _TenantState, until_us: float) -> None:
+        spec = st.spec
+        blocks_per_op = float(spec.mix.blocks_per_op)
+        while st.next_arrival_us < until_us:
+            t = st.next_arrival_us
+            st.arrivals_us.append(t)
+            while st.pending_admits and st.pending_admits[0] <= t:
+                st.pending_admits.popleft()
+            if (
+                spec.queue_depth is not None
+                and len(st.pending_admits) >= spec.queue_depth
+            ):
+                st.rejected_us.append(t)
+            else:
+                admit = t if st.admit_tail_us <= t else st.admit_tail_us
+                for bucket, dim in st.buckets:
+                    n = 1.0 if dim == "ops" else blocks_per_op
+                    ready = bucket.ready_time_us(admit, n)
+                    if ready > admit:
+                        admit = ready
+                for bucket, dim in st.buckets:
+                    n = 1.0 if dim == "ops" else blocks_per_op
+                    bucket.take(admit, n)
+                st.admit_tail_us = admit
+                st.pending_admits.append(admit)
+                st.deferred.append((t, admit))
+                st.admitted += 1
+            st.next_arrival_us = spec.arrivals.next_after(t)
+
+    # ------------------------------------------------------------------
+    # Backend fair service (start-time fair queueing)
+    # ------------------------------------------------------------------
+    def _drain(self, until_us: float) -> None:
+        """Serve queued backend ops up to simulated time ``until_us``.
+
+        One shared server advances by each op's occupancy.  Among the
+        tenants with an eligible head op (admitted by now), the op with
+        the smallest SFQ virtual start tag ``max(vtime, vfinish)`` is
+        served next: a tenant that stayed within its fair share has a
+        lagging ``vfinish`` and therefore preempts a backlogged
+        overloader, whose excess waits in its own queue.  The server
+        never starts an op at or past ``until_us`` — backlog carries
+        into the next CP interval instead of letting the server run
+        ahead of the simulated clock, which is what keeps a
+        well-behaved tenant's latency bounded while a neighbor
+        saturates the backend.
+        """
+        states = self.states
+        while True:
+            min_admit = None
+            for st in states:
+                if st.backend and (min_admit is None or st.backend[0][1] < min_admit):
+                    min_admit = st.backend[0][1]
+            if min_admit is None:
+                return
+            t = self._server_free_us if self._server_free_us > min_admit else min_admit
+            if t >= until_us:
+                return
+            pick = None
+            pick_tag = 0.0
+            for i, st in enumerate(states):
+                if not st.backend or st.backend[0][1] > t:
+                    continue
+                tag = st.vfinish if st.vfinish > self._vtime else self._vtime
+                if pick is None or tag < pick_tag:
+                    pick = i
+                    pick_tag = tag
+            st = states[pick]
+            arrival, _admit, s_occ, s_lat = st.backend.popleft()
+            self._vtime = pick_tag
+            st.vfinish = pick_tag + s_occ
+            self._server_free_us = t + s_occ
+            complete = t + s_lat
+            st.complete_us.append(complete)
+            st.latency_us.append(complete - arrival)
+
+    # ------------------------------------------------------------------
+    # CP loop
+    # ------------------------------------------------------------------
+    def step(self) -> CPStats | None:
+        """Advance one CP interval; returns the CP's stats (None if no
+        ops were admitted in the window)."""
+        window_end = self.clock_us + self.cp_interval_us
+        cp_ops: dict[int, list[tuple[float, float]]] = {}
+        for i, st in enumerate(self.states):
+            self._generate_arrivals(st, window_end)
+            riders = st.take_riders(window_end)
+            if riders:
+                cp_ops[i] = riders
+        self.clock_us = window_end
+        total = sum(len(v) for v in cp_ops.values())
+        if total == 0:
+            self._drain(window_end)
+            self._cp_count += 1
+            return None
+
+        writes: dict[str, np.ndarray] = {}
+        deletes: dict[str, np.ndarray] = {}
+        ops_by_source: dict[str, int] = {}
+        for i in sorted(cp_ops):
+            st = self.states[i]
+            w, d = st.spec.mix.next_ops(len(cp_ops[i]))
+            if w.size:
+                writes[st.spec.volume] = w
+            if d.size:
+                deletes[st.spec.volume] = d
+            ops_by_source[st.spec.name] = len(cp_ops[i])
+        stats = self.sim.engine.run_cp(
+            CPBatch(writes=writes, ops=total, deletes=deletes,
+                    ops_by_source=ops_by_source)
+        )
+
+        cpu_per_op = stats.cpu_us / total
+        dev_per_op = stats.device_busy_us / total
+        core_share = cpu_per_op / self.cores
+        s_occ = core_share if core_share > dev_per_op else dev_per_op
+        s_lat = cpu_per_op + dev_per_op
+        self._occ_weighted_us += s_occ * total
+        self._total_ops += total
+        for i, ops in cp_ops.items():
+            share = len(ops) / total
+            st = self.states[i]
+            st.charged_cpu_us += stats.cpu_us * share
+            st.charged_device_us += stats.device_busy_us * share
+            for arrival, admit in ops:
+                st.backend.append((arrival, admit, s_occ, s_lat))
+        self._drain(window_end)
+        self._cp_count += 1
+        return stats
+
+    def run(self, n_cps: int) -> "TrafficEngine":
+        for _ in range(n_cps):
+            self.step()
+        return self
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+    @property
+    def capacity_ops(self) -> float:
+        """Backend capacity implied by the run's CPs (ops/s)."""
+        if self._total_ops == 0:
+            return 0.0
+        return 1e6 / (self._occ_weighted_us / self._total_ops)
+
+    def _record_series(self, st: _TenantState, horizon_us: float) -> None:
+        """Per-CP-interval time series into the sim's MetricsLog."""
+        metrics = self.sim.metrics
+        edges = np.arange(0.0, horizon_us + self.cp_interval_us / 2,
+                          self.cp_interval_us)
+        arrivals = np.asarray(st.arrivals_us)
+        rejected = np.asarray(st.rejected_us)
+        complete = np.sort(np.asarray(st.complete_us))
+        latency = np.asarray(st.latency_us)
+        order = np.argsort(np.asarray(st.complete_us), kind="stable")
+        latency_by_completion = latency[order] if latency.size else latency
+        name = st.spec.name
+        interval_s = self.cp_interval_us / 1e6
+        for k in range(len(edges) - 1):
+            lo, hi = edges[k], edges[k + 1]
+            done = np.searchsorted(complete, hi, side="right") - np.searchsorted(
+                complete, lo, side="right"
+            )
+            metrics.record_point(f"traffic.{name}.achieved_ops_s", done / interval_s)
+            window = latency_by_completion[
+                np.searchsorted(complete, lo, side="right"):
+                np.searchsorted(complete, hi, side="right")
+            ]
+            p99 = float(np.percentile(window, 99)) / 1e3 if window.size else 0.0
+            metrics.record_point(f"traffic.{name}.p99_ms", p99)
+            in_flight = (
+                int((arrivals <= hi).sum())
+                - int((rejected <= hi).sum())
+                - int(np.searchsorted(complete, hi, side="right"))
+            )
+            metrics.record_point(f"traffic.{name}.queue_depth", in_flight)
+
+    def summary(self) -> TrafficResult:
+        """Finalize the run: per-tenant percentiles, throughput, queue
+        depth (series recorded via the sim's MetricsLog)."""
+        horizon_us = self.clock_us
+        horizon_s = horizon_us / 1e6
+        tenants: dict[str, TenantSummary] = {}
+        already_recorded = self._series_recorded
+        self._series_recorded = True
+        for st in self.states:
+            if not already_recorded:
+                self._record_series(st, horizon_us)
+            complete = np.asarray(st.complete_us)
+            latency = np.asarray(st.latency_us)
+            done_mask = complete <= horizon_us
+            done_lat_ms = latency[done_mask] / 1e3
+            completed = int(done_mask.sum())
+            arrived = len(st.arrivals_us)
+            rejected = len(st.rejected_us)
+            qd = np.asarray(
+                self.sim.metrics.series.get(
+                    f"traffic.{st.spec.name}.queue_depth", [0]
+                )
+            )
+            tenants[st.spec.name] = TenantSummary(
+                name=st.spec.name,
+                volume=st.spec.volume,
+                offered_ops_s=arrived / horizon_s if horizon_s else 0.0,
+                achieved_ops_s=completed / horizon_s if horizon_s else 0.0,
+                arrived=arrived,
+                admitted=st.admitted,
+                rejected=rejected,
+                completed=completed,
+                in_flight=arrived - rejected - completed,
+                p50_ms=float(np.percentile(done_lat_ms, 50)) if completed else 0.0,
+                p95_ms=float(np.percentile(done_lat_ms, 95)) if completed else 0.0,
+                p99_ms=float(np.percentile(done_lat_ms, 99)) if completed else 0.0,
+                mean_ms=float(done_lat_ms.mean()) if completed else 0.0,
+                max_queue_depth=int(qd.max()) if qd.size else 0,
+                mean_queue_depth=float(qd.mean()) if qd.size else 0.0,
+                charged_cpu_us=st.charged_cpu_us,
+                charged_device_us=st.charged_device_us,
+            )
+        return TrafficResult(
+            tenants=tenants,
+            capacity_ops=self.capacity_ops,
+            horizon_s=horizon_s,
+            cps=self._cp_count,
+            total_ops=self._total_ops,
+        )

@@ -1,0 +1,404 @@
+"""Canned multi-tenant traffic scenarios and cross-validation sweeps.
+
+Three scenarios cover the QoS stories a multi-tenant array has to tell
+(EXPERIMENTS.md, "Multi-tenant traffic and QoS"):
+
+``uniform``
+    N identical Poisson tenants at ~60% of calibrated backend capacity
+    — the steady multi-client load the paper's latency-throughput
+    sweeps assume, and the configuration the single-tenant knee
+    cross-validation uses.
+``noisy-neighbor``
+    Tenant 0 offers ~1.5x the whole backend's capacity, unthrottled.
+    Tenant 1 is the QoS-protected victim: IOPS-capped with a bounded
+    admission queue, so its p99 stays bounded (shed load, not latency)
+    while the aggressor saturates the backend and eats its own backlog.
+    Remaining tenants are moderate bystanders (one bursty on/off).
+``throttled``
+    Same population, but the aggressor is also IOPS-capped with a
+    bounded queue — the backend comes off saturation and every
+    tenant's tail collapses back to service time.
+
+Tenant rates are expressed as fractions of *calibrated* capacity (a
+short random-overwrite measurement on the freshly aged sim), so the
+scenarios keep their shape across quick/full configurations and future
+allocator changes.  All randomness flows from the run seed through
+:func:`repro.common.rng.spawn`, so runs replay byte-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.rng import make_rng, spawn
+from ..devices.ssd import SSDConfig
+from ..fs.aggregate import MediaType, PolicyKind, RAIDGroupConfig
+from ..fs.filesystem import WaflSim
+from ..fs.flexvol import VolSpec
+from ..sim.latency import peak_throughput, system_curve
+from ..workloads.aging import age_filesystem, reset_measurement_state
+from ..workloads.mixes import UniformOverwriteMix, ZipfOverwriteMix
+from ..workloads.random_overwrite import RandomOverwriteWorkload
+from .arrivals import OnOffArrivals, PoissonArrivals
+from .engine import DEFAULT_CORES, TenantSpec, TrafficEngine, TrafficResult
+from .qos import QosLimits
+
+__all__ = [
+    "SCENARIOS",
+    "CalibratedService",
+    "build_traffic_sim",
+    "calibrate_capacity",
+    "build_scenario",
+    "TrafficRun",
+    "run_traffic",
+    "knee_validation",
+]
+
+SCENARIOS = ("uniform", "noisy-neighbor", "throttled")
+
+#: Clients per tenant in the closed-form comparison (harness NCLIENTS).
+_NCLIENTS = 8
+#: Ops per CP the engine targets — matches the batch sizes the figure
+#: benches measure, so calibrated per-op costs transfer.
+_TARGET_OPS_PER_CP = 2048
+
+
+@dataclass(frozen=True)
+class CalibratedService:
+    """Per-op service costs measured on the aged sim before traffic."""
+
+    cpu_us_per_op: float
+    device_us_per_op: float
+    cores: int
+
+    @property
+    def capacity_ops(self) -> float:
+        """Backend saturation throughput (ops/s, whole server)."""
+        cpu_cap = (
+            self.cores * 1e6 / self.cpu_us_per_op
+            if self.cpu_us_per_op
+            else float("inf")
+        )
+        dev_cap = (
+            1e6 / self.device_us_per_op if self.device_us_per_op else float("inf")
+        )
+        return min(cpu_cap, dev_cap)
+
+
+def build_traffic_sim(
+    n_tenants: int,
+    *,
+    blocks_per_disk: int = 65_536,
+    churn_factor: float = 1.0,
+    fill_fraction: float = 0.55,
+    seed: int = 42,
+) -> WaflSim:
+    """An aged all-SSD aggregate with one FlexVol per tenant.
+
+    Same testbed shape as :func:`repro.bench.harness.build_aged_ssd_sim`
+    (section 4.1: filled to 55% and fragmented by heavy random writes),
+    but carved into ``n_tenants`` equal volumes named ``tenant0..N-1``.
+    Built here rather than imported from ``bench`` because ``traffic``
+    sits below ``bench`` in the package DAG.
+    """
+    if n_tenants <= 0:
+        raise ValueError("n_tenants must be positive")
+    ssd_cfg = SSDConfig(erase_block_blocks=512, program_us_per_block=16.0)
+    groups = [
+        RAIDGroupConfig(
+            ndata=4,
+            nparity=1,
+            blocks_per_disk=blocks_per_disk,
+            media=MediaType.SSD,
+            ssd_config=ssd_cfg,
+        )
+        for _ in range(2)
+    ]
+    phys = 2 * 4 * blocks_per_disk
+    logical = int(phys * fill_fraction)
+    share = logical // n_tenants
+    vols = [
+        VolSpec(
+            f"tenant{i}",
+            logical_blocks=share if i < n_tenants - 1 else logical - share * (n_tenants - 1),
+        )
+        for i in range(n_tenants)
+    ]
+    sim = WaflSim.build_raid(
+        groups,
+        vols,
+        aggregate_policy=PolicyKind.CACHE,
+        vol_policy=PolicyKind.CACHE,
+        seed=seed,
+    )
+    age_filesystem(sim, churn_factor=churn_factor, ops_per_cp=16384, seed=seed)
+    reset_measurement_state(sim)
+    for vol in sim.vols.values():
+        vol.metafile.bitmap.check = False
+    for group in sim.store.groups:
+        group.metafile.bitmap.check = False
+    return sim
+
+
+def calibrate_capacity(
+    sim: WaflSim,
+    *,
+    cores: int = DEFAULT_CORES,
+    n_cps: int = 6,
+    ops_per_cp: int = _TARGET_OPS_PER_CP,
+    seed: int = 4242,
+) -> CalibratedService:
+    """Measure per-op service costs on the aged sim, then reset it.
+
+    A short random-overwrite burst at the engine's CP batch size yields
+    the cpu/device cost per op; scenario rates are then expressed as
+    fractions of the implied capacity so they keep their shape across
+    configurations.  Measurement state is reset afterwards, so the
+    traffic run starts from clean metrics.
+    """
+    wl = RandomOverwriteWorkload(sim, ops_per_cp=ops_per_cp, seed=seed)
+    sim.run(wl, n_cps)
+    m = sim.metrics
+    cal = CalibratedService(
+        cpu_us_per_op=m.cpu_us_per_op,
+        device_us_per_op=m.device_us_per_op,
+        cores=cores,
+    )
+    reset_measurement_state(sim)
+    return cal
+
+
+def _vol_blocks(sim: WaflSim, name: str) -> int:
+    return sim.vols[name].spec.logical_blocks
+
+
+def build_scenario(
+    name: str,
+    sim: WaflSim,
+    capacity_ops: float,
+    *,
+    n_tenants: int = 4,
+    seed: int = 7,
+) -> list[TenantSpec]:
+    """Tenant specs for one named scenario (see module docstring).
+
+    Tenant 0 is the aggressor in the contended scenarios; tenant 1 the
+    QoS-protected victim; tenant 2 (when present) a bursty on/off
+    bystander; further tenants are moderate Poisson clients.
+    """
+    if name not in SCENARIOS:
+        raise ValueError(f"unknown scenario {name!r}; pick one of {SCENARIOS}")
+    if n_tenants <= 0:
+        raise ValueError("n_tenants must be positive")
+    if name != "uniform" and n_tenants < 2:
+        raise ValueError(f"scenario {name!r} needs an aggressor and a victim")
+    rng = make_rng(seed)
+    seeds = spawn(rng, 2 * n_tenants)
+    tenants: list[TenantSpec] = []
+
+    if name == "uniform":
+        per_tenant = 0.6 * capacity_ops / n_tenants
+        for i in range(n_tenants):
+            vol = f"tenant{i}"
+            tenants.append(
+                TenantSpec(
+                    name=f"t{i}",
+                    volume=vol,
+                    arrivals=PoissonArrivals(per_tenant, seed=seeds[2 * i]),
+                    mix=UniformOverwriteMix(
+                        _vol_blocks(sim, vol), seed=seeds[2 * i + 1]
+                    ),
+                )
+            )
+        return tenants
+
+    # Contended scenarios share the population; only the aggressor's
+    # QoS contract differs.
+    aggressor_qos = None
+    aggressor_depth = None
+    if name == "throttled":
+        aggressor_qos = QosLimits(iops=0.25 * capacity_ops, iops_burst=64.0)
+        aggressor_depth = 128
+    tenants.append(
+        TenantSpec(
+            name="t0-aggressor",
+            volume="tenant0",
+            arrivals=PoissonArrivals(1.5 * capacity_ops, seed=seeds[0]),
+            mix=UniformOverwriteMix(_vol_blocks(sim, "tenant0"), seed=seeds[1]),
+            qos=aggressor_qos,
+            queue_depth=aggressor_depth,
+        )
+    )
+    victim_cap = 0.04 * capacity_ops
+    tenants.append(
+        TenantSpec(
+            name="t1-victim",
+            volume="tenant1",
+            # Offers 2x its QoS cap, so throttling (and load shedding)
+            # is visibly exercised while p99 stays bounded by
+            # queue_depth / iops.
+            arrivals=PoissonArrivals(2.0 * victim_cap, seed=seeds[2]),
+            mix=ZipfOverwriteMix(_vol_blocks(sim, "tenant1"), seed=seeds[3]),
+            qos=QosLimits(iops=victim_cap, iops_burst=32.0),
+            queue_depth=64,
+        )
+    )
+    for i in range(2, n_tenants):
+        vol = f"tenant{i}"
+        if i == 2:
+            arrivals = OnOffArrivals(
+                0.3 * capacity_ops,
+                mean_on_us=300_000.0,
+                mean_off_us=300_000.0,
+                seed=seeds[2 * i],
+            )
+        else:
+            arrivals = PoissonArrivals(0.05 * capacity_ops, seed=seeds[2 * i])
+        tenants.append(
+            TenantSpec(
+                name=f"t{i}",
+                volume=vol,
+                arrivals=arrivals,
+                mix=UniformOverwriteMix(
+                    _vol_blocks(sim, vol), seed=seeds[2 * i + 1]
+                ),
+            )
+        )
+    return tenants
+
+
+@dataclass
+class TrafficRun:
+    """A finished scenario run: the result plus the live engine/sim
+    (kept for CLI tables, fault injection, and series inspection)."""
+
+    scenario: str
+    result: TrafficResult
+    calibration: CalibratedService
+    engine: TrafficEngine
+    sim: WaflSim
+
+
+def run_traffic(
+    scenario: str = "noisy-neighbor",
+    *,
+    n_tenants: int = 4,
+    seed: int = 7,
+    quick: bool = True,
+    n_cps: int | None = None,
+    blocks_per_disk: int | None = None,
+    cores: int = DEFAULT_CORES,
+    audit_hook=None,
+) -> TrafficRun:
+    """Build, calibrate, and run one named scenario end to end.
+
+    The aging seed is fixed (the testbed is part of the scenario); the
+    run ``seed`` drives arrivals and op mixes, so two runs with the
+    same seed replay byte-identically and different seeds decorrelate.
+
+    ``audit_hook(sim)`` — when given — runs after the traffic run;
+    callers pass :func:`repro.analysis.auditor.audit_sim` to audit the
+    run without this package importing ``analysis`` (which sits above
+    ``traffic`` in the package DAG).
+    """
+    if blocks_per_disk is None:
+        blocks_per_disk = 65_536 if quick else 131_072
+    if n_cps is None:
+        n_cps = 40 if quick else 80
+    sim = build_traffic_sim(
+        n_tenants,
+        blocks_per_disk=blocks_per_disk,
+        churn_factor=1.0 if quick else 2.0,
+    )
+    cal = calibrate_capacity(sim, cores=cores)
+    tenants = build_scenario(
+        scenario, sim, cal.capacity_ops, n_tenants=n_tenants, seed=seed
+    )
+    engine = TrafficEngine(
+        sim, tenants, target_ops_per_cp=_TARGET_OPS_PER_CP, cores=cores
+    )
+    engine.run(n_cps)
+    result = engine.summary()
+    if audit_hook is not None:
+        audit_hook(sim)
+    return TrafficRun(
+        scenario=scenario, result=result, calibration=cal, engine=engine, sim=sim
+    )
+
+
+def knee_validation(
+    *,
+    seed: int = 7,
+    blocks_per_disk: int = 65_536,
+    n_cps: int = 30,
+    fractions: tuple[float, ...] = (0.5, 0.8, 1.2, 2.0),
+    cores: int = DEFAULT_CORES,
+) -> dict:
+    """Cross-validate the event engine against the closed-form model.
+
+    Single tenant, uniform overwrites, fig6 quick configuration: the
+    M/M/1-shaped transform's knee (peak achieved throughput of
+    :func:`repro.sim.latency.system_curve` over the same measured
+    service costs) must agree with the event-driven engine's knee (max
+    achieved throughput over a sweep of offered loads) — the two
+    derive saturation from the same per-op costs, so they must land
+    within tolerance (the test pins 10%).
+
+    Returns mm1/event knees (whole-server ops/s) plus the sweep points.
+    """
+    sim = build_traffic_sim(1, blocks_per_disk=blocks_per_disk)
+    cal = calibrate_capacity(sim, cores=cores)
+    offered_per_client = [
+        f * cal.capacity_ops / _NCLIENTS for f in (0.25, 0.5, 0.8, 0.95, 1.0, 1.5, 2.5)
+    ]
+    curve = system_curve(
+        cal.cpu_us_per_op,
+        cal.device_us_per_op,
+        offered_per_client,
+        nclients=_NCLIENTS,
+        cores=cores,
+    )
+    mm1_knee_ops = peak_throughput(curve).achieved_per_client * _NCLIENTS
+    rng = make_rng(seed)
+    seeds = spawn(rng, 2 * len(fractions))
+    points = []
+    event_knee_ops = 0.0
+    for k, f in enumerate(fractions):
+        reset_measurement_state(sim)
+        offered = f * cal.capacity_ops
+        engine = TrafficEngine(
+            sim,
+            [
+                TenantSpec(
+                    name="t0",
+                    volume="tenant0",
+                    arrivals=PoissonArrivals(offered, seed=seeds[2 * k]),
+                    mix=UniformOverwriteMix(
+                        _vol_blocks(sim, "tenant0"), seed=seeds[2 * k + 1]
+                    ),
+                )
+            ],
+            target_ops_per_cp=_TARGET_OPS_PER_CP,
+            cores=cores,
+        )
+        engine.run(n_cps)
+        summary = engine.summary().tenants["t0"]
+        points.append(
+            {
+                "offered_fraction": f,
+                "offered_ops_s": offered,
+                "achieved_ops_s": summary.achieved_ops_s,
+                "p99_ms": summary.p99_ms,
+            }
+        )
+        if summary.achieved_ops_s > event_knee_ops:
+            event_knee_ops = summary.achieved_ops_s
+    return {
+        "mm1_knee_ops": mm1_knee_ops,
+        "event_knee_ops": event_knee_ops,
+        "knee_ratio": event_knee_ops / mm1_knee_ops if mm1_knee_ops else 0.0,
+        "capacity_ops": cal.capacity_ops,
+        "cpu_us_per_op": cal.cpu_us_per_op,
+        "device_us_per_op": cal.device_us_per_op,
+        "points": points,
+    }

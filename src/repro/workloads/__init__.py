@@ -3,6 +3,7 @@
 from .aging import age_filesystem, churn, fill_volumes, reset_measurement_state
 from .base import Workload
 from .filechurn import FileChurnWorkload
+from .mixes import OpMix, UniformOverwriteMix, WorkloadOpMix, ZipfOverwriteMix
 from .oltp import OLTPWorkload
 from .random_overwrite import RandomOverwriteWorkload
 from .sequential import SequentialWriteWorkload
@@ -13,6 +14,10 @@ __all__ = [
     "OLTPWorkload",
     "RandomOverwriteWorkload",
     "SequentialWriteWorkload",
+    "OpMix",
+    "UniformOverwriteMix",
+    "ZipfOverwriteMix",
+    "WorkloadOpMix",
     "age_filesystem",
     "churn",
     "fill_volumes",

@@ -138,6 +138,22 @@ class TestLayeringRules:
     def test_top_level_modules_are_unconstrained(self):
         assert rules_of("from repro.analysis import lint_paths\n", None) == []
 
+    def test_substrate_importing_traffic_fires(self):
+        # The traffic engine consumes workloads, never the reverse.
+        assert "L201" in rules_of(
+            "from ..traffic.engine import TrafficEngine\n", "workloads"
+        )
+
+    def test_traffic_importing_bench_fires(self):
+        # Scenario builders re-create their testbed rather than reach up
+        # into the bench harness.
+        assert "L201" in rules_of(
+            "from ..bench.harness import build_aged_ssd_sim\n", "traffic"
+        )
+
+    def test_faults_may_drive_traffic(self):
+        assert rules_of("from ..traffic import run_traffic\n", "faults") == []
+
     def test_dag_matches_source_layout(self):
         pkg_dir = Path(repro.__file__).parent
         on_disk = {

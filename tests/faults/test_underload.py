@@ -1,0 +1,56 @@
+"""Chaos under load: a disk failure and rebuild beneath live
+multi-tenant traffic must cost latency, never operations."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults import PHASES, run_chaos_under_load
+
+FAST = dict(n_tenants=2, seed=7, n_cps=18, blocks_per_disk=16_384)
+
+
+class TestChaosUnderLoad:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return run_chaos_under_load(scenario="uniform", **FAST)
+
+    def test_no_tenant_loses_an_operation(self, outcome):
+        metrics, _ = outcome
+        assert metrics.failed_allocations == 0
+        assert metrics.cps_completed == FAST["n_cps"]
+
+    def test_failure_and_repair_happened(self, outcome):
+        metrics, _ = outcome
+        assert metrics.disk_failures == 1
+        assert metrics.disks_replaced == 1
+        assert metrics.rebuild_us > 0
+
+    def test_degraded_reads_were_reconstructed(self, outcome):
+        metrics, _ = outcome
+        assert metrics.reconstruction_reads > 0
+        assert metrics.degraded_stripes > 0
+
+    def test_every_phase_serves_every_tenant(self, outcome):
+        metrics, _ = outcome
+        assert tuple(metrics.phase_p99_ms) == PHASES
+        for phase in PHASES:
+            for name in ("t0", "t1"):
+                assert metrics.phase_completed[phase][name] > 0
+                assert metrics.phase_p99_ms[phase][name] > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="fail_at_cp"):
+            run_chaos_under_load(
+                n_tenants=2, n_cps=10, fail_at_cp=8, replace_at_cp=4,
+                blocks_per_disk=16_384,
+            )
+
+    def test_same_seed_replays(self):
+        a, _ = run_chaos_under_load(scenario="uniform", **FAST)
+        b, _ = run_chaos_under_load(scenario="uniform", **FAST)
+        assert json.dumps(a.as_dict(), sort_keys=True) == json.dumps(
+            b.as_dict(), sort_keys=True
+        )

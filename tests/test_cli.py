@@ -41,6 +41,21 @@ class TestCLI:
         assert main(["lint", str(bad)]) == 1
         assert "D101" in capsys.readouterr().out
 
+    def test_traffic_quick(self, capsys):
+        assert main(
+            ["traffic", "--quick", "--tenants", "2", "--seed", "7"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "per-tenant results" in out
+        assert "t0-aggressor" in out
+        assert "t1-victim" in out
+        assert "p99 ms" in out
+        assert "calibrated capacity" in out
+
+    def test_traffic_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["traffic", "--scenario", "bogus"])
+
     def test_audit_quick(self, capsys):
         assert main(["audit", "--quick", "--seed", "7"]) == 0
         out = capsys.readouterr().out

@@ -1,0 +1,112 @@
+"""Unit tests for tenant arrival processes: rates, monotonicity,
+determinism, and parameter validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traffic import OnOffArrivals, PoissonArrivals
+
+
+def drain(proc, horizon_us: float) -> list[float]:
+    """All arrivals in [0, horizon_us)."""
+    times = []
+    t = proc.next_after(0.0)
+    while t < horizon_us:
+        times.append(t)
+        t = proc.next_after(t)
+    return times
+
+
+class TestPoisson:
+    def test_arrivals_strictly_increase(self):
+        p = PoissonArrivals(10_000, seed=1)
+        t = 0.0
+        for _ in range(1000):
+            nxt = p.next_after(t)
+            assert nxt > t
+            t = nxt
+
+    def test_empirical_rate_matches_mean(self):
+        p = PoissonArrivals(50_000, seed=2)
+        times = drain(p, 1_000_000.0)  # one simulated second
+        assert len(times) == pytest.approx(50_000, rel=0.05)
+
+    def test_mean_rate_property(self):
+        assert PoissonArrivals(1234.5, seed=0).mean_rate_ops_s == 1234.5
+
+    def test_same_seed_replays(self):
+        a = drain(PoissonArrivals(5_000, seed=9), 200_000.0)
+        b = drain(PoissonArrivals(5_000, seed=9), 200_000.0)
+        assert a == b
+
+    def test_different_seeds_decorrelate(self):
+        a = drain(PoissonArrivals(5_000, seed=9), 200_000.0)
+        b = drain(PoissonArrivals(5_000, seed=10), 200_000.0)
+        assert a != b
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+        with pytest.raises(ValueError):
+            PoissonArrivals(-5.0)
+
+
+class TestOnOff:
+    def test_mean_rate_is_duty_cycle_weighted(self):
+        p = OnOffArrivals(
+            10_000, mean_on_us=100_000.0, mean_off_us=300_000.0, seed=0
+        )
+        assert p.mean_rate_ops_s == pytest.approx(2_500.0)
+
+    def test_off_rate_contributes(self):
+        p = OnOffArrivals(
+            10_000,
+            mean_on_us=100_000.0,
+            mean_off_us=100_000.0,
+            off_rate_ops_s=2_000,
+            seed=0,
+        )
+        assert p.mean_rate_ops_s == pytest.approx(6_000.0)
+
+    def test_empirical_rate_near_mean(self):
+        p = OnOffArrivals(
+            20_000, mean_on_us=50_000.0, mean_off_us=50_000.0, seed=3
+        )
+        # Long horizon: many on/off cycles so the duty cycle averages out.
+        times = drain(p, 10_000_000.0)
+        rate = len(times) / 10.0
+        assert rate == pytest.approx(p.mean_rate_ops_s, rel=0.2)
+
+    def test_bursts_exceed_mean_rate(self):
+        p = OnOffArrivals(
+            20_000, mean_on_us=50_000.0, mean_off_us=50_000.0, seed=3
+        )
+        gaps = np.diff(np.asarray(drain(p, 2_000_000.0)))
+        # ON-phase gaps cluster near 1/on_rate, far below 1/mean_rate.
+        assert np.median(gaps) < 0.6 * (1e6 / p.mean_rate_ops_s)
+
+    def test_arrivals_strictly_increase(self):
+        p = OnOffArrivals(5_000, mean_on_us=10_000.0, mean_off_us=30_000.0, seed=4)
+        t = 0.0
+        for _ in range(500):
+            nxt = p.next_after(t)
+            assert nxt > t
+            t = nxt
+
+    def test_same_seed_replays(self):
+        mk = lambda: OnOffArrivals(
+            8_000, mean_on_us=20_000.0, mean_off_us=20_000.0, seed=11
+        )
+        assert drain(mk(), 500_000.0) == drain(mk(), 500_000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnOffArrivals(0.0)
+        with pytest.raises(ValueError):
+            OnOffArrivals(100, off_rate_ops_s=-1.0)
+        with pytest.raises(ValueError):
+            OnOffArrivals(100, mean_on_us=0.0)
+        with pytest.raises(ValueError):
+            OnOffArrivals(100, mean_off_us=-1.0)
