@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..common.errors import AuditError, CacheError, ReproError
 from ..core.hbps_cache import RAIDAgnosticAACache
 from ..core.heap_cache import RAIDAwareAACache
@@ -332,6 +333,16 @@ class InvariantAuditor:
         report.checks_run += 1
         for message in stats.accounting_violations():
             report.add("stats", "stats-sanity", message)
+        if obs.active():
+            # Traced block counts must equal the counted ones: the
+            # tracer's per-CP counter totals re-sum the same boundary
+            # reports CPStats aggregates, so any drift between an
+            # instrumentation site and the accounting fails the audit.
+            report.checks_run += 1
+            for message in obs.report.reconcile_current_cp(
+                obs.get_tracer(), stats
+            ):
+                report.add("trace", "trace-vs-stats", message)
         self.reports.append(report)
         self.cps_audited += 1
         if self.raise_on_violation:

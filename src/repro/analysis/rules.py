@@ -85,10 +85,10 @@ RULES: dict[str, Rule] = {
         Rule(
             "L201",
             "import violates the package dependency DAG",
-            "the layering common -> devices -> raid -> bitmap -> core -> "
-            "sim -> fs -> workloads -> traffic -> faults -> bench -> "
-            "analysis is acyclic by construction; upward imports create "
-            "cycles.",
+            "the layering common -> obs -> devices -> raid -> bitmap -> "
+            "core -> sim -> fs -> workloads -> traffic -> faults -> "
+            "bench -> analysis is acyclic by construction; upward "
+            "imports create cycles.",
         ),
         Rule(
             "U301",
@@ -125,6 +125,13 @@ RULES: dict[str, Rule] = {
             "a swallowed SimError/MediaError/CacheError turns detectable "
             "corruption into silent corruption.",
         ),
+        Rule(
+            "E404",
+            "direct print() in library code",
+            "ad-hoc print instrumentation bypasses the structured tracer "
+            "(repro.obs) and corrupts machine-readable CLI output; emit "
+            "spans/counters via repro.obs, or format output in cli.py.",
+        ),
     )
 }
 
@@ -133,20 +140,23 @@ RULES: dict[str, Rule] = {
 #: the root ``__init__``) sit above every package and are unconstrained.
 LAYER_RANK: dict[str, int] = {
     "common": 0,
-    "devices": 1,
-    "raid": 2,
-    "bitmap": 3,
-    "core": 4,
-    "sim": 5,
-    "fs": 6,
-    "workloads": 7,
+    #: The tracer sits just above common so every simulation layer may
+    #: emit spans/counters into it; it depends only on common.config.
+    "obs": 1,
+    "devices": 2,
+    "raid": 3,
+    "bitmap": 4,
+    "core": 5,
+    "sim": 6,
+    "fs": 7,
+    "workloads": 8,
     #: The traffic engine consumes the whole substrate (fs CPs, sim
     #: stats, workload mixes) and is itself consumed only by the
     #: drivers above it (faults' chaos-under-load, bench, cli).
-    "traffic": 8,
-    "faults": 9,
-    "bench": 10,
-    "analysis": 11,
+    "traffic": 9,
+    "faults": 10,
+    "bench": 11,
+    "analysis": 12,
 }
 
 #: Identifier suffixes treated as units by U301.  Multiplicative

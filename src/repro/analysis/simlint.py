@@ -148,10 +148,20 @@ class _Linter(ast.NodeVisitor):
             if module.split(".")[0] == "random":
                 self._emit("D101", node, RULES["D101"].summary)
             if module.split(".")[0] == "repro":
-                self._check_layering(node, module)
+                if module == "repro":
+                    # ``from repro import obs``: each imported name is
+                    # the actual target package.
+                    for alias in node.names:
+                        self._check_layering(node, f"repro.{alias.name}")
+                else:
+                    self._check_layering(node, module)
         else:
             target = self._resolve_relative(node)
-            if target is not None:
+            if target == "repro":
+                # ``from .. import obs``: ditto, per-name targets.
+                for alias in node.names:
+                    self._check_layering(node, f"repro.{alias.name}")
+            elif target is not None:
                 self._check_layering(node, target)
         self.generic_visit(node)
 
@@ -205,6 +215,14 @@ class _Linter(ast.NodeVisitor):
             self._check_rng_call(node, canonical)
             self._check_clock_call(node, canonical)
             self._check_unpackbits(node, canonical)
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+            and self.package is not None
+        ):
+            # Top-level modules (cli.py, __main__) have package None and
+            # are the sanctioned user-facing output sites.
+            self._emit("E404", node, RULES["E404"].summary)
         func_name = dotted.split(".")[-1] if dotted else None
         if func_name in {"list", "tuple", "enumerate", "iter"}:
             for arg in node.args:

@@ -41,6 +41,8 @@ import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
 
+from .. import obs
+from ..common.config import SimConfig
 from .harness import RESULTS_DIR, ConfigResult
 
 __all__ = [
@@ -82,16 +84,9 @@ MACRO_BASELINE = {
     "capacity_ops": 79144.45056653117,
 }
 
-#: Canonical seed per experiment (the figures' published seeds).
-_CANONICAL_SEEDS = {
-    "fig6": 42,
-    "fig7": 24,
-    "fig8": 99,
-    "fig9": 3,
-    "fig10": 0,  # fig10 sweeps are seedless (deterministic builds)
-    "macro": 42,
-    "traffic": 7,
-}
+#: Canonical seed per experiment (the figures' published seeds), from
+#: the one place seeds now live: :class:`repro.common.config.BenchConfig`.
+_CANONICAL_SEEDS = SimConfig.default().bench.canonical_seeds()
 
 
 @dataclass(frozen=True)
@@ -103,6 +98,9 @@ class UnitSpec:
     quick: bool
     seed: int
     audit: bool = False
+    #: Run the unit with the structured tracer installed (trace-smoke:
+    #: instrumentation must not change the simulated metrics).
+    trace: bool = False
 
     @property
     def key(self) -> str:
@@ -274,6 +272,7 @@ def plan_units(
     experiments: list[str] | None = None,
     seed: int | None = None,
     audit: bool = False,
+    trace: bool = False,
 ) -> list[UnitSpec]:
     """The deterministic unit list for one run.
 
@@ -295,7 +294,7 @@ def plan_units(
                 if seed is None
                 else _derive_seed(seed, f"{exp}/{unit}")
             )
-            units.append(UnitSpec(exp, unit, quick, s, audit))
+            units.append(UnitSpec(exp, unit, quick, s, audit, trace))
     return units
 
 
@@ -306,10 +305,15 @@ def run_unit(spec: UnitSpec) -> dict:
         # Late-bound: repro.analysis is a higher layer (see module doc).
         analysis = importlib.import_module("repro.analysis")
         analysis.arm_global()
+    if spec.trace:
+        obs.install()
     t0 = time.perf_counter()
     try:
         payload = _RUNNERS[spec.experiment](spec)
+        trace_records = len(obs.get_tracer()) if spec.trace else 0
     finally:
+        if spec.trace:
+            obs.uninstall()
         if spec.audit:
             analysis.disarm_global()
     wall = time.perf_counter() - t0
@@ -317,21 +321,29 @@ def run_unit(spec: UnitSpec) -> dict:
     if isinstance(payload, dict) and "timing" in payload and "metrics" in payload:
         timing.update(payload["timing"])
         payload = payload["metrics"]
-    return {
+    out = {
         "experiment": spec.experiment,
         "unit": spec.unit,
         "seed": spec.seed,
         "quick": spec.quick,
         "audited": spec.audit,
+        "traced": spec.trace,
         "metrics": payload,
         "timing": timing,
     }
+    if spec.trace:
+        out["trace_records"] = trace_records
+    return out
 
 
 def _run_unit_tuple(args: tuple) -> tuple[str, dict]:
     """Picklable pool entry point."""
     spec = UnitSpec(*args)
     return spec.key, run_unit(spec)
+
+
+def _spec_tuple(s: UnitSpec) -> tuple:
+    return (s.experiment, s.unit, s.quick, s.seed, s.audit, s.trace)
 
 
 # ----------------------------------------------------------------------
@@ -358,6 +370,7 @@ def run_bench(
     experiments: list[str] | None = None,
     seed: int | None = None,
     audit: bool = False,
+    trace: bool = False,
     progress=None,
 ) -> dict:
     """Run the benchmark suite and return the trajectory document.
@@ -369,7 +382,9 @@ def run_bench(
     completion order, so parallel and serial runs serialize identically
     once :func:`strip_timing` removes the wall clocks.
     """
-    units = plan_units(quick=quick, experiments=experiments, seed=seed, audit=audit)
+    units = plan_units(
+        quick=quick, experiments=experiments, seed=seed, audit=audit, trace=trace
+    )
     # The macro unit is the one whose *wall time* the trajectory
     # documents (the optimization before/after record), so it never
     # shares cores with pool workers: it runs serially, in-process,
@@ -383,17 +398,13 @@ def run_bench(
     t0 = time.perf_counter()
     results: dict[str, dict] = {}
     for spec in timed:
-        key, res = _run_unit_tuple(
-            (spec.experiment, spec.unit, spec.quick, spec.seed, spec.audit)
-        )
+        key, res = _run_unit_tuple(_spec_tuple(spec))
         results[key] = res
         if progress:
             progress(key, res)
     if pooled:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            arg_tuples = [
-                (s.experiment, s.unit, s.quick, s.seed, s.audit) for s in pooled
-            ]
+            arg_tuples = [_spec_tuple(s) for s in pooled]
             for key, res in pool.map(_run_unit_tuple, arg_tuples):
                 results[key] = res
                 if progress:

@@ -55,7 +55,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     experiments = args.experiments or None
     print(f"bench: {', '.join(experiments or ALL_EXPERIMENTS)} "
           f"({'quick' if args.quick else 'full'}, {workers} worker(s)"
-          + (", audited" if args.audit else "") + ")")
+          + (", audited" if args.audit else "")
+          + (", traced" if args.trace else "") + ")")
 
     def progress(key: str, res: dict) -> None:
         wall = res["timing"]["wall_s"]
@@ -69,6 +70,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         experiments=experiments,
         seed=args.seed,
         audit=args.audit,
+        trace=args.trace,
         progress=progress,
     )
     paths = write_results(doc, out_dir=args.out or None,
@@ -146,7 +148,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print(f"cpu_us_per_op {result.cpu_us_per_op:.3f}, "
           f"capacity {result.capacity_ops:,.0f} ops/s")
 
-    phases = sim.engine.metrics.cpu_phase_us(sim.engine.cpu_model)
+    phases = sim.engine.metrics.query("cpu_phase_us", model=sim.engine.cpu_model)
     total = sum(phases.values()) or 1.0
     print("\nmodeled CPU by pipeline phase (measurement sweep):")
     for name, us in sorted(phases.items(), key=lambda kv: -kv[1]):
@@ -215,6 +217,65 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
           f"run-implied capacity {result.capacity_ops:,.0f} ops/s, "
           f"total {result.total_ops} ops "
           f"[{time.perf_counter() - t0:.1f}s]")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Trace a traffic scenario: Chrome trace_event JSON plus a per-CP
+    span tree reconciled exactly against the run's CPStats records."""
+    import os
+
+    from repro import obs
+    from repro.bench.harness import RESULTS_DIR
+    from repro.traffic import run_traffic
+
+    # Accept underscores for convenience (noisy_neighbor == noisy-neighbor).
+    scenario = args.scenario.replace("_", "-")
+    print(f"trace: scenario={scenario}, {args.tenants or 'default'} tenant(s), "
+          f"seed={args.seed} ({'quick' if args.quick else 'full'})")
+    t0 = time.perf_counter()
+    tracer = obs.install()
+    try:
+        run = run_traffic(
+            scenario, n_tenants=args.tenants, seed=args.seed, quick=args.quick
+        )
+    finally:
+        obs.uninstall()
+    records = tracer.records()
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    out = args.out or os.path.join(RESULTS_DIR, f"trace_{scenario}.json")
+    with open(out, "w", encoding="utf-8") as f:
+        f.write(obs.export.to_chrome(records))
+        f.write("\n")
+    paths = [out]
+    if args.jsonl:
+        jsonl_path = os.path.splitext(out)[0] + ".jsonl"
+        with open(jsonl_path, "w", encoding="utf-8") as f:
+            f.write(obs.export.to_jsonl(records))
+        paths.append(jsonl_path)
+
+    if args.tree:
+        intact = sorted(obs.report.complete_cps(records))
+        show = intact[-args.tree:]
+        lines: list[str] = []
+        for cp_index in show:
+            lines.extend(obs.report.span_tree_lines(records, cp=cp_index))
+        print("\n".join(lines))
+
+    problems = obs.report.reconcile(records, run.sim.metrics.cps)
+    n_cps = len(obs.report.complete_cps(records))
+    dt = time.perf_counter() - t0
+    for p in paths:
+        print(f"wrote {p}")
+    print(f"{len(records)} trace record(s), {tracer.dropped} dropped, "
+          f"{n_cps} CP(s) reconciled against CPStats [{dt:.1f}s]")
+    if problems:
+        print(f"trace reconciliation FAILED ({len(problems)} mismatch(es)):")
+        for p in problems[:20]:
+            print(f"  {p}")
+        return 1
+    print("trace reconciliation OK (traced block counts == counted)")
     return 0
 
 
@@ -476,6 +537,9 @@ def main(argv: list[str] | None = None) -> int:
                    help="base seed (default: each figure's canonical seed)")
     p.add_argument("--audit", action="store_true",
                    help="arm the CP-time invariant auditor inside workers")
+    p.add_argument("--trace", action="store_true",
+                   help="run units with the structured tracer installed "
+                        "(trace-smoke: metrics must not move)")
     p.add_argument("--baseline", metavar="PATH",
                    help="trajectory JSON to diff deterministic metrics against")
     p.add_argument("--rtol", type=float, default=1e-9,
@@ -501,6 +565,28 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--chaos", action="store_true",
                    help="fail and rebuild a disk mid-run; report per-phase p99")
     p.set_defaults(fn=_cmd_traffic)
+    p = sub.add_parser(
+        "trace",
+        help="trace a traffic scenario -> Chrome trace JSON + span tree "
+             "reconciled against CPStats",
+    )
+    p.add_argument("--scenario", default="noisy-neighbor",
+                   help="scenario to trace (uniform, noisy-neighbor, throttled; "
+                        "underscores accepted)")
+    p.add_argument("--tenants", type=int, default=None,
+                   help="number of tenants (default from SimConfig)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="traffic seed (same seed => byte-identical trace)")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller configuration for interactive use")
+    p.add_argument("--out", metavar="PATH",
+                   help="Chrome trace path (default benchmarks/results/"
+                        "trace_<scenario>.json)")
+    p.add_argument("--jsonl", action="store_true",
+                   help="also write the raw records as JSON-lines")
+    p.add_argument("--tree", type=int, default=2, metavar="N",
+                   help="print the span tree of the last N CPs (0 = none)")
+    p.set_defaults(fn=_cmd_trace)
     p = sub.add_parser("profile", help="cProfile the macro benchmark + modeled "
                                        "per-phase CPU breakdown")
     p.add_argument("--quick", action="store_true",

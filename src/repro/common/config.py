@@ -1,0 +1,161 @@
+"""Typed, frozen configuration for the whole simulator.
+
+Tunables used to be scattered across keyword defaults (CP threshold
+fractions on :class:`~repro.fs.filesystem.WaflSim`, HBPS tuning on the
+cache constructors, QoS defaults in :mod:`repro.traffic`, canonical
+seeds in :mod:`repro.bench.runner`, chaos defaults in
+:mod:`repro.faults`).  This module consolidates them into immutable
+dataclasses with one entry point, :meth:`SimConfig.default`; callers
+override fields with :func:`dataclasses.replace`:
+
+    from dataclasses import replace
+    from repro.common.config import SimConfig
+
+    cfg = SimConfig.default()
+    cfg = replace(cfg, allocator=replace(cfg.allocator,
+                                         threshold_fraction=0.1))
+
+The legacy loose keyword arguments (``threshold_fraction=...`` on the
+builders) keep working for one release behind a ``DeprecationWarning``
+shim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+from .constants import (
+    HBPS_BIN_WIDTH,
+    HBPS_LIST_CAPACITY,
+    TETRIS_STRIPES,
+    TOPAA_RAID_AWARE_ENTRIES,
+)
+
+__all__ = [
+    "AllocatorConfig",
+    "CacheConfig",
+    "TrafficConfig",
+    "BenchConfig",
+    "FaultConfig",
+    "ObsConfig",
+    "SimConfig",
+]
+
+
+@dataclass(frozen=True)
+class AllocatorConfig:
+    """Write-allocator tunables (paper section 3.3.1)."""
+
+    #: Fragmentation cutoff: a RAID group whose best AA score is below
+    #: ``threshold_fraction * aa_blocks`` is skipped while any other
+    #: group remains above it.  0 disables the cutoff.
+    threshold_fraction: float = 0.0
+    #: Stripes taken from each group per round-robin turn (one tetris).
+    stripes_per_round: int = TETRIS_STRIPES
+    #: Consecutive full AAs a source may propose before the allocator
+    #: declares the space dry (score-blind baselines only).
+    max_full_aa_retries: int = 128
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """AA-cache tunables (paper sections 3.3.1-3.3.2, 3.4)."""
+
+    #: HBPS histogram bin width (paper default: 1K-wide bins).
+    hbps_bin_width: int = HBPS_BIN_WIDTH
+    #: HBPS best-AA list capacity (paper default: 1,000 entries).
+    hbps_list_capacity: int = HBPS_LIST_CAPACITY
+    #: Entries persisted per TopAA page for the RAID-aware cache.
+    topaa_raid_aware_entries: int = TOPAA_RAID_AWARE_ENTRIES
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Multi-tenant traffic-engine defaults (QoS substrate)."""
+
+    #: CP pipeline parallelism: the paper's midrange server.
+    cores: int = 20
+    #: Ops per CP the engine targets when deriving ``cp_interval_us``
+    #: (matches the figure benchmarks' batch sizes).
+    target_ops_per_cp: int = 2048
+    #: Closed-loop clients for the knee cross-validation.
+    knee_nclients: int = 8
+    #: Default tenant count for scenarios and the CLI.
+    default_tenants: int = 4
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Benchmark-runner defaults: the figures' canonical seeds."""
+
+    fig6_seed: int = 42
+    fig7_seed: int = 24
+    fig8_seed: int = 99
+    fig9_seed: int = 3
+    #: fig10 sweeps are seedless (deterministic builds).
+    fig10_seed: int = 0
+    macro_seed: int = 42
+    traffic_seed: int = 7
+
+    def canonical_seeds(self) -> dict[str, int]:
+        """``experiment -> seed`` mapping, as the runner consumes it."""
+        return {
+            "fig6": self.fig6_seed,
+            "fig7": self.fig7_seed,
+            "fig8": self.fig8_seed,
+            "fig9": self.fig9_seed,
+            "fig10": self.fig10_seed,
+            "macro": self.macro_seed,
+            "traffic": self.traffic_seed,
+        }
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Chaos/fault-injection defaults (:mod:`repro.faults`)."""
+
+    #: Default scenario seed (same seed => identical recovery).
+    default_seed: int = 1234
+    #: Disk fails this fraction of the way into a chaos-under-load run.
+    fail_at_fraction: float = 1 / 3
+    #: Failed disk is replaced (rebuilt) at this fraction.
+    replace_at_fraction: float = 2 / 3
+    #: Testbed size for chaos-under-load.
+    underload_blocks_per_disk: int = 65_536
+    #: CPs driven by a chaos-under-load run.
+    underload_n_cps: int = 30
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Structured-tracer defaults (:mod:`repro.obs`)."""
+
+    #: Ring-buffer capacity in records (spans + counter samples); the
+    #: oldest records are evicted once full.
+    ring_capacity: int = 65_536
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """All tunables, one immutable object.
+
+    ``SimConfig.default()`` returns a shared default instance; derive
+    variants with :func:`dataclasses.replace`.
+    """
+
+    allocator: AllocatorConfig = field(default_factory=AllocatorConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    traffic: TrafficConfig = field(default_factory=TrafficConfig)
+    bench: BenchConfig = field(default_factory=BenchConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
+    obs: ObsConfig = field(default_factory=ObsConfig)
+
+    _default: ClassVar["SimConfig | None"] = None
+
+    @classmethod
+    def default(cls) -> "SimConfig":
+        """The shared default configuration (created once)."""
+        if cls._default is None:
+            cls._default = cls()
+        return cls._default

@@ -3,6 +3,7 @@ write allocator (paper section 3)."""
 
 from .aa import AATopology, LinearAATopology, StripeAATopology
 from .allocator import AggregateAllocator, LinearAllocator, RAIDGroupAllocator
+from .cache import AACache, CacheSource, make_aa_cache
 from .delayed_frees import DelayedFreeLog
 from .hbps import HBPS
 from .hbps_cache import RAIDAgnosticAACache
@@ -48,6 +49,9 @@ __all__ = [
     "HBPS",
     "RAIDAgnosticAACache",
     "RAIDAwareAACache",
+    "AACache",
+    "CacheSource",
+    "make_aa_cache",
     "AASource",
     "BitmapWalkSource",
     "HBPSSource",

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from ..bitmap.metafile import BitmapMetafile
 from ..common.constants import TETRIS_STRIPES
 from .aa import LinearAATopology, StripeAATopology
@@ -97,6 +98,7 @@ class _BaseAllocator:
             self._qv = vbns
             self._pos = 0
             self.selected_aa_scores.append(int(vbns.size))
+            obs.count("alloc.aa_switch", aa=int(aa), score=int(vbns.size))
             self._after_load()
             return True
         return False

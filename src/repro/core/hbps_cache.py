@@ -173,6 +173,57 @@ class RAIDAgnosticAACache:
             else:
                 self._hbps.update(aa, old, new)
 
+    # ------------------------------------------------------------------
+    # AACache protocol (see :mod:`repro.core.cache`)
+    # ------------------------------------------------------------------
+    def select(self) -> int | None:
+        """Protocol alias of :meth:`pop_best`."""
+        return self.pop_best()
+
+    def consume(
+        self, changes: list[ScoreChange], held: frozenset[int] = frozenset()
+    ) -> None:
+        """Protocol alias of :meth:`apply_changes`."""
+        self.apply_changes(changes, held)
+
+    def invalidate(self, aa: int, score: int) -> None:
+        """Protocol alias of :meth:`return_aa` (the score routes the AA
+        back into the right histogram bin)."""
+        self.return_aa(aa, score)
+
+    def refill(self, scores: np.ndarray) -> None:
+        """Protocol alias of :meth:`replenish`."""
+        self.replenish(scores)
+
+    def best_available_score(self) -> int | None:
+        """Protocol alias of :meth:`best_bin_score`."""
+        return self.best_bin_score()
+
+    @property
+    def needs_refill(self) -> bool:
+        """Protocol alias of :attr:`needs_replenish`."""
+        return self.needs_replenish
+
+    @property
+    def maintenance_ops(self) -> int:
+        """Cache maintenance operations charged to CP CPU time."""
+        h = self._hbps
+        return h.pops + h.updates + h.evictions
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot (protocol accessor)."""
+        h = self._hbps
+        return {
+            "selects": self.selects,
+            "maintenance_ops": self.maintenance_ops,
+            "pops": h.pops,
+            "updates": h.updates,
+            "evictions": h.evictions,
+            "checked_out": len(self._out),
+            "tracked": h.total_count,
+            "memory_bytes": self.memory_bytes,
+        }
+
     def replenish(self, scores: np.ndarray) -> None:
         """Full rebuild from authoritative ``scores`` (the background
         bitmap-metafile walk).  Checked-out AAs stay out."""

@@ -176,6 +176,73 @@ class RAIDAwareAACache:
             self._push(aa)
         self._maybe_compact()
 
+    # ------------------------------------------------------------------
+    # AACache protocol (see :mod:`repro.core.cache`)
+    # ------------------------------------------------------------------
+    def select(self) -> int | None:
+        """Protocol alias of :meth:`pop_best`."""
+        return self.pop_best()
+
+    def consume(
+        self, changes: list[ScoreChange], held: frozenset[int] = frozenset()
+    ) -> None:
+        """Protocol alias of :meth:`apply_changes`."""
+        self.apply_changes(changes, held)
+
+    def invalidate(self, aa: int, score: int) -> None:
+        """Return a checked-out AA.  The heap keeps exact scores, so the
+        caller-supplied ``score`` is advisory here (the keeper re-scores
+        at the CP boundary); HBPS needs it to pick the bin."""
+        self.push_back(aa)
+
+    def refill(self, scores: np.ndarray) -> None:
+        """Authoritative rebuild from a full score array (the background
+        bitmap walk that completes a TopAA-seeded mount).  Checked-out
+        AAs keep their snapshots and stay out."""
+        if len(scores) != self.num_aas:
+            raise CacheError("scores length does not match num_aas")
+        for aa in range(self.num_aas):
+            if aa not in self._out:
+                self._score[aa] = int(scores[aa])
+        self._known = self.num_aas
+        self.seeded = False
+        self.compactions += 1
+        self._heap = [
+            (-int(self._score[aa]), aa, int(self._version[aa]))
+            for aa in range(self.num_aas)
+            if aa not in self._out
+        ]
+        heapq.heapify(self._heap)
+        self.pushes += len(self._heap)
+
+    def best_available_score(self) -> int | None:
+        """Protocol alias of :meth:`best_score`."""
+        return self.best_score()
+
+    @property
+    def needs_refill(self) -> bool:
+        """True while TopAA seeding left scores unknown; a refill (full
+        bitmap walk) would teach the cache the remaining AAs."""
+        return self._known < self.num_aas
+
+    @property
+    def maintenance_ops(self) -> int:
+        """Cache maintenance operations charged to CP CPU time."""
+        return self.pushes + self.pops
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot (protocol accessor)."""
+        return {
+            "selects": self.pops,
+            "maintenance_ops": self.maintenance_ops,
+            "pushes": self.pushes,
+            "pops": self.pops,
+            "compactions": self.compactions,
+            "checked_out": len(self._out),
+            "known": self._known,
+            "memory_bytes": self.memory_bytes,
+        }
+
     def populate(self, aa: int, score: int) -> None:
         """Supply the score of a previously unknown AA (TopAA seed or
         background rebuild)."""

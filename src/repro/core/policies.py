@@ -4,9 +4,12 @@ The write allocator consumes allocation areas through the small
 :class:`AASource` protocol, which lets every experiment swap selection
 policies without touching allocation logic:
 
-* :class:`HeapSource` — the paper's RAID-aware cache (max-heap).
-* :class:`HBPSSource` — the paper's RAID-agnostic cache (HBPS), with
-  automatic replenish when the list page runs dry.
+* :class:`~repro.core.cache.CacheSource` — either of the paper's AA
+  caches behind the unified :class:`~repro.core.cache.AACache`
+  protocol (with automatic background refill when a replenisher is
+  supplied).  The old per-implementation adapters
+  :class:`HeapSource` and :class:`HBPSSource` remain as deprecated
+  one-release shims.
 * :class:`RandomSource` — the "AA cache disabled" baseline of section
   4.1: AAs are picked at random, which is what selecting regions with
   no free-space guidance degenerates to ("randomly selected AAs average
@@ -17,12 +20,14 @@ policies without touching allocation logic:
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Protocol
 
 import numpy as np
 
 from ..common.errors import CacheError
 from ..common.rng import make_rng
+from .cache import CacheSource
 from .heap_cache import RAIDAwareAACache
 from .hbps_cache import RAIDAgnosticAACache
 from .score import ScoreChange
@@ -60,34 +65,26 @@ class AASource(Protocol):
         ...
 
 
-class HeapSource:
-    """Adapter: RAID-aware max-heap cache -> :class:`AASource`."""
+class HeapSource(CacheSource):
+    """Deprecated alias of :class:`~repro.core.cache.CacheSource`.
+
+    One-release shim: construct ``CacheSource(cache)`` instead.
+    """
 
     def __init__(self, cache: RAIDAwareAACache) -> None:
-        self.cache = cache
-
-    def next_aa(self) -> int | None:
-        return self.cache.pop_best()
-
-    def return_aa(self, aa: int, score: int) -> None:
-        self.cache.push_back(aa)
-
-    def cp_flush(
-        self, changes: list[ScoreChange], held: frozenset[int] = frozenset()
-    ) -> None:
-        self.cache.apply_changes(changes, held)
-
-    def best_score(self) -> int | None:
-        return self.cache.best_score()
+        warnings.warn(
+            "HeapSource is deprecated; use repro.core.cache.CacheSource",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(cache)
 
 
-class HBPSSource:
-    """Adapter: RAID-agnostic HBPS cache -> :class:`AASource`.
+class HBPSSource(CacheSource):
+    """Deprecated alias of :class:`~repro.core.cache.CacheSource`.
 
-    ``replenisher`` supplies authoritative scores for a full rebuild —
-    the background bitmap-metafile walk that refills the list page when
-    the allocator consumes AAs faster than frees insert them (paper
-    section 3.3.2).  The callable is charged for its own metafile I/O.
+    One-release shim: construct ``CacheSource(cache, replenisher)``
+    instead.
     """
 
     def __init__(
@@ -95,29 +92,12 @@ class HBPSSource:
         cache: RAIDAgnosticAACache,
         replenisher: Callable[[], np.ndarray] | None = None,
     ) -> None:
-        self.cache = cache
-        self.replenisher = replenisher
-        #: Number of replenish scans triggered (metric).
-        self.replenish_count = 0
-
-    def next_aa(self) -> int | None:
-        aa = self.cache.pop_best()
-        if aa is None and self.cache.needs_replenish and self.replenisher is not None:
-            self.cache.replenish(self.replenisher())
-            self.replenish_count += 1
-            aa = self.cache.pop_best()
-        return aa
-
-    def return_aa(self, aa: int, score: int) -> None:
-        self.cache.return_aa(aa, score)
-
-    def cp_flush(
-        self, changes: list[ScoreChange], held: frozenset[int] = frozenset()
-    ) -> None:
-        self.cache.apply_changes(changes, held)
-
-    def best_score(self) -> int | None:
-        return self.cache.best_bin_score()
+        warnings.warn(
+            "HBPSSource is deprecated; use repro.core.cache.CacheSource",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(cache, replenisher)
 
 
 class RandomSource:

@@ -19,6 +19,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
+
 __all__ = ["Device", "DeviceStats"]
 
 
@@ -86,6 +88,7 @@ class Device(abc.ABC):
         self.stats.host_blocks_written += int(dbns.size)
         self.stats.busy_us += us
         self.stats.write_calls += 1
+        obs.count("device.blocks_written", int(dbns.size), device=self.name)
         return us
 
     def read_blocks(self, n_random: int, n_sequential: int = 0) -> float:

@@ -19,8 +19,7 @@ The self-healing sequence after detected metafile damage:
 
 from __future__ import annotations
 
-from ..core.heap_cache import RAIDAwareAACache
-from ..core.hbps_cache import RAIDAgnosticAACache
+from ..core.cache import make_aa_cache
 from ..fs.aggregate import LinearStore, RAIDStore
 from ..fs.filesystem import WaflSim
 from ..fs.iron import IronReport, repair
@@ -87,22 +86,18 @@ def exit_degraded(sim: WaflSim) -> int:
                 continue
             blocks_read += g.read_metafile()
             scores = g.topology.scores_from_bitmap(g.metafile.bitmap)
-            g.adopt_cache(RAIDAwareAACache(g.topology.num_aas, scores))
+            g.adopt_cache(make_aa_cache(g.topology, scores))
             group_touched = True
         if group_touched:
             store.rebind_allocators()
     elif isinstance(store, LinearStore) and store.degraded_alloc:
         blocks_read += store.read_metafile()
         scores = store.topology.scores_from_bitmap(store.metafile.bitmap)
-        store.adopt_cache(
-            RAIDAgnosticAACache(store.topology.num_aas, store.topology.aa_blocks, scores)
-        )
+        store.adopt_cache(make_aa_cache(store.topology, scores))
     for vol in sim.vols.values():
         if not vol.degraded_alloc:
             continue
         blocks_read += vol.read_metafile()
         scores = vol.topology.scores_from_bitmap(vol.metafile.bitmap)
-        vol.adopt_cache(
-            RAIDAgnosticAACache(vol.topology.num_aas, vol.topology.aa_blocks, scores)
-        )
+        vol.adopt_cache(make_aa_cache(vol.topology, scores))
     return blocks_read

@@ -17,6 +17,7 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
+from ..common.config import SimConfig
 from ..common.errors import AllocationError, OutOfSpaceError
 from ..fs.aggregate import RAIDStore
 from ..traffic.engine import TrafficEngine
@@ -52,14 +53,14 @@ class UnderLoadMetrics:
 def run_chaos_under_load(
     *,
     scenario: str = "uniform",
-    n_tenants: int = 4,
+    n_tenants: int | None = None,
     seed: int = 7,
-    n_cps: int = 30,
+    n_cps: int | None = None,
     fail_at_cp: int | None = None,
     replace_at_cp: int | None = None,
     group: int = 0,
     disk: int = 1,
-    blocks_per_disk: int = 65_536,
+    blocks_per_disk: int | None = None,
 ) -> tuple[UnderLoadMetrics, TrafficEngine]:
     """Run a traffic scenario with a mid-run disk failure and repair.
 
@@ -71,10 +72,17 @@ def run_chaos_under_load(
     phases.  Returns ``(metrics, engine)``; the engine's summary holds
     whole-run per-tenant results.
     """
+    cfg = SimConfig.default()
+    if n_tenants is None:
+        n_tenants = cfg.traffic.default_tenants
+    if n_cps is None:
+        n_cps = cfg.faults.underload_n_cps
+    if blocks_per_disk is None:
+        blocks_per_disk = cfg.faults.underload_blocks_per_disk
     if fail_at_cp is None:
-        fail_at_cp = n_cps // 3
+        fail_at_cp = int(n_cps * cfg.faults.fail_at_fraction)
     if replace_at_cp is None:
-        replace_at_cp = (2 * n_cps) // 3
+        replace_at_cp = int(n_cps * cfg.faults.replace_at_fraction)
     if not 0 < fail_at_cp < replace_at_cp < n_cps:
         raise ValueError(
             f"need 0 < fail_at_cp ({fail_at_cp}) < replace_at_cp "

@@ -21,24 +21,26 @@ deltas into the caches, and drain metafile dirty-block counts.
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..bitmap.metafile import BitmapMetafile
 from ..common.arrayops import sorted_unique
 from ..core.delayed_frees import DelayedFreeLog
+from ..common.config import SimConfig
 from ..common.constants import RAID_AGNOSTIC_AA_BLOCKS
 from ..common.errors import DegradedError, GeometryError, MediaError, TransientIOError
 from ..common.rng import make_rng
 from ..core.aa import LinearAATopology, StripeAATopology
 from ..core.allocator import AggregateAllocator, LinearAllocator, RAIDGroupAllocator
+from ..core.cache import CacheSource, make_aa_cache
 from ..core.hbps_cache import RAIDAgnosticAACache
 from ..core.heap_cache import RAIDAwareAACache
 from ..core.policies import (
     AASource,
-    HBPSSource,
-    HeapSource,
     LinearScanSource,
     RandomSource,
 )
@@ -169,16 +171,17 @@ def _make_linear_source(
     metafile: BitmapMetafile,
     keeper: ScoreKeeper,
     seed: int | np.random.Generator | None,
+    config: SimConfig | None = None,
 ) -> tuple[AASource, RAIDAgnosticAACache | None]:
     if kind is PolicyKind.CACHE:
-        cache = RAIDAgnosticAACache(topology.num_aas, topology.aa_blocks, keeper.scores)
+        cache = make_aa_cache(topology, keeper.scores, config=config)
 
         def replenisher() -> np.ndarray:
             # The background replenish walks every bitmap metafile block.
             metafile.note_scan_read()
             return topology.scores_from_bitmap(metafile.bitmap)
 
-        return HBPSSource(cache, replenisher), cache
+        return CacheSource(cache, replenisher), cache
     if kind is PolicyKind.RANDOM:
         return RandomSource(topology.num_aas, seed), None
     return LinearScanSource(topology.num_aas), None
@@ -207,8 +210,8 @@ class RAIDGroupRuntime:
         self.policy = policy
         self.cache: RAIDAwareAACache | None = None
         if policy is PolicyKind.CACHE:
-            self.cache = RAIDAwareAACache(self.topology.num_aas, self.keeper.scores)
-            self.source: AASource = HeapSource(self.cache)
+            self.cache = make_aa_cache(self.topology, self.keeper.scores)
+            self.source: AASource = CacheSource(self.cache)
         elif policy is PolicyKind.RANDOM:
             self.source = RandomSource(self.topology.num_aas, seed)
         else:
@@ -400,7 +403,7 @@ class RAIDGroupRuntime:
         cache-build I/O (see :mod:`repro.fs.mount`).
         """
         self.cache = cache
-        self.source = HeapSource(cache)
+        self.source = CacheSource(cache)
         self.keeper = ScoreKeeper(self.topology, self.metafile.bitmap)
         self.allocator = RAIDGroupAllocator(
             self.topology, self.metafile, self.source, self.keeper,
@@ -413,7 +416,7 @@ class RAIDGroupRuntime:
 
     def cache_ops_total(self) -> int:
         if self.cache is not None:
-            return self.cache.pushes + self.cache.pops
+            return self.cache.maintenance_ops
         return 0
 
     # ------------------------------------------------------------------
@@ -422,6 +425,18 @@ class RAIDGroupRuntime:
     def price_cp_writes(self, local_vbns: np.ndarray) -> GroupCPReport:
         """Charge devices for one CP's writes to this group and return
         the per-group report (stripe/tetris/chain accounting)."""
+        with obs.span(
+            "rg.price_writes", group=self.where, blocks=int(local_vbns.size)
+        ):
+            report = self._price_cp_writes(local_vbns)
+            obs.advance_us(report.busy_us)
+        if obs.active():
+            obs.count("raid.full_stripes", report.full_stripes, group=self.where)
+            obs.count("raid.partial_stripes", report.partial_stripes, group=self.where)
+            obs.count("raid.parity_reads", report.parity_reads, group=self.where)
+        return report
+
+    def _price_cp_writes(self, local_vbns: np.ndarray) -> GroupCPReport:
         report = GroupCPReport(
             blocks_per_disk=np.zeros(self.geometry.ndata, dtype=np.int64)
         )
@@ -522,6 +537,28 @@ class RAIDGroupRuntime:
         return d_ops, d_sw, d_sp
 
 
+#: Sentinel distinguishing "not passed" from an explicit value for the
+#: deprecated loose keyword arguments (one-release shims).
+_UNSET = object()
+
+
+def _resolve_threshold(
+    threshold_fraction, config: SimConfig | None, owner: str
+) -> float:
+    """One-release shim: honor an explicitly passed ``threshold_fraction``
+    with a DeprecationWarning, else read it from the config."""
+    if threshold_fraction is not _UNSET:
+        warnings.warn(
+            f"{owner}(threshold_fraction=...) is deprecated; pass "
+            f"config=replace(SimConfig.default(), allocator=...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return float(threshold_fraction)
+    cfg = config if config is not None else SimConfig.default()
+    return cfg.allocator.threshold_fraction
+
+
 class RAIDStore:
     """Aggregate physical store backed by one or more RAID groups."""
 
@@ -530,11 +567,16 @@ class RAIDStore:
         group_configs: list[RAIDGroupConfig],
         *,
         policy: PolicyKind = PolicyKind.CACHE,
-        threshold_fraction: float = 0.0,
+        config: SimConfig | None = None,
+        threshold_fraction=_UNSET,
         seed: int | np.random.Generator | None = None,
     ) -> None:
         if not group_configs:
             raise GeometryError("an aggregate needs at least one RAID group")
+        threshold = _resolve_threshold(threshold_fraction, config, "RAIDStore")
+        stripes_per_round = (
+            config if config is not None else SimConfig.default()
+        ).allocator.stripes_per_round
         rng = make_rng(seed)
         self.groups: list[RAIDGroupRuntime] = []
         self.offsets: list[int] = []
@@ -547,7 +589,9 @@ class RAIDStore:
             offset += cfg.ndata * cfg.blocks_per_disk
         self.nblocks = offset
         self.allocator = AggregateAllocator(
-            [g.allocator for g in self.groups], threshold_fraction=threshold_fraction
+            [g.allocator for g in self.groups],
+            threshold_fraction=threshold,
+            stripes_per_round=stripes_per_round,
         )
         self._bounds = np.asarray(self.offsets + [self.nblocks], dtype=np.int64)
         self._pending_read_us: list[float] = [0.0] * len(self.groups)
@@ -668,7 +712,8 @@ class RAIDStore:
             busy.append(grp.busy_us)
             report.blocks_freed += g.apply_frees()
         # Flush batched score deltas into the caches (rebalancing).
-        self.allocator.cp_flush()
+        with obs.span("cp.cache_flush"):
+            self.allocator.cp_flush()
         for g in self.groups:
             report.metafile_blocks += g.metafile.drain_dirty()
             d_ops, d_sw, d_sp = g.drain_counters()
@@ -709,6 +754,7 @@ class LinearStore:
         blocks_per_aa: int = RAID_AGNOSTIC_AA_BLOCKS,
         policy: PolicyKind = PolicyKind.CACHE,
         object_config: ObjectStoreConfig | None = None,
+        config: SimConfig | None = None,
         seed: int | np.random.Generator | None = None,
     ) -> None:
         self.topology = LinearAATopology(nblocks, blocks_per_aa)
@@ -717,7 +763,7 @@ class LinearStore:
         self.delayed_frees = DelayedFreeLog()
         self.keeper = ScoreKeeper(self.topology, self.metafile.bitmap)
         self.source, self.cache = _make_linear_source(
-            policy, self.topology, self.metafile, self.keeper, seed
+            policy, self.topology, self.metafile, self.keeper, seed, config
         )
         self.allocator = LinearAllocator(
             self.topology, self.metafile, self.source, self.keeper
@@ -796,7 +842,7 @@ class LinearStore:
             self.metafile.note_scan_read()
             return self.topology.scores_from_bitmap(self.metafile.bitmap)
 
-        self.source = HBPSSource(cache, replenisher)
+        self.source = CacheSource(cache, replenisher)
         self.allocator = LinearAllocator(
             self.topology, self.metafile, self.source, self.keeper
         )
@@ -823,8 +869,7 @@ class LinearStore:
     def _cache_ops_total(self) -> int:
         if self.cache is None:
             return 0
-        h = self.cache.hbps
-        return h.pops + h.updates + h.evictions
+        return self.cache.maintenance_ops
 
     def cp_boundary(self) -> StoreCPReport:
         report = StoreCPReport()
@@ -833,7 +878,9 @@ class LinearStore:
             self._cp_writes = []
             report.blocks_written = int(vbns.size)
             report.chains = Device.chains_of(vbns)
-            report.device_busy_us = self.device.write_blocks(vbns)
+            with obs.span("store.write", blocks=int(vbns.size)):
+                report.device_busy_us = self.device.write_blocks(vbns)
+                obs.advance_us(report.device_busy_us)
         report.device_busy_us += self._pending_read_us
         self._pending_read_us = 0.0
         if self.free_budget_blocks is None:
@@ -845,7 +892,8 @@ class LinearStore:
         if freed.size:
             self.keeper.note_free(freed)
             report.blocks_freed = int(freed.size)
-        self.allocator.cp_flush()
+        with obs.span("cp.cache_flush"):
+            self.allocator.cp_flush()
         report.metafile_blocks = self.metafile.drain_dirty()
         ops = self._cache_ops_total()
         report.cache_ops = ops - self._last_cache_ops

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..common.arrayops import sorted_unique
 from ..common.errors import OutOfSpaceError
 from ..sim.cpu import CpuModel
@@ -87,6 +88,13 @@ class CPEngine:
     # ------------------------------------------------------------------
     def run_cp(self, batch: CPBatch) -> CPStats:
         """Execute one consistency point and record its statistics."""
+        obs.set_cp(self._cp_index)
+        # The sentinel is the FIRST record appended for this CP: the
+        # ring evicts FIFO, so its presence guarantees the CP's records
+        # are complete (see repro.obs.report).
+        obs.count("cp.begin")
+        cp_span = obs.span("cp", cp=self._cp_index, ops=batch.ops)
+        cp_span.__enter__()
         if self.auditor is not None:
             self.auditor.before_cp(self)
         virtual_blocks = 0
@@ -96,32 +104,34 @@ class CPEngine:
             ids = sorted_unique(np.asarray(ids, dtype=np.int64))
             if ids.size == 0:
                 continue
-            was_mapped = vol.l2v[ids] >= 0
-            new_v, old_v, old_p = vol.stage_writes(ids)
-            if tiered:
-                # Flash Pool placement: overwritten (hot) blocks go to
-                # the SSD tier, first writes to the capacity tier.
-                n_hot = int(was_mapped.sum())
-                p_hot = self.store.allocate(n_hot, tier="fast")
-                p_cold = self.store.allocate(int(ids.size) - n_hot, tier="capacity")
-                new_p = np.empty(ids.size, dtype=np.int64)
-                got = p_hot.size + p_cold.size
-                if got < ids.size:
-                    raise OutOfSpaceError(
-                        f"aggregate out of space: {got} of {ids.size} "
-                        f"physical blocks allocated for volume {name}"
-                    )
-                new_p[was_mapped] = p_hot
-                new_p[~was_mapped] = p_cold
-            else:
-                new_p = self.store.allocate(int(ids.size))
-                if new_p.size < ids.size:
-                    raise OutOfSpaceError(
-                        f"aggregate out of space: {new_p.size} of {ids.size} "
-                        f"physical blocks allocated for volume {name}"
-                    )
-            vol.commit_writes(ids, new_v, new_p, old_v)
-            self.store.log_free(old_p)
+            with obs.span("cp.allocate", vol=name, blocks=int(ids.size)):
+                was_mapped = vol.l2v[ids] >= 0
+                new_v, old_v, old_p = vol.stage_writes(ids)
+                if tiered:
+                    # Flash Pool placement: overwritten (hot) blocks go to
+                    # the SSD tier, first writes to the capacity tier.
+                    n_hot = int(was_mapped.sum())
+                    p_hot = self.store.allocate(n_hot, tier="fast")
+                    p_cold = self.store.allocate(int(ids.size) - n_hot, tier="capacity")
+                    new_p = np.empty(ids.size, dtype=np.int64)
+                    got = p_hot.size + p_cold.size
+                    if got < ids.size:
+                        raise OutOfSpaceError(
+                            f"aggregate out of space: {got} of {ids.size} "
+                            f"physical blocks allocated for volume {name}"
+                        )
+                    new_p[was_mapped] = p_hot
+                    new_p[~was_mapped] = p_cold
+                else:
+                    new_p = self.store.allocate(int(ids.size))
+                    if new_p.size < ids.size:
+                        raise OutOfSpaceError(
+                            f"aggregate out of space: {new_p.size} of {ids.size} "
+                            f"physical blocks allocated for volume {name}"
+                        )
+                vol.commit_writes(ids, new_v, new_p, old_v)
+                self.store.log_free(old_p)
+            obs.count("cp.virtual_blocks", int(ids.size), vol=name)
             virtual_blocks += int(ids.size)
 
         for name, ids in batch.deletes.items():
@@ -136,8 +146,11 @@ class CPEngine:
             self.store.charge_reads(batch.reads)
 
         # ---- CP boundary -------------------------------------------------
-        store_report = self.store.cp_boundary()
-        vol_reports = [vol.cp_boundary() for vol in self.vols.values()]
+        with obs.span("cp.boundary"):
+            store_report = self.store.cp_boundary()
+            vol_reports = [vol.cp_boundary() for vol in self.vols.values()]
+        if obs.active():
+            self._trace_boundary(store_report, zip(self.vols.keys(), vol_reports))
 
         metafile_blocks = store_report.metafile_blocks + sum(
             r.metafile_blocks for r in vol_reports
@@ -177,8 +190,32 @@ class CPEngine:
             spanned_blocks=spanned,
         )
         self.cache_maintenance_us += self.cpu_model.cache_maintenance_us(cache_ops)
+        obs.advance_us(stats.cpu_us)
+        cp_span.__exit__(None, None, None)
         self.metrics.add(stats)
         self._cp_index += 1
         if self.auditor is not None:
             self.auditor.after_cp(self, stats)
         return stats
+
+    @staticmethod
+    def _trace_boundary(store_report, vol_reports) -> None:
+        """Emit the reconciled per-CP counters, attributed by source.
+
+        These intentionally re-count what :class:`CPStats` sums from
+        the same reports; the auditor cross-checks the two so a
+        drifting instrumentation site fails the audit.
+        """
+        obs.count("cp.physical_blocks", store_report.blocks_written, where="store")
+        obs.count("cp.blocks_freed", store_report.blocks_freed, where="store")
+        obs.count("cp.metafile_blocks", store_report.metafile_blocks, where="store")
+        obs.count("cp.cache_ops", store_report.cache_ops, where="store")
+        obs.count("cp.aa_switches", store_report.aa_switches, where="store")
+        obs.count("cp.spanned_blocks", store_report.spanned_blocks, where="store")
+        for name, r in vol_reports:
+            where = f"vol:{name}"
+            obs.count("cp.blocks_freed", r.blocks_freed, where=where)
+            obs.count("cp.metafile_blocks", r.metafile_blocks, where=where)
+            obs.count("cp.cache_ops", r.cache_ops, where=where)
+            obs.count("cp.aa_switches", r.aa_switches, where=where)
+            obs.count("cp.spanned_blocks", r.spanned_blocks, where=where)

@@ -11,16 +11,19 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from ..common.config import SimConfig
 from ..common.errors import GeometryError
 from ..common.rng import make_rng
 from ..devices.objectstore import ObjectStoreConfig
 from ..sim.cpu import CpuModel
 from ..sim.stats import CPStats, MetricsLog
 from .aggregate import (
+    _UNSET,
     LinearStore,
     PolicyKind,
     RAIDGroupConfig,
     RAIDStore,
+    _resolve_threshold,
 )
 from .cp import CPBatch, CPEngine
 from .flexvol import FlexVol, VolSpec
@@ -59,7 +62,8 @@ class WaflSim:
         *,
         aggregate_policy: PolicyKind = PolicyKind.CACHE,
         vol_policy: PolicyKind = PolicyKind.CACHE,
-        threshold_fraction: float = 0.0,
+        config: SimConfig | None = None,
+        threshold_fraction=_UNSET,
         cpu_model: CpuModel | None = None,
         seed: int | np.random.Generator | None = None,
     ) -> "WaflSim":
@@ -67,12 +71,28 @@ class WaflSim:
 
         ``aggregate_policy`` and ``vol_policy`` select AA caches or
         baselines independently — the four quadrants of Figure 6.
+        Tunables come from ``config`` (default :meth:`SimConfig.default`);
+        ``threshold_fraction`` is a deprecated one-release alias for
+        ``config.allocator.threshold_fraction``.
         """
+        if threshold_fraction is not _UNSET:
+            from dataclasses import replace
+
+            cfg = config if config is not None else SimConfig.default()
+            config = replace(
+                cfg,
+                allocator=replace(
+                    cfg.allocator,
+                    threshold_fraction=_resolve_threshold(
+                        threshold_fraction, config, "WaflSim.build_raid"
+                    ),
+                ),
+            )
         rng = make_rng(seed)
         store = RAIDStore(
             group_configs,
             policy=aggregate_policy,
-            threshold_fraction=threshold_fraction,
+            config=config,
             seed=rng,
         )
         vols = {
@@ -90,6 +110,7 @@ class WaflSim:
         aggregate_policy: PolicyKind = PolicyKind.CACHE,
         vol_policy: PolicyKind = PolicyKind.CACHE,
         object_config: ObjectStoreConfig | None = None,
+        config: SimConfig | None = None,
         cpu_model: CpuModel | None = None,
         seed: int | np.random.Generator | None = None,
     ) -> "WaflSim":
@@ -97,7 +118,11 @@ class WaflSim:
         (RAID-agnostic AAs on the physical side too)."""
         rng = make_rng(seed)
         store = LinearStore(
-            nblocks, policy=aggregate_policy, object_config=object_config, seed=rng
+            nblocks,
+            policy=aggregate_policy,
+            object_config=object_config,
+            config=config,
+            seed=rng,
         )
         vols = {
             spec.name: FlexVol(spec, policy=vol_policy, seed=rng) for spec in vol_specs

@@ -32,8 +32,8 @@ from ..common.errors import AllocationError, MediaError, TransientIOError
 from ..core.aa import LinearAATopology
 from ..core.allocator import LinearAllocator
 from ..core.score import ScoreKeeper
+from ..core.cache import CacheSource
 from ..core.hbps_cache import RAIDAgnosticAACache
-from ..core.policies import HBPSSource
 from .aggregate import PolicyKind, StoreCPReport, _make_linear_source
 
 __all__ = ["FlexVol", "VolSpec"]
@@ -276,7 +276,7 @@ class FlexVol:
             self.metafile.note_scan_read()
             return self.topology.scores_from_bitmap(self.metafile.bitmap)
 
-        self.source = HBPSSource(cache, replenisher)
+        self.source = CacheSource(cache, replenisher)
         self.allocator = LinearAllocator(
             self.topology, self.metafile, self.source, self.keeper
         )
@@ -323,8 +323,7 @@ class FlexVol:
         report.metafile_blocks = self.metafile.drain_dirty()
         ops = 0
         if self.cache is not None:
-            h = self.cache.hbps
-            ops = h.pops + h.updates + h.evictions
+            ops = self.cache.maintenance_ops
         report.cache_ops = ops - self._last_cache_ops
         self._last_cache_ops = ops
         switches = len(self.allocator.selected_aa_scores)

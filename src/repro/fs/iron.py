@@ -30,8 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.heap_cache import RAIDAwareAACache
-from ..core.hbps_cache import RAIDAgnosticAACache
+from ..core.cache import make_aa_cache
 from .aggregate import RAIDStore, LinearStore
 from .filesystem import WaflSim
 
@@ -219,13 +218,7 @@ def repair(sim: WaflSim, scope=None, *, rebuild_caches: bool = True) -> IronRepo
         vol.keeper.recompute(bm)
         if rebuild_caches:
             if vol.cache is not None or vol.degraded_alloc:
-                vol.adopt_cache(
-                    RAIDAgnosticAACache(
-                        vol.topology.num_aas,
-                        vol.topology.aa_blocks,
-                        vol.keeper.scores,
-                    )
-                )
+                vol.adopt_cache(make_aa_cache(vol.topology, vol.keeper.scores))
         elif not vol.degraded_alloc:
             vol.enter_degraded()
     # Physical stores: rewrite to container-map truth.
@@ -247,9 +240,7 @@ def repair(sim: WaflSim, scope=None, *, rebuild_caches: bool = True) -> IronRepo
             g.keeper.recompute(bm)
             if rebuild_caches:
                 if g.cache is not None or g.degraded_alloc:
-                    g.adopt_cache(
-                        RAIDAwareAACache(g.topology.num_aas, g.keeper.scores)
-                    )
+                    g.adopt_cache(make_aa_cache(g.topology, g.keeper.scores))
             elif not g.degraded_alloc:
                 g.enter_degraded()
         if touched:
@@ -266,14 +257,8 @@ def repair(sim: WaflSim, scope=None, *, rebuild_caches: bool = True) -> IronRepo
                 if not store.degraded_alloc:
                     store.enter_degraded()
             elif store.cache is not None:
-                store.cache.replenish(store.keeper.scores)
+                store.cache.refill(store.keeper.scores)
             elif store.degraded_alloc:
-                store.adopt_cache(
-                    RAIDAgnosticAACache(
-                        store.topology.num_aas,
-                        store.topology.aa_blocks,
-                        store.keeper.scores,
-                    )
-                )
+                store.adopt_cache(make_aa_cache(store.topology, store.keeper.scores))
     report.repaired = True
     return report

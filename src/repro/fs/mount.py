@@ -41,8 +41,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..common.errors import MediaError, SerializationError, TransientIOError
-from ..core.heap_cache import RAIDAwareAACache
-from ..core.hbps_cache import RAIDAgnosticAACache
+from ..core.cache import make_aa_cache
 from ..core.topaa import (
     PAGE_KIND_HBPS,
     PAGE_KIND_HEAP_SEED,
@@ -257,7 +256,7 @@ def simulate_mount(
                     report.caches_built += 1
                     continue
                 scores = g.topology.scores_from_bitmap(g.metafile.bitmap)
-                cache = RAIDAwareAACache(g.topology.num_aas, scores)
+                cache = make_aa_cache(g.topology, scores)
             g.adopt_cache(cache)
             report.caches_built += 1
         store.rebind_allocators()
@@ -286,9 +285,7 @@ def simulate_mount(
                 cache = None
             else:
                 scores = store.topology.scores_from_bitmap(store.metafile.bitmap)
-                cache = RAIDAgnosticAACache(
-                    store.topology.num_aas, store.topology.aa_blocks, scores
-                )
+                cache = make_aa_cache(store.topology, scores)
         if cache is not None:
             store.adopt_cache(cache)
             report.caches_built += 1
@@ -315,9 +312,7 @@ def simulate_mount(
                 report.caches_built += 1
                 continue
             scores = vol.topology.scores_from_bitmap(vol.metafile.bitmap)
-            cache = RAIDAgnosticAACache(
-                vol.topology.num_aas, vol.topology.aa_blocks, scores
-            )
+            cache = make_aa_cache(vol.topology, scores)
         vol.adopt_cache(cache)
         report.caches_built += 1
     report.build_wall_s = time.perf_counter() - t0

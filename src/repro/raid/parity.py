@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..common.arrayops import sorted_unique_counts
 from ..common.constants import TETRIS_STRIPES
 from .geometry import RAIDGeometry
@@ -124,7 +125,17 @@ def analyze_raid_writes(
     )
     if vbns.size == 0:
         return stats
+    with obs.span("raid.analyze", blocks=int(vbns.size), degraded=failed_disks):
+        return _analyze(geometry, vbns, stats, stripes_per_tetris, failed_disks)
 
+
+def _analyze(
+    geometry: RAIDGeometry,
+    vbns: np.ndarray,
+    stats: StripeWriteStats,
+    stripes_per_tetris: int,
+    failed_disks: int,
+) -> StripeWriteStats:
     disks = geometry.disk_of(vbns)
     dbns = geometry.dbn_of(vbns)
 
@@ -170,4 +181,8 @@ def analyze_raid_writes(
         stats.chains_per_disk = np.bincount(chain_disks, minlength=geometry.ndata).astype(
             np.int64
         )
+    if obs.active():
+        obs.count("raid.write_chains", stats.total_chains)
+        if stats.reconstruction_reads:
+            obs.count("raid.reconstruction_reads", stats.reconstruction_reads)
     return stats

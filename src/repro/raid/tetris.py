@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from ..common.arrayops import sorted_unique
 from ..common.constants import TETRIS_STRIPES
 
@@ -27,4 +28,7 @@ def tetris_ids(stripes: np.ndarray, stripes_per_tetris: int = TETRIS_STRIPES) ->
 
 def count_tetrises(stripes: np.ndarray, stripes_per_tetris: int = TETRIS_STRIPES) -> int:
     """Number of distinct tetrises touched by the given stripe indices."""
-    return int(tetris_ids(stripes, stripes_per_tetris).size)
+    n = int(tetris_ids(stripes, stripes_per_tetris).size)
+    if n:
+        obs.count("raid.tetrises", n)
+    return n

@@ -9,9 +9,12 @@ CPU and device cost.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 __all__ = ["CPStats", "MetricsLog"]
+
+_MISSING = object()
 
 
 @dataclass
@@ -100,22 +103,119 @@ class CPStats:
         return out
 
 
-@dataclass
 class MetricsLog:
-    """Accumulates :class:`CPStats` and exposes run-level summaries."""
+    """Accumulates :class:`CPStats` and exposes run-level summaries.
 
-    cps: list[CPStats] = field(default_factory=list)
-    #: Named time series recorded alongside the per-CP records — e.g.
-    #: the traffic engine's per-tenant ``traffic.<name>.p99_ms`` and
-    #: ``traffic.<name>.achieved_ops_s`` (one sample per CP interval).
-    series: dict[str, list[float]] = field(default_factory=dict)
+    Read metrics through :meth:`query` — one accessor for summary
+    scalars, raw recorded series, per-tenant traffic series (via the
+    ``tenant=`` tag), and the CPU phase breakdown.  The historical
+    per-metric accessors (the :attr:`series` dict, :meth:`cpu_phase_us`)
+    still work but emit :class:`DeprecationWarning`.
+    """
+
+    #: Summary scalars resolvable by :meth:`query` name.
+    SUMMARY_METRICS = frozenset(
+        {
+            "total_ops",
+            "total_physical_blocks",
+            "total_cpu_us",
+            "total_device_busy_us",
+            "total_reconstruction_reads",
+            "total_degraded_stripes",
+            "cpu_us_per_op",
+            "device_us_per_op",
+            "service_us_per_op",
+            "metafile_blocks_per_op",
+            "full_stripe_fraction",
+            "mean_chain_length",
+        }
+    )
+
+    def __init__(self) -> None:
+        self.cps: list[CPStats] = []
+        # Named time series recorded alongside the per-CP records — e.g.
+        # the traffic engine's per-tenant ``traffic.<name>.p99_ms`` and
+        # ``traffic.<name>.achieved_ops_s`` (one sample per CP interval).
+        self._series: dict[str, list[float]] = {}
 
     def add(self, stats: CPStats) -> None:
         self.cps.append(stats)
 
     def record_point(self, name: str, value: float) -> None:
         """Append one sample to the named time series."""
-        self.series.setdefault(name, []).append(float(value))
+        self._series.setdefault(name, []).append(float(value))
+
+    def reset_series(self) -> None:
+        """Drop all recorded time series (the per-CP records stay)."""
+        self._series.clear()
+
+    @property
+    def series(self) -> dict[str, list[float]]:
+        """Deprecated raw series dict; use :meth:`query` instead."""
+        warnings.warn(
+            "MetricsLog.series is deprecated; use MetricsLog.query(name) "
+            "(or query(metric, tenant=...) for traffic series)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._series
+
+    # ------------------------------------------------------------------
+    def query(self, metric: str, *, default=_MISSING, **tags):
+        """Unified metric accessor.
+
+        * ``query("cpu_us_per_op")`` — any summary scalar in
+          :attr:`SUMMARY_METRICS`.
+        * ``query("p99_ms", tenant="gold")`` — per-tenant traffic series
+          (resolves to the recorded ``traffic.gold.p99_ms`` series).
+        * ``query("traffic.gold.p99_ms")`` — any raw recorded series by
+          its full name.
+        * ``query("cpu_phase_us", model=cpu_model)`` — the CPU phase
+          breakdown dict; add ``phase="blocks"`` for one phase's total.
+
+        Series are returned as copies.  Unknown metrics raise
+        :class:`KeyError` unless ``default=`` is given.
+        """
+        if metric == "cpu_phase_us":
+            model = tags.pop("model", None)
+            phase = tags.pop("phase", None)
+            if tags:
+                raise TypeError(f"unknown tags for {metric!r}: {sorted(tags)}")
+            if model is None:
+                raise TypeError("query('cpu_phase_us') requires model=<CpuModel>")
+            phases = self._cpu_phase_us(model)
+            if phase is None:
+                return phases
+            if phase in phases:
+                return phases[phase]
+            if default is not _MISSING:
+                return default
+            raise KeyError(
+                f"unknown CPU phase {phase!r}; available: {sorted(phases)}"
+            )
+        tenant = tags.pop("tenant", None)
+        if tags:
+            raise TypeError(f"unknown tags for {metric!r}: {sorted(tags)}")
+        if tenant is not None:
+            key = f"traffic.{tenant}.{metric}"
+            if key in self._series:
+                return list(self._series[key])
+            if default is not _MISSING:
+                return default
+            raise KeyError(
+                f"no series {key!r} recorded; available: {sorted(self._series)}"
+            )
+        if metric in self.SUMMARY_METRICS:
+            return getattr(self, metric)
+        if metric in self._series:
+            return list(self._series[metric])
+        if default is not _MISSING:
+            return default
+        raise KeyError(
+            f"unknown metric {metric!r}; summary metrics: "
+            f"{sorted(self.SUMMARY_METRICS)}; recorded series: "
+            f"{sorted(self._series)}"
+        )
 
     # ------------------------------------------------------------------
     def _sum(self, attr: str) -> float:
@@ -184,6 +284,16 @@ class MetricsLog:
         return self.total_physical_blocks / chains if chains else 0.0
 
     def cpu_phase_us(self, cpu_model) -> dict[str, float]:
+        """Deprecated; use ``query("cpu_phase_us", model=cpu_model)``."""
+        warnings.warn(
+            "MetricsLog.cpu_phase_us(model) is deprecated; use "
+            "MetricsLog.query('cpu_phase_us', model=model)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._cpu_phase_us(cpu_model)
+
+    def _cpu_phase_us(self, cpu_model) -> dict[str, float]:
         """Total modeled CPU per pipeline phase across the run.
 
         Re-derives each CP's charge decomposition from its counted

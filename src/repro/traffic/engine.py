@@ -50,6 +50,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
+from ..common.config import TrafficConfig
 from ..fs.cp import CPBatch
 from ..sim.stats import CPStats
 from ..workloads.mixes import OpMix
@@ -59,7 +61,8 @@ from .qos import QosLimits, TokenBucket
 __all__ = ["TenantSpec", "TenantSummary", "TrafficResult", "TrafficEngine"]
 
 #: The paper's midrange server: CP pipeline parallelism (section 4.1).
-DEFAULT_CORES = 20
+#: Canonical value lives in :class:`repro.common.config.TrafficConfig`.
+DEFAULT_CORES = TrafficConfig().cores
 
 
 @dataclass
@@ -189,9 +192,14 @@ class TrafficEngine:
         tenants: list[TenantSpec],
         *,
         cp_interval_us: float | None = None,
-        target_ops_per_cp: int = 2048,
-        cores: int = DEFAULT_CORES,
+        target_ops_per_cp: int | None = None,
+        cores: int | None = None,
     ) -> None:
+        traffic_cfg = TrafficConfig()
+        if target_ops_per_cp is None:
+            target_ops_per_cp = traffic_cfg.target_ops_per_cp
+        if cores is None:
+            cores = traffic_cfg.cores
         if not tenants:
             raise ValueError("need at least one tenant")
         names = [t.name for t in tenants]
@@ -304,13 +312,37 @@ class TrafficEngine:
     def step(self) -> CPStats | None:
         """Advance one CP interval; returns the CP's stats (None if no
         ops were admitted in the window)."""
+        # Pin the tracer clock to simulated traffic time so spans from
+        # different CP intervals never overlap in the trace timeline.
+        obs.sync_us(self.clock_us)
+        with obs.span("traffic.step", interval=self._cp_count):
+            return self._step()
+
+    def _step(self) -> CPStats | None:
         window_end = self.clock_us + self.cp_interval_us
+        traced = obs.active()
+        rejected_before = (
+            [len(st.rejected_us) for st in self.states] if traced else None
+        )
         cp_ops: dict[int, list[tuple[float, float]]] = {}
         for i, st in enumerate(self.states):
             self._generate_arrivals(st, window_end)
             riders = st.take_riders(window_end)
             if riders:
                 cp_ops[i] = riders
+        if traced:
+            for st, before in zip(self.states, rejected_before):
+                delta = len(st.rejected_us) - before
+                if delta:
+                    obs.count("traffic.rejected_ops", delta, tenant=st.spec.name)
+            for i in sorted(cp_ops):
+                st = self.states[i]
+                obs.count(
+                    "traffic.admitted_ops",
+                    len(cp_ops[i]),
+                    tenant=st.spec.name,
+                    vol=st.spec.volume,
+                )
         self.clock_us = window_end
         total = sum(len(v) for v in cp_ops.values())
         if total == 0:
@@ -418,8 +450,8 @@ class TrafficEngine:
             arrived = len(st.arrivals_us)
             rejected = len(st.rejected_us)
             qd = np.asarray(
-                self.sim.metrics.series.get(
-                    f"traffic.{st.spec.name}.queue_depth", [0]
+                self.sim.metrics.query(
+                    "queue_depth", tenant=st.spec.name, default=[0]
                 )
             )
             tenants[st.spec.name] = TenantSummary(

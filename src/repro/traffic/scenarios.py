@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..common.config import SimConfig
 from ..common.rng import make_rng, spawn
 from ..devices.ssd import SSDConfig
 from ..fs.aggregate import MediaType, PolicyKind, RAIDGroupConfig
@@ -57,10 +58,10 @@ __all__ = [
 SCENARIOS = ("uniform", "noisy-neighbor", "throttled")
 
 #: Clients per tenant in the closed-form comparison (harness NCLIENTS).
-_NCLIENTS = 8
+_NCLIENTS = SimConfig.default().traffic.knee_nclients
 #: Ops per CP the engine targets — matches the batch sizes the figure
 #: benches measure, so calibrated per-op costs transfer.
-_TARGET_OPS_PER_CP = 2048
+_TARGET_OPS_PER_CP = SimConfig.default().traffic.target_ops_per_cp
 
 
 @dataclass(frozen=True)
@@ -282,7 +283,7 @@ class TrafficRun:
 def run_traffic(
     scenario: str = "noisy-neighbor",
     *,
-    n_tenants: int = 4,
+    n_tenants: int | None = None,
     seed: int = 7,
     quick: bool = True,
     n_cps: int | None = None,
@@ -301,6 +302,8 @@ def run_traffic(
     run without this package importing ``analysis`` (which sits above
     ``traffic`` in the package DAG).
     """
+    if n_tenants is None:
+        n_tenants = SimConfig.default().traffic.default_tenants
     if blocks_per_disk is None:
         blocks_per_disk = 65_536 if quick else 131_072
     if n_cps is None:

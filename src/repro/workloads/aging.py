@@ -106,7 +106,7 @@ def reset_measurement_state(sim: WaflSim) -> None:
     measurement phase starts clean (device cumulative stats are also
     reset; bitmap/cache state is preserved)."""
     sim.metrics.cps.clear()
-    sim.metrics.series.clear()
+    sim.metrics.reset_series()
     sim.engine.cache_maintenance_us = 0.0
     for vol in sim.vols.values():
         vol.allocator.selected_aa_scores.clear()

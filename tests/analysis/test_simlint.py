@@ -33,6 +33,7 @@ VIOLATIONS: dict[str, str | tuple[str, str]] = {
         "from repro.common.errors import CacheError\n"
         "try:\n    x = 1\nexcept CacheError:\n    pass\n"
     ),
+    "E404": ("print('loose output')\n", "core"),
 }
 
 
@@ -154,6 +155,12 @@ class TestLayeringRules:
     def test_faults_may_drive_traffic(self):
         assert rules_of("from ..traffic import run_traffic\n", "faults") == []
 
+    def test_root_import_resolves_per_name(self):
+        # ``from .. import obs`` reaches the obs *package*, not the
+        # repro root: legal from any higher layer, illegal upward.
+        assert rules_of("from .. import obs\n", "fs") == []
+        assert "L201" in rules_of("from .. import traffic\n", "core")
+
     def test_dag_matches_source_layout(self):
         pkg_dir = Path(repro.__file__).parent
         on_disk = {
@@ -207,6 +214,24 @@ class TestErrorRules:
             "try:\n    x = 1\nexcept MountError:\n    ...\n"
         )
         assert "E403" in rules_of(src)
+
+
+class TestPrintRule:
+    def test_print_inside_package_fires(self):
+        assert "E404" in rules_of("print('status')\n", "fs")
+
+    def test_print_in_top_level_module_is_exempt(self):
+        # cli.py / __main__.py lint with package=None: user-facing
+        # output is their job.
+        assert rules_of("print('status')\n", None) == []
+
+    def test_obs_counter_is_the_clean_idiom(self):
+        src = "from .. import obs\nobs.count('cp.virtual_blocks', 4)\n"
+        assert rules_of(src, "fs") == []
+
+    def test_print_waivable_by_pragma(self):
+        src = "print('x')  # simlint: disable=E404\n"
+        assert rules_of(src, "bench") == []
 
 
 class TestPragmas:

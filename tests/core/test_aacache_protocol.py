@@ -1,0 +1,186 @@
+"""Shared conformance suite for the unified AACache protocol.
+
+Every test in ``TestConformance`` runs against both implementations —
+the RAID-aware max-heap and the RAID-agnostic HBPS — through nothing
+but the protocol surface (``select`` / ``invalidate`` / ``consume`` /
+``refill`` / ``stats`` and the probe properties).  The factory tests
+pin :func:`make_aa_cache`'s topology dispatch and config plumbing, and
+the shim tests pin the one-release deprecation path for the old
+``HeapSource`` / ``HBPSSource`` adapters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common import CacheError
+from repro.common.config import CacheConfig, SimConfig
+from repro.core import (
+    AACache,
+    CacheSource,
+    LinearAATopology,
+    RAIDAgnosticAACache,
+    RAIDAwareAACache,
+    StripeAATopology,
+    make_aa_cache,
+)
+from repro.core.policies import HBPSSource, HeapSource
+from repro.raid import RAIDGeometry
+
+N_AAS = 8
+AA_BLOCKS = 256
+SCORES = [40, 200, 120, 250, 90, 10, 180, 60]
+
+
+def make_heap(scores=SCORES) -> RAIDAwareAACache:
+    return RAIDAwareAACache(len(scores), np.asarray(scores, dtype=np.int64))
+
+
+def make_hbps(scores=SCORES) -> RAIDAgnosticAACache:
+    return RAIDAgnosticAACache(
+        len(scores), AA_BLOCKS, np.asarray(scores, dtype=np.int64)
+    )
+
+
+@pytest.fixture(params=["heap", "hbps"])
+def cache(request) -> AACache:
+    return {"heap": make_heap, "hbps": make_hbps}[request.param]()
+
+
+class TestConformance:
+    def test_satisfies_runtime_protocol(self, cache):
+        assert isinstance(cache, AACache)
+        assert cache.num_aas == N_AAS
+
+    def test_select_hands_out_each_aa_at_most_once(self, cache):
+        out = []
+        while (aa := cache.select()) is not None:
+            out.append(aa)
+        assert len(out) == len(set(out))
+        assert all(0 <= aa < N_AAS for aa in out)
+
+    def test_selected_aas_are_checked_out(self, cache):
+        aa = cache.select()
+        assert aa in cache.checked_out
+
+    def test_invalidate_returns_aa_for_reselection(self, cache):
+        aa = cache.select()
+        cache.invalidate(aa, SCORES[aa])
+        assert aa not in cache.checked_out
+        reselected = []
+        while (got := cache.select()) is not None:
+            reselected.append(got)
+        assert aa in reselected
+
+    def test_consume_respects_held_set(self, cache):
+        aa = cache.select()
+        held = frozenset([aa])
+        cache.consume([(aa, SCORES[aa], SCORES[aa] + 4)], held)
+        assert aa in cache.checked_out
+
+    def test_consume_releases_unheld_aas(self, cache):
+        aa = cache.select()
+        cache.consume([(aa, SCORES[aa], SCORES[aa] + 4)])
+        assert aa not in cache.checked_out
+
+    def test_refill_rejects_length_mismatch(self, cache):
+        with pytest.raises(CacheError):
+            cache.refill(np.zeros(N_AAS + 1, dtype=np.int64))
+
+    def test_refill_resets_needs_refill(self, cache):
+        while cache.select() is not None:
+            pass
+        cache.refill(np.asarray(SCORES, dtype=np.int64))
+        assert not cache.needs_refill
+
+    def test_best_available_score_tracks_best(self, cache):
+        best = cache.best_available_score()
+        assert best is not None
+        # Exact for the heap; bin resolution (either side) for HBPS.
+        assert abs(best - max(SCORES)) <= AA_BLOCKS
+
+    def test_stats_contract(self, cache):
+        stats = cache.stats()
+        assert {"selects", "maintenance_ops", "checked_out"} <= set(stats)
+        cache.select()
+        after = cache.stats()
+        assert after["selects"] == stats["selects"] + 1
+        assert after["checked_out"] == 1
+
+    def test_maintenance_ops_monotone(self, cache):
+        seen = [cache.maintenance_ops]
+        aa = cache.select()
+        seen.append(cache.maintenance_ops)
+        cache.invalidate(aa, SCORES[aa])
+        seen.append(cache.maintenance_ops)
+        cache.refill(np.asarray(SCORES, dtype=np.int64))
+        seen.append(cache.maintenance_ops)
+        assert seen == sorted(seen)
+
+
+class TestCacheSource:
+    def test_adapts_any_cache(self, cache):
+        src = CacheSource(cache)
+        aa = src.next_aa()
+        assert aa is not None
+        src.return_aa(aa, SCORES[aa])
+        assert cache.checked_out == frozenset()
+
+    def test_background_refill_triggers_once_dry(self):
+        cache = make_hbps()
+        calls = []
+
+        def replenisher():
+            calls.append(1)
+            return np.asarray(SCORES, dtype=np.int64)
+
+        src = CacheSource(cache, replenisher)
+        drained = set()
+        for _ in range(3 * N_AAS):
+            aa = src.next_aa()
+            if aa is None:
+                break
+            drained.add(aa)
+            cache.consume([(aa, SCORES[aa], 0)])
+        assert src.replenish_count == len(calls)
+
+
+class TestFactory:
+    def test_stripe_topology_builds_heap_cache(self):
+        topo = StripeAATopology(RAIDGeometry(3, 1, 32768), 2048)
+        cache = make_aa_cache(topo, np.zeros(topo.num_aas, dtype=np.int64))
+        assert isinstance(cache, RAIDAwareAACache)
+        assert cache.num_aas == topo.num_aas
+
+    def test_linear_topology_builds_hbps_cache(self):
+        topo = LinearAATopology(4096, 256)
+        cache = make_aa_cache(topo, np.zeros(topo.num_aas, dtype=np.int64))
+        assert isinstance(cache, RAIDAgnosticAACache)
+
+    def test_cache_config_tunes_hbps(self):
+        topo = LinearAATopology(4096, 256)
+        cfg = CacheConfig(hbps_bin_width=64, hbps_list_capacity=10)
+        cache = make_aa_cache(topo, config=cfg)
+        assert cache.hbps.bin_width == 64
+        assert cache.hbps.list_capacity == 10
+
+    def test_sim_config_is_accepted(self):
+        # aa_blocks >= the default bin width, so no clamping applies.
+        topo = LinearAATopology(16384, 2048)
+        cache = make_aa_cache(topo, config=SimConfig.default())
+        assert cache.hbps.bin_width == SimConfig.default().cache.hbps_bin_width
+
+
+class TestDeprecatedShims:
+    def test_heap_source_warns_and_still_works(self):
+        with pytest.warns(DeprecationWarning, match="HeapSource"):
+            src = HeapSource(make_heap())
+        assert isinstance(src, CacheSource)
+        assert src.next_aa() is not None
+
+    def test_hbps_source_warns_and_still_works(self):
+        with pytest.warns(DeprecationWarning, match="HBPSSource"):
+            src = HBPSSource(make_hbps())
+        assert isinstance(src, CacheSource)
+        assert src.next_aa() is not None

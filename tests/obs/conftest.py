@@ -1,0 +1,14 @@
+"""obs test fixtures: never leak an installed tracer across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _uninstall_tracer():
+    obs.uninstall()
+    yield
+    obs.uninstall()

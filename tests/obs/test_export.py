@@ -1,0 +1,79 @@
+"""Exporter tests: JSON-lines and Chrome trace_event validity, and the
+byte-for-byte determinism both formats guarantee."""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+
+
+def traced_workload():
+    """A small deterministic synthetic trace; returns the records."""
+    t = obs.install()
+    for cp in range(2):
+        obs.set_cp(cp)
+        obs.count("cp.begin", cp=cp)
+        with obs.span("cp", interval=cp):
+            with obs.span("cp.allocate", vol="v0", blocks=8):
+                obs.advance_us(3.0)
+                obs.count("cp.virtual_blocks", 8, where="vol:v0")
+            with obs.span("cp.boundary"):
+                obs.advance_us(11.0)
+                obs.count("cp.physical_blocks", 8, where="store")
+    records = t.records()
+    obs.uninstall()
+    return records
+
+
+class TestJsonl:
+    def test_one_valid_object_per_line(self):
+        records = traced_workload()
+        text = obs.export.to_jsonl(records)
+        assert text.endswith("\n")
+        lines = text.splitlines()
+        assert len(lines) == len(records)
+        docs = [json.loads(line) for line in lines]
+        assert docs[0]["name"] == "cp.begin"
+        assert {d["kind"] for d in docs} == {"span", "counter"}
+
+    def test_empty_records_empty_string(self):
+        assert obs.export.to_jsonl([]) == ""
+
+    def test_byte_identical_across_reruns(self):
+        a = obs.export.to_jsonl(traced_workload())
+        b = obs.export.to_jsonl(traced_workload())
+        assert a == b
+
+
+class TestChrome:
+    def test_document_structure(self):
+        doc = json.loads(obs.export.to_chrome(traced_workload()))
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["metadata"]["format"] == "repro-trace/1"
+        assert isinstance(doc["traceEvents"], list)
+
+    def test_span_maps_to_complete_event(self):
+        events = obs.export.chrome_events(traced_workload())
+        spans = [e for e in events if e["ph"] == "X"]
+        alloc = next(e for e in spans if e["name"] == "cp.allocate")
+        assert alloc["ts"] == 0.0 and alloc["dur"] == 3.0
+        assert alloc["pid"] == 0 and alloc["tid"] == 0
+        assert alloc["args"]["vol"] == "v0"
+        assert alloc["args"]["cp"] == 0
+
+    def test_counter_maps_to_counter_event(self):
+        events = obs.export.chrome_events(traced_workload())
+        counters = [e for e in events if e["ph"] == "C"]
+        vb = next(e for e in counters if e["name"] == "cp.virtual_blocks")
+        assert vb["args"]["cp.virtual_blocks"] == 8.0
+        assert vb["args"]["where"] == "vol:v0"
+
+    def test_only_x_and_c_phases(self):
+        events = obs.export.chrome_events(traced_workload())
+        assert {e["ph"] for e in events} <= {"X", "C"}
+
+    def test_byte_identical_across_reruns(self):
+        a = obs.export.to_chrome(traced_workload())
+        b = obs.export.to_chrome(traced_workload())
+        assert a == b

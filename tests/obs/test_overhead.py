@@ -1,0 +1,60 @@
+"""Disabled-tracer overhead: tracing must be free when off.
+
+Two guarantees back the <2% acceptance bar:
+
+* the *deterministic metrics* of a bench unit are bit-identical traced
+  vs untraced (the CI trace-smoke step diffs a traced quick sweep
+  against the untraced baseline at rtol 1e-6);
+* the disabled hot path — one module-global load plus a ``None``
+  check — costs well under a microsecond per call.  bench_quick units
+  issue on the order of 1e4-1e5 instrumentation calls in ~1 s of wall
+  time, so <1 us/call keeps the disabled overhead under 2% with an
+  order of magnitude to spare.
+"""
+
+from __future__ import annotations
+
+import timeit
+from dataclasses import replace
+
+from repro import obs
+from repro.bench.runner import plan_units, run_unit
+
+#: Generous per-call ceiling (seconds) for the disabled no-op path;
+#: ~10x a worst-case CI interpreter, ~50x a typical one.
+MAX_DISABLED_CALL_S = 2e-6
+
+
+class TestDisabledHotPath:
+    def test_disabled_count_is_submicrosecond(self):
+        n = 200_000
+        total = timeit.timeit(
+            "count('cp.virtual_blocks', 8)",
+            globals={"count": obs.count},
+            number=n,
+        )
+        assert total / n < MAX_DISABLED_CALL_S, (
+            f"disabled obs.count costs {total / n * 1e9:.0f} ns/call"
+        )
+
+    def test_disabled_span_is_submicrosecond(self):
+        n = 200_000
+        total = timeit.timeit(
+            "s = span('cp.allocate')\ns.__enter__()\ns.__exit__()",
+            globals={"span": obs.span},
+            number=n,
+        )
+        assert total / n < MAX_DISABLED_CALL_S, (
+            f"disabled obs.span costs {total / n * 1e9:.0f} ns/call"
+        )
+
+
+class TestTracedMetricsUnchanged:
+    def test_traced_unit_metrics_equal_untraced(self):
+        # The strong form of "overhead <2%": instrumentation does not
+        # move any simulated metric at all.
+        spec = plan_units(quick=True, experiments=["fig6"])[0]
+        plain = run_unit(spec)
+        traced = run_unit(replace(spec, trace=True))
+        assert traced["traced"] and traced["trace_records"] > 0
+        assert traced["metrics"] == plain["metrics"]

@@ -1,0 +1,93 @@
+"""MetricsLog.query(): the unified metric accessor, and the deprecated
+per-metric accessors it replaces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.cpu import CpuModel
+from repro.sim.stats import CPStats, MetricsLog
+
+
+def small_log() -> MetricsLog:
+    log = MetricsLog()
+    log.add(CPStats(cp_index=0, ops=100, physical_blocks=50, cpu_us=200.0))
+    log.add(CPStats(cp_index=1, ops=300, physical_blocks=150, cpu_us=600.0))
+    log.record_point("traffic.gold.p99_ms", 1.5)
+    log.record_point("traffic.gold.p99_ms", 2.5)
+    log.record_point("queue_depth", 4.0)
+    return log
+
+
+class TestQuery:
+    def test_summary_scalars(self):
+        log = small_log()
+        assert log.query("total_ops") == 400
+        assert log.query("total_physical_blocks") == 200
+        assert log.query("cpu_us_per_op") == pytest.approx(2.0)
+
+    def test_raw_series_by_full_name(self):
+        assert small_log().query("queue_depth") == [4.0]
+
+    def test_tenant_tag_resolves_traffic_series(self):
+        assert small_log().query("p99_ms", tenant="gold") == [1.5, 2.5]
+
+    def test_series_returned_as_copies(self):
+        log = small_log()
+        log.query("queue_depth").append(99.0)
+        assert log.query("queue_depth") == [4.0]
+
+    def test_unknown_metric_raises_keyerror_listing_choices(self):
+        with pytest.raises(KeyError, match="queue_depth"):
+            small_log().query("nope")
+
+    def test_default_suppresses_keyerror(self):
+        assert small_log().query("nope", default=[0]) == [0]
+        assert small_log().query("p99_ms", tenant="iron", default=None) is None
+
+    def test_unknown_tags_raise_typeerror(self):
+        with pytest.raises(TypeError, match="color"):
+            small_log().query("total_ops", color="red")
+
+    def test_cpu_phase_breakdown(self):
+        log = small_log()
+        model = CpuModel()
+        phases = log.query("cpu_phase_us", model=model)
+        assert isinstance(phases, dict) and phases
+        one = next(iter(sorted(phases)))
+        assert log.query("cpu_phase_us", model=model, phase=one) == phases[one]
+
+    def test_cpu_phase_requires_model(self):
+        with pytest.raises(TypeError, match="model"):
+            small_log().query("cpu_phase_us")
+
+    def test_unknown_phase_raises_unless_default(self):
+        log = small_log()
+        model = CpuModel()
+        with pytest.raises(KeyError):
+            log.query("cpu_phase_us", model=model, phase="nope")
+        assert (
+            log.query("cpu_phase_us", model=model, phase="nope", default=0.0)
+            == 0.0
+        )
+
+
+class TestDeprecatedAccessors:
+    def test_series_property_warns_and_delegates(self):
+        log = small_log()
+        with pytest.warns(DeprecationWarning, match="series"):
+            series = log.series
+        assert series["queue_depth"] == [4.0]
+
+    def test_cpu_phase_us_warns_and_matches_query(self):
+        log = small_log()
+        model = CpuModel()
+        with pytest.warns(DeprecationWarning, match="cpu_phase_us"):
+            old = log.cpu_phase_us(model)
+        assert old == log.query("cpu_phase_us", model=model)
+
+    def test_reset_series_drops_series_keeps_cps(self):
+        log = small_log()
+        log.reset_series()
+        assert log.query("queue_depth", default=None) is None
+        assert log.query("total_ops") == 400

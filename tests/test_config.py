@@ -1,0 +1,112 @@
+"""SimConfig consolidation tests: the typed frozen dataclasses, the
+single ``SimConfig.default()`` entry point, and the one-release
+deprecation shims for the loose keyword arguments they replaced."""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro.common.config import (
+    AllocatorConfig,
+    BenchConfig,
+    CacheConfig,
+    FaultConfig,
+    ObsConfig,
+    SimConfig,
+    TrafficConfig,
+)
+from repro.fs import MediaType, RAIDGroupConfig, VolSpec, WaflSim
+from repro.fs.aggregate import RAIDStore
+
+GROUPS = [
+    RAIDGroupConfig(
+        ndata=3,
+        nparity=1,
+        blocks_per_disk=32768,
+        media=MediaType.SSD,
+        stripes_per_aa=2048,
+    )
+]
+VOLS = [VolSpec("volA", 16384)]
+
+
+class TestSimConfig:
+    def test_default_is_a_singleton(self):
+        assert SimConfig.default() is SimConfig.default()
+
+    def test_sections_are_typed(self):
+        cfg = SimConfig.default()
+        assert isinstance(cfg.allocator, AllocatorConfig)
+        assert isinstance(cfg.cache, CacheConfig)
+        assert isinstance(cfg.traffic, TrafficConfig)
+        assert isinstance(cfg.bench, BenchConfig)
+        assert isinstance(cfg.faults, FaultConfig)
+        assert isinstance(cfg.obs, ObsConfig)
+
+    def test_frozen(self):
+        cfg = SimConfig.default()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.allocator = AllocatorConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.allocator.threshold_fraction = 0.5
+
+    def test_replace_derives_variants(self):
+        cfg = dataclasses.replace(
+            SimConfig.default(),
+            allocator=AllocatorConfig(threshold_fraction=0.25),
+        )
+        assert cfg.allocator.threshold_fraction == 0.25
+        # The shared default is untouched.
+        assert SimConfig.default().allocator.threshold_fraction == 0.0
+
+    def test_canonical_seeds_cover_all_experiments(self):
+        from repro.bench.runner import ALL_EXPERIMENTS
+
+        seeds = SimConfig.default().bench.canonical_seeds()
+        assert set(seeds) == set(ALL_EXPERIMENTS)
+
+
+class TestThresholdShim:
+    def test_raidstore_config_path_is_silent(self):
+        cfg = dataclasses.replace(
+            SimConfig.default(),
+            allocator=AllocatorConfig(threshold_fraction=0.1),
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            store = RAIDStore(GROUPS, config=cfg, seed=7)
+        assert store.allocator.threshold_fraction == 0.1
+
+    def test_raidstore_kwarg_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="threshold_fraction"):
+            store = RAIDStore(GROUPS, threshold_fraction=0.1, seed=7)
+        assert store.allocator.threshold_fraction == 0.1
+
+    def test_build_raid_kwarg_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="threshold_fraction"):
+            sim = WaflSim.build_raid(
+                GROUPS, VOLS, threshold_fraction=0.1, seed=7
+            )
+        assert sim.store.allocator.threshold_fraction == 0.1
+
+    def test_build_raid_config_path_is_silent(self):
+        cfg = dataclasses.replace(
+            SimConfig.default(),
+            allocator=AllocatorConfig(threshold_fraction=0.1),
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            sim = WaflSim.build_raid(GROUPS, VOLS, config=cfg, seed=7)
+        assert sim.store.allocator.threshold_fraction == 0.1
+
+    def test_default_comes_from_sim_config(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            store = RAIDStore(GROUPS, seed=7)
+        assert (
+            store.allocator.threshold_fraction
+            == SimConfig.default().allocator.threshold_fraction
+        )
