@@ -27,6 +27,9 @@ Rule families
 * **E — error hygiene.**  Bare/over-broad excepts and silently dropped
   library errors hide exactly the corruption the auditor exists to
   surface.
+* **C — crash consistency.**  The committed metadata image is the
+  state a crash recovers to; only the sanctioned commit path in
+  :mod:`repro.crash.persistence` may replace it.
 """
 
 from __future__ import annotations
@@ -41,6 +44,7 @@ __all__ = [
     "ORDER_SAFE_CONSUMERS",
     "REPRO_ERROR_NAMES",
     "WALL_CLOCK_CALLS",
+    "COMMITTED_IMAGE_ATTRS",
 ]
 
 
@@ -132,6 +136,16 @@ RULES: dict[str, Rule] = {
             "(repro.obs) and corrupts machine-readable CLI output; emit "
             "spans/counters via repro.obs, or format output in cli.py.",
         ),
+        Rule(
+            "C601",
+            "committed-image attribute mutated outside the crash-"
+            "consistency commit path",
+            "the committed metadata image is what a crash recovers to; "
+            "it may change only through PersistenceModel.commit() "
+            "(repro.crash.persistence) — any other assignment silently "
+            "moves the recovery target and voids the crash-consistency "
+            "guarantee.",
+        ),
     )
 }
 
@@ -157,6 +171,9 @@ LAYER_RANK: dict[str, int] = {
     "faults": 10,
     "bench": 11,
     "analysis": 12,
+    #: The crash-consistency subsystem drives the whole stack (mount,
+    #: traffic, the invariant auditor) and is consumed only by cli.
+    "crash": 13,
 }
 
 #: Identifier suffixes treated as units by U301.  Multiplicative
@@ -195,7 +212,16 @@ REPRO_ERROR_NAMES: frozenset[str] = frozenset(
         "MediaError",
         "DegradedError",
         "AuditError",
+        "CrashError",
+        "TornWriteError",
+        "RecoveryExhaustedError",
     }
+)
+
+#: Attribute names C601 treats as the committed image.  Only the
+#: sanctioned commit path (repro/crash/persistence.py) may assign them.
+COMMITTED_IMAGE_ATTRS: frozenset[str] = frozenset(
+    {"committed", "committed_image", "committed_images"}
 )
 
 #: Dotted calls D103 flags (``perf_counter`` is allowed: it only times

@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from .rules import (
+    COMMITTED_IMAGE_ATTRS,
     LAYER_RANK,
     REPRO_ERROR_NAMES,
     RULES,
@@ -318,7 +319,37 @@ class _Linter(ast.NodeVisitor):
         is_set = self._is_set_ctor(node.value)
         for target in node.targets:
             self._record_binding(target, is_set)
+            self._check_committed_attr(target)
         self.generic_visit(node)
+
+    # -- C601: committed-image mutation outside the commit path --------
+    def _check_committed_attr(self, target: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._check_committed_attr(elt)
+            return
+        # Both direct replacement (obj.committed = x) and structural
+        # mutation (obj.committed.pages[k] = x, obj.committed[i] = x)
+        # move the recovery target.
+        while isinstance(target, ast.Subscript):
+            target = target.value
+        attr = target
+        while isinstance(attr, ast.Attribute):
+            if attr.attr in COMMITTED_IMAGE_ATTRS:
+                if (
+                    self.package == "crash"
+                    and Path(self.path).name == "persistence.py"
+                ):
+                    return  # the sanctioned commit path
+                self._emit(
+                    "C601",
+                    target,
+                    f"{RULES['C601'].summary}: assignment to "
+                    f"'.{attr.attr}' — route the change through "
+                    f"PersistenceModel.commit()",
+                )
+                return
+            attr = attr.value
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
         is_set = (node.value is not None and self._is_set_ctor(node.value)) or (
@@ -333,6 +364,7 @@ class _Linter(ast.NodeVisitor):
             and self._is_set_ctor(node.value)
         ))
         self._check_aug_or_ann_units(node)
+        self._check_committed_attr(node.target)
         self.generic_visit(node)
 
     def _is_set_expr(self, node: ast.AST) -> bool:
@@ -424,6 +456,7 @@ class _Linter(ast.NodeVisitor):
         self._record_binding(node.target, False) if not isinstance(
             node.op, (ast.BitOr, ast.BitAnd)
         ) else None
+        self._check_committed_attr(node.target)
         self.generic_visit(node)
 
     def _check_aug_or_ann_units(self, node: ast.AnnAssign) -> None:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..common.errors import BitmapError
+from ..common.errors import BitmapError, SerializationError
 
 __all__ = ["Bitmap"]
 
@@ -80,6 +80,23 @@ class Bitmap:
         v = self._bytes.view()
         v.flags.writeable = False
         return v
+
+    def load_bytes(self, data: bytes | np.ndarray) -> None:
+        """Replace the backing bytes with a persisted image.
+
+        ``data`` must be exactly ``nblocks // 8`` bytes; the cached
+        allocated count is recomputed from the new bytes (so the loaded
+        image is authoritative, never the stale counter).  Raises
+        :class:`SerializationError` on a length mismatch — the caller
+        is holding an image for a different geometry.
+        """
+        arr = np.frombuffer(bytes(data), dtype=np.uint8)
+        if arr.size != self._bytes.size:
+            raise SerializationError(
+                f"bitmap image is {arr.size} bytes, geometry needs {self._bytes.size}"
+            )
+        self._bytes[:] = arr
+        self._allocated = self.popcount()
 
     def test(self, vbns: np.ndarray | int) -> np.ndarray:
         """Return a boolean array: True where the VBN is allocated."""

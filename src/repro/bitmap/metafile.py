@@ -138,6 +138,30 @@ class BitmapMetafile:
         self.cp_drains += 1
         return n
 
+    # ------------------------------------------------------------------
+    # Persistence (crash-consistency image)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize the bitmap contents for a persisted metadata image.
+
+        Only the allocation state is captured — cumulative I/O counters
+        are *measurement* state, not file-system state, so a recovered
+        metafile is byte-identical to the committed one regardless of
+        how many reads the recovery itself performed.
+        """
+        return self.bitmap.raw_bytes.tobytes()
+
+    def load_bytes(self, data: bytes) -> None:
+        """Restore the bitmap from :meth:`to_bytes` output.
+
+        The dirty set is cleared — a just-recovered metafile has, by
+        definition, nothing to flush for the crashed CP.  Raises
+        :class:`~repro.common.errors.SerializationError` on a geometry
+        mismatch (delegated to :meth:`Bitmap.load_bytes`).
+        """
+        self.bitmap.load_bytes(data)
+        self._dirty[:] = False
+
     def note_scan_read(self, nblocks_read: int | None = None) -> int:
         """Charge a metafile read scan (e.g. AA-cache rebuild walk).
 

@@ -61,3 +61,25 @@ class DegradedError(MediaError):
 class AuditError(ReproError):
     """The runtime invariant auditor found a cross-layer inconsistency
     (see :mod:`repro.analysis.auditor`)."""
+
+
+class CrashError(ReproError):
+    """A simulated crash was injected at a registered crash point
+    (a CP span edge — see :mod:`repro.crash.registry`).  Everything the
+    crashed consistency point did in memory is lost; recovery restores
+    the last committed CP image."""
+
+
+class TornWriteError(SerializationError):
+    """A persisted metadata page failed verification because the crash
+    landed mid-write: only a leading run of device sectors carries the
+    new image, the tail still holds older bytes (or nothing).  Detected
+    by the page checksum at recovery; the torn page is discarded and
+    the committed copy used instead."""
+
+
+class RecoveryExhaustedError(TransientIOError):
+    """The bounded retry budget shared by the recovery pipeline (mount
+    page reads + background rebuild) was exhausted before the transient
+    fault cleared.  Subclasses :class:`TransientIOError` because the
+    last failure was transient — it just persisted past the budget."""

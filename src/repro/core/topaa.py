@@ -41,6 +41,8 @@ __all__ = [
     "TOPAA_HEADER_BYTES",
     "PAGE_KIND_HEAP_SEED",
     "PAGE_KIND_HBPS",
+    "PAGE_KIND_BITMAP",
+    "PAGE_KIND_FS_IMAGE",
 ]
 
 _SENTINEL = np.uint32(0xFFFFFFFF)
@@ -63,6 +65,10 @@ TOPAA_HEADER_BYTES = _PAGE_HEADER.size
 
 PAGE_KIND_HEAP_SEED = 1
 PAGE_KIND_HBPS = 2
+#: Persisted bitmap-metafile image (crash-consistency subsystem).
+PAGE_KIND_BITMAP = 3
+#: Persisted per-FS metadata image: bitmap + FlexVol maps + logs.
+PAGE_KIND_FS_IMAGE = 4
 
 
 def seal_page(payload: bytes, kind: int, num_aas: int) -> bytes:

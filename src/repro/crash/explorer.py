@@ -1,0 +1,394 @@
+"""Systematic crash-state exploration (CrashMonkey-style).
+
+For every CP of a seeded workload, the explorer first *dry-runs* the CP
+on a deep copy of the simulator with a recording
+:class:`~repro.crash.registry.CrashTracer` to enumerate its span edges
+— the crash points.  Then, for each edge, it deep-copies the pristine
+pre-CP state again, re-runs the CP with the tracer armed to crash at
+exactly that edge, captures the (possibly torn) shadow image when the
+crash landed inside the persistence write window, recovers through the
+real mount path, and verifies the recovered state three ways:
+
+1. the full :func:`repro.analysis.auditor.audit_sim` invariant audit
+   (bitmap popcounts, keeper totals, cache bins, delayed-free
+   conservation, FlexVol map accounting);
+2. a WAFL-Iron scan (:func:`repro.fs.iron.scan`) — zero leaked and
+   zero double-allocated blocks against the map/snapshot/pending
+   references;
+3. byte-equality: re-serializing the recovered file systems must
+   reproduce the committed image's sealed pages bit for bit.
+
+Only after the whole sweep does the *real* CP run and the persistence
+model commit, so every crash point of CP *n* is explored against the
+committed image of CP *n-1* — exactly the state WAFL guarantees a
+crash recovers to.  Everything is seeded: the same seed replays the
+same matrix byte-identically (:meth:`CrashMatrix.digest`).
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from .. import obs
+from ..analysis.auditor import audit_sim
+from ..common.errors import CrashError
+from ..fs import iron
+from ..fs.cp import CPBatch
+from ..fs.filesystem import WaflSim
+from .persistence import PersistenceModel, capture_image
+from .registry import (
+    CrashPoint,
+    CrashTracer,
+    boundary_enter_index,
+    commit_edge_index,
+    record_crash_points,
+)
+
+__all__ = [
+    "CrashOutcome",
+    "CrashMatrix",
+    "sweep_crash_points",
+    "explore_cps",
+    "explore_aging",
+    "explore_noisy_neighbor",
+]
+
+
+@dataclass(frozen=True)
+class CrashOutcome:
+    """One crash point explored: where it crashed and how recovery went."""
+
+    #: Index the interrupted CP would have committed as (recovery lands
+    #: on the committed CP ``cp_index - 1``).
+    cp_index: int
+    point: CrashPoint
+    #: Crash landed at/after the ``cp.boundary`` enter edge, so shadow
+    #: pages (and in-place TopAA pages) were mid-write and may be torn.
+    in_write_window: bool
+    #: Crash landed *after* the modeled superblock switch (possible when
+    #: the step wraps ``run_cp``, e.g. a traffic step): the shadow was
+    #: adopted, so recovery must land on the new CP, not the old one.
+    post_commit: bool
+    #: The injected CrashError actually fired (sanity: always True).
+    crashed: bool
+    #: Shadow pages whose checksum envelope detected the torn write.
+    torn_pages: tuple[str, ...]
+    #: Instances restored from the committed image.
+    restored: int
+    #: Retries consumed by the recovery's shared budget.
+    retries: int
+    #: Modeled time from crash to allocatable caches (us).
+    recovery_us: float
+    #: Everything that went wrong (empty == verified recovery).
+    violations: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return self.crashed and not self.violations
+
+    def row(self) -> str:
+        """Canonical one-line form (feeds the matrix digest)."""
+        status = "ok" if self.ok else "FAIL"
+        torn = ",".join(self.torn_pages) if self.torn_pages else "-"
+        return (
+            f"cp={self.cp_index} {self.point.label} "
+            f"window={int(self.in_write_window)} post={int(self.post_commit)} "
+            f"torn={torn} restored={self.restored} retries={self.retries} {status}"
+        )
+
+
+@dataclass
+class CrashMatrix:
+    """Every explored crash point of one workload, plus per-CP digests."""
+
+    workload: str
+    seed: int
+    outcomes: list[CrashOutcome] = field(default_factory=list)
+    #: Committed-image digest after each real CP (tracks the timeline
+    #: the crashes were explored against).
+    committed_digests: list[str] = field(default_factory=list)
+
+    @property
+    def cps_swept(self) -> int:
+        return len(self.committed_digests)
+
+    @property
+    def crash_points(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def violations(self) -> list[CrashOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def torn_write_cases(self) -> int:
+        return sum(1 for o in self.outcomes if o.torn_pages)
+
+    @property
+    def ok(self) -> bool:
+        return self.cps_swept > 0 and not self.violations
+
+    def digest(self) -> str:
+        """Content hash of the whole matrix; same seed => same digest."""
+        h = hashlib.sha256()
+        h.update(f"{self.workload}:{self.seed}".encode())
+        for o in self.outcomes:
+            h.update(o.row().encode())
+            h.update(b"|".join(v.encode() for v in o.violations))
+        for d in self.committed_digests:
+            h.update(d.encode())
+        return h.hexdigest()
+
+    def extend(self, other: "CrashMatrix") -> None:
+        self.outcomes.extend(other.outcomes)
+        self.committed_digests.extend(other.committed_digests)
+
+
+# ----------------------------------------------------------------------
+# Core sweep
+# ----------------------------------------------------------------------
+def _verify_recovered(model: PersistenceModel, sim: WaflSim) -> list[str]:
+    """All three recovery checks; returns violation strings."""
+    problems = [str(v) for v in audit_sim(sim).violations]
+    iron_report = iron.scan(sim)
+    problems.extend(str(f) for f in iron_report.findings)
+    committed = model.committed
+    if sim.engine.cp_index != committed.cp_index:
+        problems.append(
+            f"[engine] cp_index: recovered to {sim.engine.cp_index}, "
+            f"committed image is CP {committed.cp_index}"
+        )
+    recaptured = capture_image(sim, cp_index=committed.cp_index)
+    for where in sorted(set(committed.pages) | set(recaptured.pages)):
+        a = committed.pages.get(where)
+        b = recaptured.pages.get(where)
+        if a is None or b is None:
+            problems.append(f"[{where}] image: instance missing from one side")
+        elif a != b:
+            problems.append(
+                f"[{where}] image: recovered state re-serializes differently "
+                f"from the committed page"
+            )
+    return problems
+
+
+def sweep_crash_points(
+    state,
+    run_step: Callable[[object], object],
+    model: PersistenceModel,
+    *,
+    sim_of: Callable[[object], WaflSim] = lambda s: s,
+) -> list[CrashOutcome]:
+    """Explore every span edge of one step against ``model.committed``.
+
+    ``state`` is the pristine pre-step driver (a :class:`WaflSim` or a
+    :class:`~repro.traffic.engine.TrafficEngine`); it is deep-copied
+    per trial and **never mutated** — the caller runs the real step
+    afterwards.  ``run_step`` executes the step on a copy; ``sim_of``
+    extracts the :class:`WaflSim` to recover and audit.
+    """
+    probe = copy.deepcopy(state)
+    edges = record_crash_points(lambda: run_step(probe))
+    window_start = boundary_enter_index(edges)
+    commit_idx = commit_edge_index(edges)
+    cp_index = model.committed.cp_index + 1
+    outcomes: list[CrashOutcome] = []
+    for point in edges:
+        trial = copy.deepcopy(state)
+        tracer = CrashTracer(crash_at=point.index)
+        prev = obs.install_tracer(tracer)
+        crashed = False
+        try:
+            run_step(trial)
+        except CrashError:
+            crashed = True
+        finally:
+            obs.install_tracer(prev)
+        sim = sim_of(trial)
+        post_commit = commit_idx is not None and point.index > commit_idx
+        in_window = (
+            not post_commit
+            and window_start is not None
+            and point.index >= window_start
+        )
+        report, violations = crash_recover_verify(
+            model, sim, in_window=in_window, post_commit=post_commit
+        )
+        if not crashed:
+            violations.append(
+                f"[{point.label}] crash: injected CrashError never fired"
+            )
+        outcomes.append(
+            CrashOutcome(
+                cp_index=cp_index,
+                point=point,
+                in_write_window=in_window,
+                post_commit=post_commit,
+                crashed=crashed,
+                torn_pages=tuple(report.torn_pages),
+                restored=len(report.restored),
+                retries=report.mount.total_retries,
+                recovery_us=report.modeled_recovery_us,
+                violations=tuple(violations),
+            )
+        )
+    return outcomes
+
+
+def crash_recover_verify(
+    model: PersistenceModel,
+    sim: WaflSim,
+    *,
+    in_window: bool,
+    post_commit: bool,
+):
+    """Recover a crashed sim and run all three verification passes.
+
+    Pre-commit crashes recover against ``model.committed`` (with a torn
+    shadow captured first when the crash was inside the write window).
+    Post-commit crashes model a crash after the superblock switch: the
+    shadow was adopted, so the crashed sim's *own* post-CP state is the
+    committed image recovery must reproduce.  Returns ``(RecoveryReport,
+    violations)``.
+    """
+    if post_commit:
+        adopted = PersistenceModel(sim, seed=model.committed.cp_index)
+        report = adopted.recover(sim)
+        return report, _verify_recovered(adopted, sim)
+    model.shadow = None
+    model.shadow_topaa = None
+    if in_window:
+        model.capture_shadow(sim)
+    report = model.recover(sim)
+    return report, _verify_recovered(model, sim)
+
+
+# ----------------------------------------------------------------------
+# Workload-level sweeps
+# ----------------------------------------------------------------------
+def explore_cps(
+    sim: WaflSim,
+    batches: Iterable[CPBatch],
+    *,
+    seed: int = 0,
+    max_cps: int | None = None,
+    workload: str = "custom",
+    model: PersistenceModel | None = None,
+) -> CrashMatrix:
+    """Sweep every crash point of every CP ``batches`` yields.
+
+    Each batch is swept against the previous CP's committed image, then
+    run for real and committed — so the timeline the crashes interrupt
+    is the same one an uncrashed run would produce.
+    """
+    if model is None:
+        model = PersistenceModel(sim, seed=seed)
+    matrix = CrashMatrix(workload=workload, seed=seed)
+    it: Iterator[CPBatch] = iter(batches)
+    n = 0
+    while max_cps is None or n < max_cps:
+        try:
+            batch = next(it)
+        except StopIteration:
+            break
+        matrix.outcomes.extend(
+            sweep_crash_points(sim, lambda s: s.engine.run_cp(batch), model)
+        )
+        sim.engine.run_cp(batch)
+        matrix.committed_digests.append(model.commit().digest())
+        n += 1
+    return matrix
+
+
+def _small_aged_sim(*, blocks_per_disk: int, seed: int) -> WaflSim:
+    """A small aged all-SSD sim sized for exhaustive crash sweeps."""
+    from ..fs.aggregate import MediaType, RAIDGroupConfig
+    from ..fs.flexvol import VolSpec
+    from ..workloads.aging import age_filesystem, reset_measurement_state
+
+    groups = [
+        RAIDGroupConfig(
+            ndata=3,
+            nparity=1,
+            blocks_per_disk=blocks_per_disk,
+            media=MediaType.SSD,
+            stripes_per_aa=256,
+        )
+    ]
+    phys = 3 * blocks_per_disk
+    vols = [
+        VolSpec("volA", logical_blocks=phys // 4),
+        VolSpec("volB", logical_blocks=phys // 8),
+    ]
+    sim = WaflSim.build_raid(groups, vols, seed=seed)
+    age_filesystem(sim, churn_factor=1.0, ops_per_cp=2048, seed=seed)
+    reset_measurement_state(sim)
+    return sim
+
+
+def explore_aging(
+    *,
+    cps: int = 3,
+    seed: int = 0,
+    blocks_per_disk: int = 8192,
+    ops_per_cp: int = 512,
+) -> CrashMatrix:
+    """Acceptance sweep #1: random-overwrite churn on an aged system.
+
+    Ages a small sim (fill + churn, so the delayed-free logs and AA
+    caches carry real history), then sweeps every crash point of
+    ``cps`` consecutive overwrite CPs.
+    """
+    from ..workloads.random_overwrite import RandomOverwriteWorkload
+
+    sim = _small_aged_sim(blocks_per_disk=blocks_per_disk, seed=seed)
+    wl = RandomOverwriteWorkload(sim, ops_per_cp=ops_per_cp, seed=seed + 1)
+    return explore_cps(
+        sim, iter(wl), seed=seed, max_cps=cps, workload="aging"
+    )
+
+
+def explore_noisy_neighbor(
+    *,
+    cps: int = 3,
+    seed: int = 0,
+    n_tenants: int = 3,
+    blocks_per_disk: int = 16384,
+) -> CrashMatrix:
+    """Acceptance sweep #2: crash points under multi-tenant contention.
+
+    Builds the ``noisy-neighbor`` traffic scenario (aggressor saturating
+    the backend, QoS-capped victim) and sweeps every span edge of
+    ``cps`` consecutive engine steps — each step admits tenant ops and
+    runs their CP, so the swept edges include the whole admission +
+    allocation + boundary pipeline under contention.
+    """
+    from ..traffic.engine import TrafficEngine
+    from ..traffic.scenarios import (
+        build_scenario,
+        build_traffic_sim,
+        calibrate_capacity,
+    )
+
+    sim = build_traffic_sim(
+        n_tenants, blocks_per_disk=blocks_per_disk, seed=seed + 40
+    )
+    cal = calibrate_capacity(sim, seed=seed + 41)
+    tenants = build_scenario(
+        "noisy-neighbor", sim, cal.capacity_ops, n_tenants=n_tenants, seed=seed + 42
+    )
+    engine = TrafficEngine(sim, tenants)
+    model = PersistenceModel(sim, seed=seed)
+    matrix = CrashMatrix(workload="noisy-neighbor", seed=seed)
+    for _ in range(cps):
+        matrix.outcomes.extend(
+            sweep_crash_points(
+                engine, lambda e: e.step(), model, sim_of=lambda e: e.sim
+            )
+        )
+        engine.step()
+        matrix.committed_digests.append(model.commit().digest())
+    return matrix

@@ -1,0 +1,226 @@
+"""Crashes mid-CP under live multi-tenant traffic.
+
+The explorer sweeps crash points against a quiesced timeline; this
+module answers the operational question on top of it: when the system
+dies mid-CP *while tenants are still submitting*, what happens to the
+ops the QoS layer already admitted but the crashed CP never committed?
+
+The model mirrors a filer's NVRAM-backed op log: admission is durable,
+CP commitment is not.  At each crash step the run
+
+1. deep-copies the whole traffic engine *before* the step — the
+   pre-crash admission state (queued arrivals, token buckets, QoS
+   rejections) that survives in the op log;
+2. crashes the live engine at a seeded crash point inside the step via
+   :class:`~repro.crash.registry.CrashTracer`;
+3. recovers the crashed sim to the last committed CP through the real
+   mount path and audits it (invariants + Iron scan + byte-equality);
+4. replays the step **twice** from two independent copies of the
+   pre-crash state and requires bit-identical outcomes — same admitted
+   op counts per tenant, same QoS rejections, same dirtied blocks,
+   same CP stats — i.e. every admitted-but-uncommitted op is
+   deterministically replayed and every shed op is deterministically
+   rejected again;
+5. adopts one replay as the continuing timeline and commits.
+
+A nonzero :attr:`CrashUnderLoadReport.ok` failure means either a
+recovery violation or a nondeterministic replay, and the ``repro
+crash`` CLI exits nonzero on it.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+from dataclasses import dataclass, field
+
+from .. import obs
+from ..common.errors import CrashError
+from ..common.rng import make_rng
+from .explorer import crash_recover_verify
+from .persistence import PersistenceModel
+from .registry import (
+    CrashTracer,
+    boundary_enter_index,
+    commit_edge_index,
+    record_crash_points,
+)
+
+__all__ = ["CrashUnderLoadReport", "run_crash_under_load"]
+
+
+@dataclass
+class CrashRecord:
+    """One mid-step crash: where it hit and how recovery + replay went."""
+
+    step: int
+    point_label: str
+    in_write_window: bool
+    #: Crash landed after the CP's superblock switch within the step.
+    post_commit: bool
+    torn_pages: tuple[str, ...]
+    #: Recovery violations (audit / Iron / byte-equality), empty == clean.
+    violations: tuple[str, ...]
+    #: Both replays of the pre-crash step produced identical admitted /
+    #: rejected / dirtied-block outcomes.
+    replay_consistent: bool
+    #: Per-tenant ops the replayed CP carried (the admitted-but-
+    #: uncommitted ops, now deterministically re-applied).
+    replayed_ops: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.replay_consistent and not self.violations
+
+    def row(self) -> str:
+        ops = ",".join(f"{k}={v}" for k, v in sorted(self.replayed_ops.items()))
+        status = "ok" if self.ok else "FAIL"
+        return (
+            f"step={self.step} {self.point_label} "
+            f"window={int(self.in_write_window)} post={int(self.post_commit)} "
+            f"torn={','.join(self.torn_pages) or '-'} ops={ops or '-'} {status}"
+        )
+
+
+@dataclass
+class CrashUnderLoadReport:
+    """A finished crash-under-load run."""
+
+    scenario: str
+    seed: int
+    steps: int = 0
+    crashes: list[CrashRecord] = field(default_factory=list)
+    committed_digests: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.crashes) and all(c.ok for c in self.crashes)
+
+    def digest(self) -> str:
+        h = hashlib.sha256()
+        h.update(f"{self.scenario}:{self.seed}:{self.steps}".encode())
+        for c in self.crashes:
+            h.update(c.row().encode())
+            h.update(b"|".join(v.encode() for v in c.violations))
+        for d in self.committed_digests:
+            h.update(d.encode())
+        return h.hexdigest()
+
+
+def _step_fingerprint(engine, stats) -> tuple:
+    """Everything a replayed step must reproduce exactly."""
+    admitted = {st.spec.name: st.admitted for st in engine.states}
+    rejected = {st.spec.name: len(st.rejected_us) for st in engine.states}
+    if stats is None:
+        cp = None
+    else:
+        cp = (
+            stats.ops,
+            stats.physical_blocks,
+            stats.virtual_blocks,
+            stats.blocks_freed,
+            tuple(sorted(stats.ops_by_source.items())),
+        )
+    return (tuple(sorted(admitted.items())), tuple(sorted(rejected.items())), cp)
+
+
+def run_crash_under_load(
+    *,
+    scenario: str = "noisy-neighbor",
+    steps: int = 6,
+    crash_every: int = 2,
+    seed: int = 0,
+    n_tenants: int = 3,
+    blocks_per_disk: int = 16384,
+) -> CrashUnderLoadReport:
+    """Drive a traffic scenario, crashing mid-CP every ``crash_every``
+    steps, and verify recovery plus deterministic replay (see module
+    docstring).  Fully seeded: same seed, same report digest.
+    """
+    from ..traffic.engine import TrafficEngine
+    from ..traffic.scenarios import (
+        build_scenario,
+        build_traffic_sim,
+        calibrate_capacity,
+    )
+
+    if steps <= 0 or crash_every <= 0:
+        raise ValueError("steps and crash_every must be positive")
+    rng = make_rng(seed)
+    sim = build_traffic_sim(n_tenants, blocks_per_disk=blocks_per_disk, seed=seed + 50)
+    cal = calibrate_capacity(sim, seed=seed + 51)
+    tenants = build_scenario(
+        scenario, sim, cal.capacity_ops, n_tenants=n_tenants, seed=seed + 52
+    )
+    engine = TrafficEngine(sim, tenants)
+    model = PersistenceModel(sim, seed=seed)
+    report = CrashUnderLoadReport(scenario=scenario, seed=seed)
+
+    for step in range(steps):
+        if (step + 1) % crash_every:
+            engine.step()
+            report.committed_digests.append(model.commit().digest())
+            report.steps += 1
+            continue
+
+        # The durable pre-crash state: admission queues as the op log
+        # left them the instant before the fatal step began.
+        pre = copy.deepcopy(engine)
+        probe = copy.deepcopy(engine)
+        edges = record_crash_points(probe.step)
+        window_start = boundary_enter_index(edges)
+        commit_idx = commit_edge_index(edges)
+        k = int(rng.integers(0, len(edges)))
+        point = edges[k]
+
+        tracer = CrashTracer(crash_at=k)
+        prev = obs.install_tracer(tracer)
+        crashed = False
+        try:
+            engine.step()
+        except CrashError:
+            crashed = True
+        finally:
+            obs.install_tracer(prev)
+
+        post_commit = commit_idx is not None and k > commit_idx
+        in_window = (
+            not post_commit and window_start is not None and k >= window_start
+        )
+        recovery, violations = crash_recover_verify(
+            model, engine.sim, in_window=in_window, post_commit=post_commit
+        )
+        if not crashed:
+            violations.append(
+                f"[{point.label}] crash: injected CrashError never fired under load"
+            )
+
+        # Replay the lost step twice from the durable pre-crash state;
+        # a deterministic op log must reproduce it bit-identically.
+        replay = copy.deepcopy(pre)
+        shadow_replay = copy.deepcopy(pre)
+        stats = replay.step()
+        shadow_stats = shadow_replay.step()
+        fp = _step_fingerprint(replay, stats)
+        consistent = fp == _step_fingerprint(shadow_replay, shadow_stats)
+        replayed_ops = dict(stats.ops_by_source) if stats is not None else {}
+
+        report.crashes.append(
+            CrashRecord(
+                step=step,
+                point_label=point.label,
+                in_write_window=in_window,
+                post_commit=post_commit,
+                torn_pages=tuple(recovery.torn_pages),
+                violations=tuple(violations),
+                replay_consistent=consistent,
+                replayed_ops=replayed_ops,
+            )
+        )
+        # The replayed timeline continues; the crashed engine (recovered
+        # but with its in-flight admissions consumed) is discarded.
+        engine = replay
+        model.sim = engine.sim
+        report.committed_digests.append(model.commit().digest())
+        report.steps += 1
+    return report

@@ -19,10 +19,13 @@ The self-healing sequence after detected metafile damage:
 
 from __future__ import annotations
 
+from ..common.errors import MountError
+from ..common.retry import RetryBudget, retry_with_backoff
 from ..core.cache import make_aa_cache
 from ..fs.aggregate import LinearStore, RAIDStore
 from ..fs.filesystem import WaflSim
 from ..fs.iron import IronReport, repair
+from ..fs.mount import DEFAULT_MOUNT_RETRIES
 
 __all__ = ["attach_everywhere", "instances", "degraded_instances", "escalate", "exit_degraded"]
 
@@ -66,17 +69,37 @@ def escalate(sim: WaflSim, wheres) -> IronReport:
     if not scope:
         return IronReport(repaired=True)
     by_where = instances(sim)
+    unknown = sorted(scope - set(by_where))
+    if unknown:
+        raise MountError(
+            f"escalate: unknown file-system labels {unknown}; "
+            f"valid labels are {sorted(by_where)}"
+        )
     for where in sorted(scope):
-        fs = by_where.get(where)
-        if fs is not None and not fs.degraded_alloc:
+        fs = by_where[where]
+        if not fs.degraded_alloc:
             fs.enter_degraded()
     return repair(sim, scope=scope, rebuild_caches=False)
 
 
-def exit_degraded(sim: WaflSim) -> int:
+def exit_degraded(sim: WaflSim, *, budget: RetryBudget | None = None) -> int:
     """Rebuild AA caches for every degraded file system and swap them
     in (the background rebuild completing).  Charges one bitmap walk
-    per rebuilt cache; returns the number of metafile blocks read."""
+    per rebuilt cache; returns the number of metafile blocks read.
+
+    Walks retry transient faults from ``budget`` (a fresh bounded
+    budget when omitted) and raise the typed
+    :class:`~repro.common.errors.RecoveryExhaustedError` when it runs
+    dry, instead of dying on the first transient hiccup."""
+    if budget is None:
+        budget = RetryBudget(DEFAULT_MOUNT_RETRIES)
+
+    def _read(fs) -> int:
+        blocks, _, _ = retry_with_backoff(
+            fs.read_metafile, budget=budget, base_backoff_us=0.0, where=fs.where
+        )
+        return blocks
+
     blocks_read = 0
     store = sim.store
     group_touched = False
@@ -84,20 +107,20 @@ def exit_degraded(sim: WaflSim) -> int:
         for g in store.groups:
             if not g.degraded_alloc:
                 continue
-            blocks_read += g.read_metafile()
+            blocks_read += _read(g)
             scores = g.topology.scores_from_bitmap(g.metafile.bitmap)
             g.adopt_cache(make_aa_cache(g.topology, scores))
             group_touched = True
         if group_touched:
             store.rebind_allocators()
     elif isinstance(store, LinearStore) and store.degraded_alloc:
-        blocks_read += store.read_metafile()
+        blocks_read += _read(store)
         scores = store.topology.scores_from_bitmap(store.metafile.bitmap)
         store.adopt_cache(make_aa_cache(store.topology, scores))
     for vol in sim.vols.values():
         if not vol.degraded_alloc:
             continue
-        blocks_read += vol.read_metafile()
+        blocks_read += _read(vol)
         scores = vol.topology.scores_from_bitmap(vol.metafile.bitmap)
         vol.adopt_cache(make_aa_cache(vol.topology, scores))
     return blocks_read

@@ -86,6 +86,13 @@ class CPEngine:
         )
 
     # ------------------------------------------------------------------
+    @property
+    def cp_index(self) -> int:
+        """Index the *next* consistency point will run as (== CPs
+        committed so far).  The crash-consistency subsystem versions
+        its committed metadata images by this counter."""
+        return self._cp_index
+
     def run_cp(self, batch: CPBatch) -> CPStats:
         """Execute one consistency point and record its statistics."""
         obs.set_cp(self._cp_index)

@@ -84,10 +84,9 @@ def _vol_reference_virtual(vol) -> np.ndarray:
     refs = [vol.l2v[vol.l2v >= 0]]
     for held in vol._snapshots.values():
         refs.append(held)
-    pending = [
-        c for chunks in vol.delayed_frees._per_block.values() for c in chunks
-    ]
-    refs.extend(pending)
+    pending = vol.delayed_frees.pending_vbns()
+    if pending.size:
+        refs.append(pending)
     if not refs:
         return np.empty(0, dtype=np.int64)
     return np.unique(np.concatenate(refs))
@@ -108,9 +107,9 @@ def _store_reference_physical(sim: WaflSim) -> np.ndarray:
         else [(store.delayed_frees, 0)]
     )
     for log, offset in logs:
-        for chunks in log._per_block.values():
-            for c in chunks:
-                refs.append(c + offset)
+        pending = log.pending_vbns()
+        if pending.size:
+            refs.append(pending + offset)
     if not refs:
         return np.empty(0, dtype=np.int64)
     return np.unique(np.concatenate(refs))

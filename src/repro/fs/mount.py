@@ -40,7 +40,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from ..common.errors import MediaError, SerializationError, TransientIOError
+from ..common.errors import MediaError, SerializationError
+from ..common.retry import RetryBudget, retry_with_backoff
 from ..core.cache import make_aa_cache
 from ..core.topaa import (
     PAGE_KIND_HBPS,
@@ -61,8 +62,9 @@ __all__ = ["TopAAImage", "MountReport", "export_topaa", "simulate_mount", "backg
 #: from an HDD/SSD pool amortized over readahead).
 DEFAULT_METAFILE_READ_US = 250.0
 
-#: Retry attempts for a transient metafile-read failure before the
-#: error is raised to the caller.
+#: Total transient-read retries budgeted for one recovery (shared by
+#: the mount walk and the background rebuild) before the typed
+#: :class:`~repro.common.errors.RecoveryExhaustedError` is raised.
 DEFAULT_MOUNT_RETRIES = 3
 
 _UNSEAL_REASONS = ("bad-magic", "bad-version", "wrong-kind", "bad-crc", "stale", "truncated")
@@ -116,10 +118,20 @@ class MountReport:
     #: File systems whose bitmap walk hit unreconstructable damage and
     #: were repaired in place by a scoped Iron pass.
     repairs: list[str] = field(default_factory=list)
-    #: Transient read failures absorbed by retry.
+    #: Transient read failures absorbed by retry (mount walk phase).
     transient_retries: int = 0
     #: Modeled backoff time spent on those retries.
     retry_backoff_us: float = 0.0
+    #: Transient retries absorbed by the background rebuild when it was
+    #: handed this report (see :func:`background_rebuild`).
+    rebuild_retries: int = 0
+    #: Size of the shared recovery retry budget this mount drew from.
+    retry_budget_limit: int = 0
+
+    @property
+    def total_retries(self) -> int:
+        """All transient retries charged to the shared budget."""
+        return self.transient_retries + self.rebuild_retries
 
     @property
     def modeled_total_us(self) -> float:
@@ -171,36 +183,38 @@ def _walk_bitmap(
     fs,
     report: MountReport,
     *,
-    max_retries: int,
+    budget: RetryBudget,
     backoff_us: float,
 ) -> bool:
     """Charge one fault-guarded bitmap-metafile walk of ``fs``.
 
     Transient failures retry with linear backoff (charged to the
-    report); damage RAID cannot reconstruct escalates to a scoped Iron
-    repair of exactly this file system.  Returns True when Iron
-    repaired (and rebuilt the cache of) the file system in place, so
-    the caller must not install a cache of its own.
+    report) from the recovery-wide ``budget``; damage RAID cannot
+    reconstruct escalates to a scoped Iron repair of exactly this file
+    system.  Returns True when Iron repaired (and rebuilt the cache of)
+    the file system in place, so the caller must not install a cache of
+    its own.
     """
-    for attempt in range(max_retries + 1):
-        try:
-            report.blocks_read += fs.read_metafile()
-            return False
-        except TransientIOError:
-            if attempt == max_retries:
-                raise
-            report.transient_retries += 1
-            report.retry_backoff_us += backoff_us * (attempt + 1)
-        except MediaError:
-            from .iron import repair as iron_repair
+    try:
+        blocks, retries, spent_us = retry_with_backoff(
+            fs.read_metafile,
+            budget=budget,
+            base_backoff_us=backoff_us,
+            where=fs.where,
+        )
+    except MediaError:
+        from .iron import repair as iron_repair
 
-            iron_repair(sim, scope={fs.where})
-            # The repair pass recomputed everything from the reference
-            # maps — charge the walk it performed.
-            report.blocks_read += fs.metafile.note_scan_read()
-            report.repairs.append(fs.where)
-            return True
-    return False  # pragma: no cover - loop always returns/raises
+        iron_repair(sim, scope={fs.where})
+        # The repair pass recomputed everything from the reference
+        # maps — charge the walk it performed.
+        report.blocks_read += fs.metafile.note_scan_read()
+        report.repairs.append(fs.where)
+        return True
+    report.blocks_read += blocks
+    report.transient_retries += retries
+    report.retry_backoff_us += spent_us
+    return False
 
 
 def simulate_mount(
@@ -210,6 +224,7 @@ def simulate_mount(
     metafile_read_us: float = DEFAULT_METAFILE_READ_US,
     max_retries: int = DEFAULT_MOUNT_RETRIES,
     retry_backoff_us: float | None = None,
+    budget: RetryBudget | None = None,
 ) -> MountReport:
     """Rebuild all AA caches as a mount would and install them.
 
@@ -224,10 +239,18 @@ def simulate_mount(
     downgrades that one file system to the bitmap walk and is recorded
     in :attr:`MountReport.fallbacks`.  The walk itself is fault-guarded
     (see :func:`_walk_bitmap`).
+
+    ``budget`` bounds transient-read retries for the *whole* recovery:
+    pass the same :class:`~repro.common.retry.RetryBudget` here and to
+    :func:`background_rebuild` and both phases draw from one pool (a
+    fresh ``RetryBudget(max_retries)`` is created when omitted).
     """
     if retry_backoff_us is None:
         retry_backoff_us = 4 * metafile_read_us
+    if budget is None:
+        budget = RetryBudget(max_retries)
     report = MountReport(used_topaa=image is not None)
+    report.retry_budget_limit = budget.limit
     t0 = time.perf_counter()
     store = sim.store
     if isinstance(store, RAIDStore):
@@ -251,7 +274,7 @@ def simulate_mount(
                         report.blocks_read += 1
             if cache is None:
                 if _walk_bitmap(
-                    sim, g, report, max_retries=max_retries, backoff_us=retry_backoff_us
+                    sim, g, report, budget=budget, backoff_us=retry_backoff_us
                 ):
                     report.caches_built += 1
                     continue
@@ -279,7 +302,7 @@ def simulate_mount(
                     report.blocks_read += 2
         if cache is None:
             if _walk_bitmap(
-                sim, store, report, max_retries=max_retries, backoff_us=retry_backoff_us
+                sim, store, report, budget=budget, backoff_us=retry_backoff_us
             ):
                 report.caches_built += 1
                 cache = None
@@ -307,7 +330,7 @@ def simulate_mount(
                     report.blocks_read += 2
         if cache is None:
             if _walk_bitmap(
-                sim, vol, report, max_retries=max_retries, backoff_us=retry_backoff_us
+                sim, vol, report, budget=budget, backoff_us=retry_backoff_us
             ):
                 report.caches_built += 1
                 continue
@@ -322,24 +345,33 @@ def simulate_mount(
     return report
 
 
-def background_rebuild(sim: WaflSim, *, max_retries: int = DEFAULT_MOUNT_RETRIES) -> dict[str, int]:
+def background_rebuild(
+    sim: WaflSim,
+    *,
+    max_retries: int = DEFAULT_MOUNT_RETRIES,
+    budget: RetryBudget | None = None,
+    report: MountReport | None = None,
+) -> dict[str, int]:
     """Complete a TopAA-seeded mount: populate the heap caches' unknown
     AAs and replenish HBPS caches with exact scores (the background
     bitmap walk).  Returns counts of AAs populated / caches refreshed.
 
     The walks go through each file system's fault-guarded
     ``read_metafile`` with bounded retries, so an injector's transient
-    faults delay rather than kill the background scan.
+    faults delay rather than kill the background scan.  Pass the
+    ``budget`` used by :func:`simulate_mount` to bound the whole
+    recovery by one retry pool, and its :class:`MountReport` to have
+    the rebuild's retries counted (``rebuild_retries``).
     """
+    if budget is None:
+        budget = RetryBudget(max_retries)
 
     def _read(fs) -> None:
-        for attempt in range(max_retries + 1):
-            try:
-                fs.read_metafile()
-                return
-            except TransientIOError:
-                if attempt == max_retries:
-                    raise
+        _, retries, _ = retry_with_backoff(
+            fs.read_metafile, budget=budget, base_backoff_us=0.0, where=fs.where
+        )
+        if report is not None:
+            report.rebuild_retries += retries
 
     populated = 0
     refreshed = 0

@@ -25,6 +25,7 @@ from .tracer import (
     count,
     get_tracer,
     install,
+    install_tracer,
     iter_records,
     set_cp,
     span,
@@ -42,6 +43,7 @@ __all__ = [
     "export",
     "get_tracer",
     "install",
+    "install_tracer",
     "iter_records",
     "report",
     "set_cp",

@@ -35,6 +35,7 @@ __all__ = [
     "Span",
     "Tracer",
     "install",
+    "install_tracer",
     "uninstall",
     "active",
     "get_tracer",
@@ -245,6 +246,20 @@ def install(config: ObsConfig | None = None) -> Tracer:
     global _active
     _active = Tracer(config if config is not None else ObsConfig())
     return _active
+
+
+def install_tracer(tracer: Tracer | None) -> Tracer | None:
+    """Install a specific (possibly subclassed) tracer instance.
+
+    Returns the previously active tracer so callers can restore it —
+    the crash-point registry swaps a :class:`Tracer` subclass in around
+    one CP and puts the old one back afterwards.  Passing ``None``
+    uninstalls.
+    """
+    global _active
+    prev = _active
+    _active = tracer
+    return prev
 
 
 def uninstall() -> None:

@@ -34,6 +34,7 @@ VIOLATIONS: dict[str, str | tuple[str, str]] = {
         "try:\n    x = 1\nexcept CacheError:\n    pass\n"
     ),
     "E404": ("print('loose output')\n", "core"),
+    "C601": "model.committed = image\n",
 }
 
 
@@ -167,6 +168,36 @@ class TestLayeringRules:
             p.name for p in pkg_dir.iterdir() if (p / "__init__.py").exists()
         }
         assert set(LAYER_RANK) == on_disk
+
+
+class TestCrashConsistencyRules:
+    def test_structural_mutation_fires(self):
+        assert "C601" in rules_of("model.committed.pages['g'] = page\n")
+
+    def test_subscript_on_committed_fires(self):
+        assert "C601" in rules_of("model.committed_images[3] = img\n")
+
+    def test_augassign_fires(self):
+        assert "C601" in rules_of("obj.committed_image += extra\n")
+
+    def test_tuple_target_fires(self):
+        assert "C601" in rules_of("a.committed, b = img, 1\n")
+
+    def test_persistence_commit_path_is_sanctioned(self):
+        src = "class M:\n    def commit(self):\n        self.committed = 1\n"
+        findings = lint_source(src, "src/repro/crash/persistence.py", "crash")
+        assert [f.rule for f in findings] == []
+
+    def test_other_crash_modules_are_not_sanctioned(self):
+        src = "class M:\n    def sneak(self):\n        self.committed = 1\n"
+        findings = lint_source(src, "src/repro/crash/explorer.py", "crash")
+        assert "C601" in [f.rule for f in findings]
+
+    def test_bare_name_is_clean(self):
+        assert rules_of("committed = 1\n") == []
+
+    def test_reading_committed_is_clean(self):
+        assert rules_of("x = model.committed.digest()\n") == []
 
 
 class TestUnitRules:

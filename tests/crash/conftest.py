@@ -1,0 +1,18 @@
+"""Fixtures for the crash-consistency tests: a small aged all-SSD sim
+whose bitmaps, delayed-free logs, snapshot pins, and AA caches carry
+real history — the state the persistence model must round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crash.explorer import _small_aged_sim
+from repro.workloads import RandomOverwriteWorkload
+
+
+@pytest.fixture
+def aged_sim():
+    sim = _small_aged_sim(blocks_per_disk=8192, seed=11)
+    sim.create_snapshot("volA", "hourly.0")
+    sim.run(RandomOverwriteWorkload(sim, ops_per_cp=512, seed=12), 2)
+    return sim

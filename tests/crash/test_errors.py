@@ -1,0 +1,106 @@
+"""Typed crash-error taxonomy (satellite a) and the shared retry
+budget primitives behind recovery hardening."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import (
+    CrashError,
+    MediaError,
+    RecoveryExhaustedError,
+    ReproError,
+    RetryBudget,
+    SerializationError,
+    TornWriteError,
+    TransientIOError,
+    retry_with_backoff,
+)
+
+
+class TestErrorTaxonomy:
+    def test_crash_error_is_a_repro_error(self):
+        assert issubclass(CrashError, ReproError)
+        assert not issubclass(CrashError, SerializationError)
+
+    def test_torn_write_is_a_serialization_error(self):
+        """Existing handlers keyed on SerializationError (mount page
+        verification, fuzz harnesses) catch torn writes for free."""
+        assert issubclass(TornWriteError, SerializationError)
+        assert issubclass(TornWriteError, ReproError)
+
+    def test_exhaustion_is_a_transient_io_error(self):
+        """Callers keyed on the old TransientIOError keep working when
+        the typed exhaustion error surfaces instead."""
+        assert issubclass(RecoveryExhaustedError, TransientIOError)
+        with pytest.raises(TransientIOError):
+            raise RecoveryExhaustedError("dry")
+
+    def test_classes_are_distinct(self):
+        assert not issubclass(TornWriteError, CrashError)
+        assert not issubclass(RecoveryExhaustedError, CrashError)
+
+
+class TestRetryBudget:
+    def test_consume_until_dry(self):
+        budget = RetryBudget(2)
+        budget.consume("vol:volA")
+        budget.consume("vol:volB")
+        assert budget.used == 2
+        assert budget.remaining == 0
+        with pytest.raises(RecoveryExhaustedError) as exc_info:
+            budget.consume("vol:volB")
+        assert "budget exhausted" in str(exc_info.value)
+        assert "vol:volB" in str(exc_info.value)
+
+    def test_retry_succeeds_within_budget(self):
+        budget = RetryBudget(5)
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] <= 3:
+                raise TransientIOError("blip")
+            return "done"
+
+        result, retries, backoff_us = retry_with_backoff(
+            flaky, budget=budget, base_backoff_us=100.0
+        )
+        assert result == "done"
+        assert retries == 3
+        # Linear backoff: 100 + 200 + 300.
+        assert backoff_us == pytest.approx(600.0)
+        assert budget.used == 3
+
+    def test_budget_is_shared_across_phases(self):
+        """Two phases drawing from one pool are bounded *together* —
+        the accounting bug the mount/rebuild split used to have."""
+        budget = RetryBudget(3)
+        state = {"n": 0}
+
+        def fail_twice_then_ok():
+            state["n"] += 1
+            if state["n"] <= 2:
+                raise TransientIOError("blip")
+            return True
+
+        retry_with_backoff(fail_twice_then_ok, budget=budget)
+        assert budget.remaining == 1
+
+        def always_fails():
+            raise TransientIOError("blip")
+
+        with pytest.raises(RecoveryExhaustedError) as exc_info:
+            retry_with_backoff(always_fails, budget=budget)
+        assert budget.used == 3
+        assert isinstance(exc_info.value.__cause__, TransientIOError)
+
+    def test_non_transient_errors_propagate_immediately(self):
+        budget = RetryBudget(5)
+
+        def broken():
+            raise MediaError("unreconstructable")
+
+        with pytest.raises(MediaError):
+            retry_with_backoff(broken, budget=budget)
+        assert budget.used == 0

@@ -1,0 +1,112 @@
+"""Acceptance sweep for the crash-state explorer: every span edge of
+consecutive aging CPs crashes, recovers to the last committed CP, and
+passes the full verification triple — and the same seed reproduces the
+whole matrix byte-identically."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crash import CrashMatrix, explore_aging
+from repro.crash.explorer import CrashOutcome
+from repro.crash.registry import BOUNDARY_SPAN, CrashPoint
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return explore_aging(cps=3, seed=0)
+
+
+class TestAgingAcceptance:
+    def test_every_crash_point_recovers_clean(self, matrix):
+        assert matrix.ok
+        assert matrix.violations == []
+        assert matrix.cps_swept == 3
+        assert len(matrix.committed_digests) == 3
+
+    def test_sweep_is_exhaustive(self, matrix):
+        """Each CP contributes its full edge inventory (cp enter/exit,
+        per-volume allocation, boundary, pricing, cache flush...)."""
+        assert matrix.crash_points >= 3 * 10
+        names = {o.point.name for o in matrix.outcomes}
+        assert {"cp", "cp.allocate", BOUNDARY_SPAN} <= names
+        assert all(o.crashed for o in matrix.outcomes)
+
+    def test_torn_write_cases_are_exercised_and_recovered(self, matrix):
+        """Crashes inside the write window tear shadow + TopAA pages;
+        those very cases must still recover byte-exactly."""
+        torn = [o for o in matrix.outcomes if o.torn_pages]
+        assert torn
+        assert all(o.ok for o in torn)
+        assert all(o.in_write_window for o in torn)
+
+    def test_both_sides_of_the_window_are_covered(self, matrix):
+        assert any(o.in_write_window for o in matrix.outcomes)
+        assert any(not o.in_write_window for o in matrix.outcomes)
+        # A bare run_cp has no edges after the superblock switch.
+        assert not any(o.post_commit for o in matrix.outcomes)
+
+    def test_recovery_cost_is_modeled(self, matrix):
+        assert all(o.recovery_us > 0 for o in matrix.outcomes)
+        assert all(o.restored == 3 for o in matrix.outcomes)
+
+
+class TestDeterminism:
+    def test_same_seed_same_matrix(self):
+        a = explore_aging(cps=2, seed=7)
+        b = explore_aging(cps=2, seed=7)
+        assert a.digest() == b.digest()
+        assert [o.row() for o in a.outcomes] == [o.row() for o in b.outcomes]
+        assert a.committed_digests == b.committed_digests
+
+    def test_different_seed_different_matrix(self):
+        a = explore_aging(cps=1, seed=7)
+        b = explore_aging(cps=1, seed=8)
+        assert a.digest() != b.digest()
+
+
+class TestMatrixReporting:
+    def outcome(self, **kw) -> CrashOutcome:
+        base = dict(
+            cp_index=4,
+            point=CrashPoint(index=2, name=BOUNDARY_SPAN, edge="enter"),
+            in_write_window=True,
+            post_commit=False,
+            crashed=True,
+            torn_pages=("vol:volA",),
+            restored=3,
+            retries=0,
+            recovery_us=1000.0,
+            violations=(),
+        )
+        base.update(kw)
+        return CrashOutcome(**base)
+
+    def test_empty_matrix_is_not_ok(self):
+        assert CrashMatrix(workload="x", seed=0).ok is False
+
+    def test_violation_flips_matrix_and_digest(self):
+        good = CrashMatrix(workload="x", seed=0, committed_digests=["d"])
+        good.outcomes.append(self.outcome())
+        bad = CrashMatrix(workload="x", seed=0, committed_digests=["d"])
+        bad.outcomes.append(self.outcome(violations=("[vol:volA] leaked",)))
+        assert good.ok and not bad.ok
+        assert bad.violations == bad.outcomes
+        assert good.digest() != bad.digest()
+
+    def test_row_is_canonical(self):
+        row = self.outcome().row()
+        assert row == (
+            "cp=4 #2 cp.boundary:enter window=1 post=0 "
+            "torn=vol:volA restored=3 retries=0 ok"
+        )
+
+    def test_extend_merges_sweeps(self):
+        a = CrashMatrix(workload="x", seed=0, committed_digests=["d1"])
+        a.outcomes.append(self.outcome())
+        b = CrashMatrix(workload="x", seed=0, committed_digests=["d2"])
+        b.outcomes.append(self.outcome(cp_index=5))
+        a.extend(b)
+        assert a.crash_points == 2
+        assert a.cps_swept == 2
+        assert a.torn_write_cases == 2

@@ -6,7 +6,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.common import TransientIOError
+from repro.common import RecoveryExhaustedError, TransientIOError
 from repro.core import PAGE_KIND_HBPS, seal_page, unseal_page
 from repro.core.topaa import serialize_hbps_cache
 from repro.faults import FaultInjector, FaultKind, attach_everywhere, corrupt_bytes
@@ -115,8 +115,12 @@ class TestFaultyMountReads:
         img = export_topaa(aged_sim)
         img.vol_pages["volB"] = corrupt_bytes(img.vol_pages["volB"], 8, rng=2)
         inj.arm("vol:volB", FaultKind.TRANSIENT_READ, count=10)
-        with pytest.raises(TransientIOError):
+        # The typed exhaustion error subclasses TransientIOError, so
+        # callers keyed on the old class keep working.
+        with pytest.raises(RecoveryExhaustedError) as exc_info:
             simulate_mount(aged_sim, img, max_retries=2)
+        assert isinstance(exc_info.value, TransientIOError)
+        assert "budget exhausted" in str(exc_info.value)
 
     def test_media_error_escalates_to_scoped_repair(self, aged_sim):
         inj = FaultInjector(seed=1)
