@@ -6,6 +6,9 @@
   auditor; ``repro audit`` and ``pytest --audit``.
 * :mod:`repro.analysis.rules` — the rule catalogue and the enforced
   package DAG.
+* :mod:`repro.analysis.flow` — whole-program dataflow passes
+  (interprocedural determinism taint, unit typestate, commit-path
+  effects, seed threading); ``repro lint --deep``.
 
 This package sits at the top of the dependency DAG: it may import
 everything, nothing imports it.
@@ -19,10 +22,16 @@ from .auditor import (
     audit_sim,
     disarm_global,
 )
-from .rules import LAYER_RANK, RULES, Rule
+from .flow import DeepFinding, DeepReport, FlowConfig, deep_lint
+from .rules import FLOW_RULES, LAYER_RANK, RULES, Rule
 from .simlint import Finding, format_findings, lint_file, lint_paths, lint_source
 
 __all__ = [
+    "DeepFinding",
+    "DeepReport",
+    "FlowConfig",
+    "deep_lint",
+    "FLOW_RULES",
     "AuditReport",
     "InvariantAuditor",
     "Violation",

@@ -25,6 +25,7 @@ factory on :class:`~repro.fs.cp.CPEngine` (a plain class attribute, so
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -96,14 +97,14 @@ class AuditReport:
 # ----------------------------------------------------------------------
 # Structural (point-in-time) audit
 # ----------------------------------------------------------------------
-def _hbps_bins_of(scores: np.ndarray, hbps) -> np.ndarray:
+def _hbps_bins_of(scores: np.ndarray, hbps: Any) -> np.ndarray:
     """Vectorized :meth:`HBPS.bin_of` over a score array."""
     scores = np.asarray(scores, dtype=np.int64)
     bins = (hbps.max_score - scores) // hbps.bin_width
     return np.where(scores == 0, hbps.nbins - 1, bins)
 
 
-def _audit_bitmap(where: str, fs, report: AuditReport) -> None:
+def _audit_bitmap(where: str, fs: Any, report: AuditReport) -> None:
     """Bitmap popcount vs the cached allocated/free counters."""
     bitmap = fs.metafile.bitmap
     report.checks_run += 1
@@ -122,7 +123,7 @@ def _audit_bitmap(where: str, fs, report: AuditReport) -> None:
         )
 
 
-def _audit_keeper(where: str, fs, report: AuditReport) -> None:
+def _audit_keeper(where: str, fs: Any, report: AuditReport) -> None:
     """Score-keeper totals vs the bitmap (the AA summary)."""
     keeper = fs.keeper
     bitmap = fs.metafile.bitmap
@@ -144,7 +145,7 @@ def _audit_keeper(where: str, fs, report: AuditReport) -> None:
         )
 
 
-def _audit_delayed_frees(where: str, fs, report: AuditReport) -> None:
+def _audit_delayed_frees(where: str, fs: Any, report: AuditReport) -> None:
     """Delayed-free log internal conservation plus bitmap agreement."""
     report.checks_run += 1
     try:
@@ -153,7 +154,7 @@ def _audit_delayed_frees(where: str, fs, report: AuditReport) -> None:
         report.add(where, "delayed-frees", str(exc))
 
 
-def _audit_cache(where: str, fs, report: AuditReport) -> None:
+def _audit_cache(where: str, fs: Any, report: AuditReport) -> None:
     """AA cache structure, totals, and agreement with the keeper."""
     cache = fs.cache
     if cache is None:
@@ -228,7 +229,7 @@ def _audit_cache(where: str, fs, report: AuditReport) -> None:
             )
 
 
-def _audit_flexvol_maps(where: str, fs, report: AuditReport) -> None:
+def _audit_flexvol_maps(where: str, fs: Any, report: AuditReport) -> None:
     """FlexVol map/bitmap agreement: every allocated virtual VBN is
     either actively mapped, snapshot-pinned, or pending a delayed free;
     the three populations are disjoint and exhaustive."""
@@ -256,7 +257,7 @@ def _audit_flexvol_maps(where: str, fs, report: AuditReport) -> None:
         )
 
 
-def audit_sim(sim) -> AuditReport:
+def audit_sim(sim: Any) -> AuditReport:
     """Structural audit of every file-system instance in ``sim`` (a
     :class:`~repro.fs.filesystem.WaflSim`, a :class:`~repro.fs.cp.
     CPEngine`, or anything else with ``store``/``vols`` attributes)."""
@@ -283,7 +284,7 @@ class _Snapshot:
     dirtied_total: int
 
 
-def _snapshot(fs) -> _Snapshot:
+def _snapshot(fs: Any) -> _Snapshot:
     return _Snapshot(
         allocated=fs.metafile.bitmap.allocated_count,
         total_logged=fs.delayed_frees.total_logged,

@@ -1,0 +1,161 @@
+"""Whole-program dataflow analysis over the repro tree.
+
+``repro lint --deep`` drives :func:`deep_lint`: build (or re-load from
+the content-hash cache) the project symbol table and call graph, then
+run the four interprocedural passes:
+
+* **F801** determinism taint — nondeterminism sources reachable from
+  the CP/allocator/traffic/crash hot paths
+  (:mod:`repro.analysis.flow.determinism`);
+* **F802** unit typestate — ``_bytes``/``_blocks``/``_us`` values
+  crossing function boundaries into differently-united parameters,
+  returns, or bindings (:mod:`repro.analysis.flow.unitflow`);
+* **F803** commit-path effects — committed-image writes on paths not
+  rooted at the sanctioned commit entry points
+  (:mod:`repro.analysis.flow.effects`);
+* **F804** seed threading — held seeds/generators dropped on the way
+  into randomness-consuming callees
+  (:mod:`repro.analysis.flow.seeding`).
+
+Findings are baselined by stable fingerprint with a ratchet
+(:mod:`repro.analysis.flow.baseline`): new findings fail, waived ones
+are tracked, fixed ones are pruned.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable
+
+from pathlib import Path
+
+from .base import DeepFinding, FlowConfig
+from .baseline import (
+    BaselineDiff,
+    default_baseline_path,
+    load_baseline,
+    split_findings,
+    write_baseline,
+)
+from .callgraph import build_graph, load_project
+from .determinism import run_determinism_taint
+from .effects import run_commit_effects
+from .seeding import run_seed_threading
+from .unitflow import run_unit_typestate
+
+__all__ = [
+    "BaselineDiff",
+    "DeepFinding",
+    "DeepReport",
+    "FlowConfig",
+    "deep_lint",
+    "default_baseline_path",
+    "format_deep_findings",
+    "load_baseline",
+    "report_to_json",
+    "split_findings",
+    "write_baseline",
+]
+
+#: The passes in reporting order.
+_PASSES = (
+    ("F801", run_determinism_taint),
+    ("F802", run_unit_typestate),
+    ("F803", run_commit_effects),
+    ("F804", run_seed_threading),
+)
+
+
+@dataclass(frozen=True)
+class DeepReport:
+    """Everything one ``--deep`` run produced."""
+
+    findings: tuple[DeepFinding, ...]
+    n_functions: int
+    n_classes: int
+    n_edges: int
+    n_unresolved: int
+
+
+def _sort_key(f: DeepFinding) -> tuple[str, str, int, str]:
+    return (f.path, f.rule, f.line, f.fingerprint)
+
+
+def deep_lint(
+    paths: Iterable[str | Path],
+    config: FlowConfig | None = None,
+    cache_path: str | Path | None = None,
+) -> DeepReport:
+    """Run every flow pass over the tree rooted at ``paths``."""
+    cfg = config if config is not None else FlowConfig()
+    project = load_project(paths, cfg.committed_attrs, cache_path=cache_path)
+    graph = build_graph(project)
+    findings: list[DeepFinding] = []
+    for _rule, pass_fn in _PASSES:
+        findings.extend(pass_fn(graph, cfg))
+    findings.sort(key=_sort_key)
+    n_edges = sum(len(v) for v in graph.edges.values())
+    return DeepReport(
+        findings=tuple(findings),
+        n_functions=len(project.functions),
+        n_classes=len(project.classes),
+        n_edges=n_edges,
+        n_unresolved=graph.unresolved,
+    )
+
+
+def format_deep_findings(
+    report: DeepReport, diff: BaselineDiff | None = None
+) -> str:
+    """Human-readable report; with a baseline diff, new findings are
+    listed in full and waived ones summarized."""
+    lines: list[str] = []
+    shown = list(report.findings) if diff is None else list(diff.new)
+    for f in shown:
+        lines.append(str(f))
+    by_rule: dict[str, int] = {}
+    for f in report.findings:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+    summary = ", ".join(f"{r}: {n}" for r, n in sorted(by_rule.items()))
+    graph_note = (f"{report.n_functions} function(s), "
+                  f"{report.n_edges} call edge(s)")
+    if not report.findings:
+        lines.append(f"flow: clean (0 findings; {graph_note})")
+    else:
+        lines.append(
+            f"flow: {len(report.findings)} finding(s) ({summary}; "
+            f"{graph_note})")
+    if diff is not None:
+        lines.append(
+            f"baseline: {len(diff.new)} new, {len(diff.waived)} waived, "
+            f"{len(diff.stale)} stale"
+            + ("" if diff.ok else " — NEW FINDINGS FAIL THE RATCHET"))
+        for fp in diff.stale:
+            lines.append(f"  stale waiver (fixed? run --update-baseline): "
+                         f"{fp}")
+    return "\n".join(lines)
+
+
+def report_to_json(
+    report: DeepReport, diff: BaselineDiff | None = None
+) -> str:
+    """Deterministic JSON serialization: same tree -> same bytes."""
+    doc: dict[str, object] = {
+        "version": 1,
+        "findings": [f.to_dict() for f in report.findings],
+        "summary": {
+            "functions": report.n_functions,
+            "classes": report.n_classes,
+            "call_edges": report.n_edges,
+            "unresolved_call_sites": report.n_unresolved,
+            "findings": len(report.findings),
+        },
+    }
+    if diff is not None:
+        doc["baseline"] = {
+            "new": [f.fingerprint for f in diff.new],
+            "waived": [f.fingerprint for f in diff.waived],
+            "stale": list(diff.stale),
+        }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"

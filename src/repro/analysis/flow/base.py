@@ -1,0 +1,128 @@
+"""Shared types for the flow passes: configuration and findings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..rules import COMMITTED_IMAGE_ATTRS
+from .callgraph import CallGraph
+from .symbols import FunctionInfo
+
+__all__ = ["DeepFinding", "FlowConfig", "fmt_trace", "shift_down_trace"]
+
+
+@dataclass(frozen=True)
+class FlowConfig:
+    """Where the whole-program passes anchor their roots and sinks.
+
+    The defaults describe the repro tree; fixture tests substitute
+    their own roots so each pass can be exercised on a toy project.
+    """
+
+    #: Modules whose functions are the simulation hot paths: anything
+    #: they (transitively) call must be deterministic (F801).
+    hot_root_modules: tuple[str, ...] = (
+        "repro.fs.cp",
+        "repro.core.allocator",
+        "repro.traffic.engine",
+        "repro.crash.explorer",
+        "repro.crash.under_load",
+    )
+    #: Extra hot-path root functions by fqn.
+    hot_root_fqns: tuple[str, ...] = ()
+    #: Functions whose bodies are declared deterministic even though
+    #: they syntactically touch a source — the purity whitelist.  Each
+    #: entry carries a justification (documented in DESIGN.md §8).
+    pure_fqns: dict[str, str] = field(default_factory=lambda: {
+        "repro.fs.mount.simulate_mount": (
+            "perf_counter only fills MountReport.build_wall_s, a "
+            "wall-clock reporting field (fig10 table); simulated state "
+            "is driven purely by modeled metafile-read microseconds"
+        ),
+    })
+    #: Modules forming the sanctioned commit path: committed-image
+    #: writes rooted here are legal (F803).
+    sanctioned_commit_modules: tuple[str, ...] = ("repro.crash.persistence",)
+    #: Extra sanctioned entry-point fqns.
+    sanctioned_commit_fqns: tuple[str, ...] = ()
+    #: Attribute names that form the committed image.
+    committed_attrs: frozenset[str] = COMMITTED_IMAGE_ATTRS
+
+    def is_hot_root(self, fn: FunctionInfo) -> bool:
+        return (fn.module in self.hot_root_modules
+                or fn.fqn in self.hot_root_fqns)
+
+    def is_sanctioned(self, fn: FunctionInfo) -> bool:
+        return (fn.module in self.sanctioned_commit_modules
+                or fn.fqn in self.sanctioned_commit_fqns)
+
+
+@dataclass(frozen=True)
+class DeepFinding:
+    """One interprocedural finding with its source -> sink trace."""
+
+    rule: str
+    path: str
+    line: int
+    function: str
+    message: str
+    #: Human-readable hops, outermost first.
+    trace: tuple[str, ...]
+    #: Stable detail used for baseline fingerprinting; never contains
+    #: line numbers so unrelated edits don't churn the baseline.
+    key: str
+
+    @property
+    def fingerprint(self) -> str:
+        return f"{self.rule} {self.function} {self.key}"
+
+    def __str__(self) -> str:
+        lines = [f"{self.path}:{self.line}: {self.rule} {self.message}"]
+        lines.extend(f"    {hop}" for hop in self.trace)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "function": self.function,
+            "message": self.message,
+            "trace": list(self.trace),
+            "fingerprint": self.fingerprint,
+        }
+
+
+def fmt_trace(
+    graph: CallGraph, hops: list[tuple[str, int | None]]
+) -> tuple[str, ...]:
+    """Render trace hops as ``fqn (path:line)`` strings.
+
+    Each hop carries the line *in its own file* where it calls the
+    next hop (or where the interesting statement sits); None falls
+    back to the function's definition line.
+    """
+    out: list[str] = []
+    for i, (fqn, line) in enumerate(hops):
+        fn = graph.project.functions.get(fqn)
+        if fn is None:
+            out.append(fqn)
+            continue
+        shown = line if line is not None else fn.lineno
+        prefix = "-> " if i else ""
+        out.append(f"{prefix}{fqn} ({fn.path}:{shown})")
+    return tuple(out)
+
+
+def shift_down_trace(
+    hops: list[tuple[str, int | None]]
+) -> list[tuple[str, int | None]]:
+    """Convert a :func:`repro.analysis.flow.engine.trace_to` path
+    (call line recorded on the *callee* hop, i.e. in the caller's
+    file) into own-frame form for :func:`fmt_trace`."""
+    shifted: list[tuple[str, int | None]] = []
+    for i, (fqn, _line) in enumerate(hops):
+        nxt = hops[i + 1][1] if i + 1 < len(hops) else None
+        shifted.append((fqn, nxt))
+    return shifted

@@ -1,0 +1,100 @@
+"""Findings baseline with a ratchet.
+
+The checked-in baseline (``src/repro/analysis/flow/baseline.json``)
+records deliberately-waived deep findings by *fingerprint* (rule +
+function + stable detail — never line numbers) with a one-line
+justification each.  The ratchet:
+
+* a finding **not** in the baseline is *new* -> the run fails;
+* a finding in the baseline is *waived* -> reported, never fatal;
+* a baseline entry matching no finding is *stale* -> pruned on
+  ``--update-baseline`` so waivers cannot outlive their violation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .base import DeepFinding
+
+__all__ = ["BaselineDiff", "default_baseline_path", "load_baseline",
+           "split_findings", "write_baseline"]
+
+BASELINE_VERSION = 1
+
+
+def default_baseline_path() -> Path:
+    """The checked-in baseline shipped inside the package."""
+    return Path(__file__).resolve().parent / "baseline.json"
+
+
+def load_baseline(path: str | Path) -> dict[str, str]:
+    """fingerprint -> justification; an absent file is an empty
+    baseline (everything is new)."""
+    p = Path(path)
+    if not p.exists():
+        return {}
+    doc = json.loads(p.read_text(encoding="utf-8"))
+    if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+        raise ValueError(f"unsupported baseline file {p}")
+    waivers = doc.get("waivers", [])
+    out: dict[str, str] = {}
+    for entry in waivers:
+        out[str(entry["fingerprint"])] = str(entry.get("justification", ""))
+    return out
+
+
+@dataclass(frozen=True)
+class BaselineDiff:
+    """Findings split against a baseline."""
+
+    new: tuple[DeepFinding, ...]
+    waived: tuple[DeepFinding, ...]
+    #: Baseline fingerprints no current finding matches.
+    stale: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+
+def split_findings(
+    findings: list[DeepFinding], baseline: dict[str, str]
+) -> BaselineDiff:
+    new: list[DeepFinding] = []
+    waived: list[DeepFinding] = []
+    hit: set[str] = set()
+    for f in findings:
+        if f.fingerprint in baseline:
+            hit.add(f.fingerprint)
+            waived.append(f)
+        else:
+            new.append(f)
+    stale = tuple(sorted(fp for fp in baseline if fp not in hit))
+    return BaselineDiff(new=tuple(new), waived=tuple(waived), stale=stale)
+
+
+def write_baseline(
+    path: str | Path,
+    findings: list[DeepFinding],
+    previous: dict[str, str] | None = None,
+    default_justification: str = "unreviewed — justify or fix",
+) -> None:
+    """Write the baseline for the current findings.
+
+    Justifications of retained fingerprints are preserved; stale
+    entries are pruned; new fingerprints get the placeholder
+    justification for a human to edit.
+    """
+    previous = previous or {}
+    fingerprints = sorted({f.fingerprint for f in findings})
+    waivers = [
+        {"fingerprint": fp,
+         "justification": previous.get(fp, default_justification)}
+        for fp in fingerprints
+    ]
+    doc = {"version": BASELINE_VERSION, "waivers": waivers}
+    Path(path).write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")

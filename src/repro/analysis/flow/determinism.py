@@ -1,0 +1,57 @@
+"""F801 — interprocedural determinism taint.
+
+A function is a *source* when its body consults ambient entropy (wall
+clocks, the stdlib ``random`` module, unseeded numpy generators,
+``os.urandom``-style calls) or iterates an unordered set.  The pass
+computes the forward call cone of the simulation hot paths
+(:attr:`FlowConfig.hot_root_modules`) and reports every source inside
+it, with the root -> ... -> source call chain.  Unlike simlint's
+per-line D rules this sees violations laundered through any number of
+function calls, across modules, through method dispatch, partials and
+pool workers.
+
+The purity whitelist (:attr:`FlowConfig.pure_fqns`) replaces per-line
+pragmas: a whitelisted function's direct sources are trusted to not
+escape into simulated state, with a recorded justification.
+"""
+
+from __future__ import annotations
+
+from .base import DeepFinding, FlowConfig, fmt_trace, shift_down_trace
+from .callgraph import CallGraph
+from .engine import reach_down, trace_to
+
+__all__ = ["run_determinism_taint"]
+
+RULE = "F801"
+
+
+def run_determinism_taint(
+    graph: CallGraph, config: FlowConfig
+) -> list[DeepFinding]:
+    functions = graph.project.functions
+    roots = sorted(f for f, fn in functions.items() if config.is_hot_root(fn))
+    parents = reach_down(graph, roots)
+    findings: list[DeepFinding] = []
+    for fqn in sorted(parents):
+        fn = functions[fqn]
+        if fn.fqn in config.pure_fqns or not fn.sources:
+            continue
+        hops = shift_down_trace(trace_to(parents, fqn))
+        root = hops[0][0] if hops else fqn
+        for src in fn.sources:
+            trace = fmt_trace(
+                graph, hops[:-1] + [(fqn, src.lineno)] if hops else [])
+            findings.append(DeepFinding(
+                rule=RULE,
+                path=fn.path,
+                line=src.lineno,
+                function=fqn,
+                message=(
+                    f"nondeterministic source ({src.kind}: {src.detail}) is "
+                    f"reachable from hot path '{root}'"
+                ),
+                trace=trace,
+                key=f"{src.kind}:{src.detail}",
+            ))
+    return findings

@@ -1,0 +1,66 @@
+"""F803 — commit-path effect checking.
+
+Generalizes simlint's syntactic C601: a committed-image attribute
+write is legal only when *every* call path reaching it is rooted in
+the sanctioned commit entry points
+(:attr:`FlowConfig.sanctioned_commit_modules` — the crash-consistency
+persistence layer).  A helper that performs the write on behalf of an
+unsanctioned caller — the "mutate via helper" hole — is reported with
+the launder path: unsanctioned entry -> ... -> writer.
+"""
+
+from __future__ import annotations
+
+from .base import DeepFinding, FlowConfig, fmt_trace
+from .callgraph import CallGraph
+from .engine import reach_up, trace_from
+
+__all__ = ["run_commit_effects"]
+
+RULE = "F803"
+
+
+def run_commit_effects(
+    graph: CallGraph, config: FlowConfig
+) -> list[DeepFinding]:
+    functions = graph.project.functions
+    findings: list[DeepFinding] = []
+    writers = sorted(
+        f for f, fn in functions.items()
+        if fn.committed_writes and not config.is_sanctioned(fn)
+    )
+    for writer in writers:
+        fn = functions[writer]
+        # Climb the caller chains, cutting at sanctioned functions:
+        # a path that enters the writer *through* the commit path is
+        # legal and must not be explored further upward.
+        toward = reach_up(
+            graph, [writer],
+            stop=lambda f: config.is_sanctioned(functions[f]),
+        )
+        bad_entries = sorted(
+            f for f in toward
+            if not graph.in_edges(f) and not config.is_sanctioned(functions[f])
+        )
+        if not bad_entries:
+            continue
+        entry = bad_entries[0]
+        hops = trace_from(toward, entry)
+        attr, line = fn.committed_writes[0]
+        trace = fmt_trace(graph, hops[:-1] + [(writer, line)])
+        extra = (f" (and {len(bad_entries) - 1} more unsanctioned entry "
+                 f"point(s))" if len(bad_entries) > 1 else "")
+        findings.append(DeepFinding(
+            rule=RULE,
+            path=fn.path,
+            line=line,
+            function=writer,
+            message=(
+                f"committed-image attribute '.{attr}' is written on a "
+                f"path rooted at unsanctioned entry point '{entry}'{extra}; "
+                f"route the mutation through PersistenceModel.commit()"
+            ),
+            trace=trace,
+            key=f"{attr}:{entry}",
+        ))
+    return findings

@@ -1,0 +1,137 @@
+"""Small fixpoint machinery shared by the flow passes.
+
+Two reachability primitives with witness edges (for source -> sink
+traces) and a generic monotone-set fixpoint used by the unit-typestate
+pass.  All iteration orders are sorted, so every pass output is
+deterministic for a given project.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from .callgraph import CallEdge, CallGraph
+
+__all__ = ["reach_down", "reach_up", "trace_to", "trace_from",
+           "fixpoint_sets"]
+
+
+def reach_down(
+    graph: CallGraph, roots: list[str]
+) -> dict[str, CallEdge | None]:
+    """Forward reachability from ``roots`` along call edges.
+
+    Returns ``{fqn: parent_edge}`` for every reachable function; roots
+    map to None.  The BFS visits functions in sorted order so the
+    parent (and therefore every reported trace) is deterministic.
+    """
+    parents: dict[str, CallEdge | None] = {}
+    frontier = sorted(set(roots) & set(graph.project.functions))
+    for root in frontier:
+        parents[root] = None
+    while frontier:
+        next_frontier: list[str] = []
+        for fqn in frontier:
+            for edge in graph.out_edges(fqn):
+                if edge.callee not in parents:
+                    parents[edge.callee] = edge
+                    next_frontier.append(edge.callee)
+        frontier = sorted(set(next_frontier))
+    return parents
+
+
+def reach_up(
+    graph: CallGraph, seeds: list[str],
+    stop: Callable[[str], bool] | None = None,
+) -> dict[str, CallEdge | None]:
+    """Backward reachability: every function that can *reach* a seed.
+
+    Returns ``{fqn: child_edge}`` where the edge points one step toward
+    the seed (seeds map to None).  ``stop`` prunes the climb: a
+    function for which it returns True is included but its callers are
+    not explored through it (used to cut paths at sanctioned
+    entry points).
+    """
+    toward: dict[str, CallEdge | None] = {}
+    frontier = sorted(set(seeds) & set(graph.project.functions))
+    for seed in frontier:
+        toward[seed] = None
+    while frontier:
+        next_frontier: list[str] = []
+        for fqn in frontier:
+            if stop is not None and stop(fqn) and toward[fqn] is not None:
+                continue
+            for edge in graph.in_edges(fqn):
+                if edge.caller not in toward:
+                    toward[edge.caller] = edge
+                    next_frontier.append(edge.caller)
+        frontier = sorted(set(next_frontier))
+    return toward
+
+
+def trace_to(
+    parents: Mapping[str, CallEdge | None], sink: str
+) -> list[tuple[str, int | None]]:
+    """Reconstruct the root -> ... -> ``sink`` path from a
+    :func:`reach_down` parent map as ``(fqn, callsite_line)`` pairs.
+
+    The line attached to each hop is the line *in the previous hop*
+    where the call is made; the root carries None.
+    """
+    hops: list[tuple[str, int | None]] = []
+    current: str | None = sink
+    guard = 0
+    while current is not None and guard < 10_000:
+        guard += 1
+        edge = parents.get(current)
+        hops.append((current, edge.lineno if edge is not None else None))
+        current = edge.caller if edge is not None else None
+    hops.reverse()
+    return hops
+
+
+def trace_from(
+    toward: Mapping[str, CallEdge | None], start: str
+) -> list[tuple[str, int | None]]:
+    """Reconstruct the ``start`` -> ... -> seed path from a
+    :func:`reach_up` witness map, as ``(fqn, callsite_line)`` pairs
+    where the line is the call made *by* that hop (seed carries None).
+    """
+    hops: list[tuple[str, int | None]] = []
+    current: str | None = start
+    guard = 0
+    while current is not None and guard < 10_000:
+        guard += 1
+        edge = toward.get(current)
+        hops.append((current, edge.lineno if edge is not None else None))
+        current = edge.callee if edge is not None else None
+    return hops
+
+
+def fixpoint_sets(
+    init: Mapping[str, frozenset[str]],
+    deps: Mapping[str, list[str]],
+) -> dict[str, frozenset[str]]:
+    """Least fixpoint of ``out[f] = init[f] | union(out[d] for d in
+    deps[f])`` — used for interprocedural return-unit inference.
+
+    ``deps[f]`` lists the functions whose output flows into ``f``'s.
+    """
+    out: dict[str, frozenset[str]] = {f: s for f, s in init.items()}
+    #: reverse dependency: who must be revisited when f changes.
+    rdeps: dict[str, list[str]] = {}
+    for f in sorted(deps):
+        for d in deps[f]:
+            rdeps.setdefault(d, []).append(f)
+    work = sorted(out)
+    while work:
+        next_work: list[str] = []
+        for f in work:
+            merged = out.get(f, frozenset())
+            for d in deps.get(f, []):
+                merged = merged | out.get(d, frozenset())
+            if merged != out.get(f, frozenset()):
+                out[f] = merged
+                next_work.extend(rdeps.get(f, []))
+        work = sorted(set(next_work))
+    return out

@@ -1,0 +1,89 @@
+"""F804 — seed-threading contract.
+
+A function that *holds* a seed or generator (a ``seed``/``rng``-ish
+parameter, or a local bound from ``make_rng``/``default_rng``/
+``spawn``) must thread it into every callee that consumes randomness.
+Calling such a callee while letting its ``seed`` parameter fall back
+to a default silently re-seeds that subsystem: two components believe
+they share one random stream but do not, which breaks same-seed
+reproducibility in a way no single-module lint can see.
+
+A call site satisfies the contract when the seed parameter receives
+*any* argument (an explicit constant seed is visible and deliberate)
+or when any argument expression is seed-ish (mentions a seed/rng name
+or an RNG factory).
+"""
+
+from __future__ import annotations
+
+from .base import DeepFinding, FlowConfig, fmt_trace
+from .callgraph import CallEdge, CallGraph
+from .symbols import FunctionInfo
+
+__all__ = ["run_seed_threading"]
+
+RULE = "F804"
+
+
+def _seed_is_passed(edge: CallEdge, target: FunctionInfo) -> bool:
+    site = edge.site
+    seed_params = set(target.seed_params)
+    params = target.params
+    if target.cls is not None and params and params[0] in ("self", "cls"):
+        params = params[1:]
+    pos_index = 0
+    for fact in site.args:
+        if fact.seedish:
+            return True
+        if fact.keyword is not None:
+            if fact.keyword in seed_params:
+                return True
+        else:
+            if pos_index < len(params) and params[pos_index] in seed_params:
+                return True
+            pos_index += 1
+    return False
+
+
+def run_seed_threading(
+    graph: CallGraph, config: FlowConfig
+) -> list[DeepFinding]:
+    del config  # the contract applies tree-wide
+    functions = graph.project.functions
+    findings: list[DeepFinding] = []
+    seen: set[str] = set()
+    for fqn in sorted(functions):
+        fn = functions[fqn]
+        if not fn.seed_params and not fn.has_local_rng:
+            continue
+        for edge in graph.out_edges(fqn):
+            if edge.kind != "direct" or edge.site.has_star:
+                continue
+            if edge.callee == fqn:
+                continue
+            target = functions[edge.callee]
+            omittable = target.seed_defaults
+            if not omittable:
+                continue
+            if _seed_is_passed(edge, target):
+                continue
+            holder = ("parameter '" + fn.seed_params[0] + "'"
+                      if fn.seed_params else "a locally constructed rng")
+            finding = DeepFinding(
+                rule=RULE,
+                path=fn.path,
+                line=edge.lineno,
+                function=fqn,
+                message=(
+                    f"holds {holder} but calls '{target.fqn}' without "
+                    f"threading it; '{omittable[0]}' silently falls back "
+                    f"to its default and re-seeds the subsystem"
+                ),
+                trace=fmt_trace(graph, [(fqn, edge.lineno),
+                                        (target.fqn, None)]),
+                key=target.fqn,
+            )
+            if finding.fingerprint not in seen:
+                seen.add(finding.fingerprint)
+                findings.append(finding)
+    return findings

@@ -1,0 +1,663 @@
+"""Per-module symbol extraction for the whole-program flow analyzer.
+
+One :class:`ModuleInfo` per source file captures everything the
+interprocedural passes need — functions with their parameter/unit/seed
+shapes, classes with their base lists, canonicalized import aliases,
+and every call site annotated with the argument facts the passes
+consume (unit suffixes, seed-ish expressions, partial/pool-worker
+indirections).  Extraction is the only AST walk in the pipeline; it is
+cheap, per-file, and cacheable by content hash
+(:mod:`repro.analysis.flow.callgraph` owns the cache).
+
+The extraction is deliberately syntactic: no imports are executed and
+no types are inferred beyond (a) local ``var = ClassName(...)``
+bindings and (b) the canonical dotted origin of imported names.  The
+linker in :mod:`repro.analysis.flow.callgraph` turns these raw facts
+into a resolved call graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..rules import UNIT_SUFFIXES, WALL_CLOCK_CALLS
+
+__all__ = [
+    "ArgFact",
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "SourceFact",
+    "extract_module",
+    "module_name_for",
+    "unit_suffix_of",
+]
+
+#: Wall-clock entry points the *flow* analysis treats as nondeterminism
+#: sources.  Strictly larger than simlint's D103 set: ``perf_counter``
+#: is fine for timing benchmark reporting (D103 allows it) but must
+#: never be reachable from a simulation hot path.
+FLOW_CLOCK_CALLS: frozenset[str] = WALL_CLOCK_CALLS | frozenset(
+    {"time.perf_counter", "time.perf_counter_ns", "time.process_time"}
+)
+
+#: Ambient-entropy calls beyond the clock family.
+ENTROPY_CALLS: frozenset[str] = frozenset(
+    {"os.urandom", "uuid.uuid4", "uuid.uuid1", "secrets.token_bytes",
+     "secrets.token_hex", "secrets.randbelow"}
+)
+
+#: Parameter / local names that carry a seed or generator.
+_SEEDISH_EXACT = frozenset({"seed", "rng", "generator", "seed_seq"})
+_SEEDISH_SUFFIXES = ("_seed", "_rng")
+
+#: Callables that *produce* a generator; a local assigned from one of
+#: these gives the enclosing function a seed in scope.
+_RNG_FACTORY_TAILS = frozenset({"make_rng", "default_rng", "spawn"})
+
+#: Pool/executor submission method names: the first callable argument
+#: runs later (possibly in another process) — an indirect call edge.
+_SUBMIT_TAILS = frozenset({"submit", "map", "imap", "imap_unordered",
+                           "starmap", "apply_async", "apply"})
+
+#: Thread/process constructors taking ``target=``.
+_TARGET_CTORS = frozenset({"Process", "Thread", "Timer"})
+
+
+def unit_suffix_of(name: str | None) -> str | None:
+    """The unit suffix (``_bytes``, ``_blocks``, ...) carried by a
+    name, or None."""
+    if not name:
+        return None
+    for suffix in UNIT_SUFFIXES:
+        if name.endswith(suffix) and len(name) > len(suffix):
+            return suffix
+    return None
+
+
+def seedish_name(name: str | None) -> bool:
+    """True when ``name`` conventionally carries a seed or generator."""
+    if not name:
+        return False
+    return name in _SEEDISH_EXACT or name.endswith(_SEEDISH_SUFFIXES)
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name inferred from package ``__init__.py`` chain.
+
+    ``src/repro/fs/cp.py`` -> ``repro.fs.cp``; works equally for test
+    fixture trees rooted anywhere.
+    """
+    p = path.resolve()
+    names = [] if p.stem == "__init__" else [p.stem]
+    d = p.parent
+    while (d / "__init__.py").exists():
+        names.append(d.name)
+        parent = d.parent
+        if parent == d:
+            break
+        d = parent
+    return ".".join(reversed(names)) or p.stem
+
+
+@dataclass(frozen=True)
+class ArgFact:
+    """What the passes need to know about one call argument."""
+
+    #: Keyword name, or None for a positional argument.
+    keyword: str | None
+    #: Unit suffix carried by the argument expression, if any.
+    unit: str | None
+    #: Canonical dotted callee when the argument is itself a direct
+    #: call (``f(g(...))``) — lets F802 use g's inferred return unit.
+    call_dotted: str | None
+    #: True when the expression mentions a seed/rng-ish name or an RNG
+    #: factory — it satisfies a seed parameter.
+    seedish: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"k": self.keyword, "u": self.unit, "c": self.call_dotted,
+                "s": self.seedish}
+
+    @staticmethod
+    def from_dict(d: dict[str, Any]) -> "ArgFact":
+        return ArgFact(d["k"], d["u"], d["c"], d["s"])
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body."""
+
+    #: Canonical dotted callee: imports are resolved to their origin
+    #: (``make_rng`` -> ``repro.common.rng.make_rng``); method calls
+    #: keep their receiver head (``self.run_cp``, ``st.take_riders``).
+    dotted: str
+    lineno: int
+    col: int
+    #: "direct" for ordinary calls; "partial" / "submit" / "target"
+    #: for functools.partial, pool submissions, and Process(target=...)
+    #: indirections (edges only — argument facts are not mapped).
+    kind: str
+    args: tuple[ArgFact, ...]
+    #: True when *args/**kwargs make the argument mapping unknowable.
+    has_star: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"d": self.dotted, "l": self.lineno, "c": self.col,
+                "k": self.kind, "a": [a.to_dict() for a in self.args],
+                "st": self.has_star}
+
+    @staticmethod
+    def from_dict(d: dict[str, Any]) -> "CallSite":
+        return CallSite(d["d"], d["l"], d["c"], d["k"],
+                        tuple(ArgFact.from_dict(a) for a in d["a"]), d["st"])
+
+
+@dataclass(frozen=True)
+class SourceFact:
+    """A direct nondeterminism source inside a function body."""
+
+    #: "wall-clock" | "stdlib-random" | "unseeded-rng" | "entropy"
+    #: | "set-iteration"
+    kind: str
+    detail: str
+    lineno: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"k": self.kind, "d": self.detail, "l": self.lineno}
+
+    @staticmethod
+    def from_dict(d: dict[str, Any]) -> "SourceFact":
+        return SourceFact(d["k"], d["d"], d["l"])
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    fqn: str
+    module: str
+    qualname: str
+    name: str
+    cls: str | None
+    path: str
+    lineno: int
+    #: Parameter names in positional order, including ``self``.
+    params: tuple[str, ...] = ()
+    #: Number of trailing positional parameters that carry defaults.
+    n_defaults: int = 0
+    #: Keyword-only parameter names.
+    kwonly: tuple[str, ...] = ()
+    #: Keyword-only parameters that carry defaults.
+    kwonly_defaults: tuple[str, ...] = ()
+    #: Parameters (positional or kw-only) that carry a seed/generator.
+    seed_params: tuple[str, ...] = ()
+    #: True when the body binds a local from an RNG factory.
+    has_local_rng: bool = False
+    #: Direct nondeterminism sources in the body.
+    sources: tuple[SourceFact, ...] = ()
+    #: Committed-image attribute writes: (attribute, lineno).
+    committed_writes: tuple[tuple[str, int], ...] = ()
+    #: Unit suffixes of expressions this function returns.
+    return_units: tuple[str, ...] = ()
+    #: Canonical dotted callees whose result is returned directly.
+    return_calls: tuple[str, ...] = ()
+    #: Every call site in the body.
+    calls: tuple[CallSite, ...] = ()
+    #: Unit-suffixed locals assigned from a call:
+    #: (target suffix, canonical dotted callee, lineno).
+    unit_assigns: tuple[tuple[str, str, int], ...] = ()
+    #: Local variable -> dotted class name for ``var = ClassName(...)``.
+    local_types: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def seed_defaults(self) -> tuple[str, ...]:
+        """Seed parameters that carry a default (omittable at the call
+        site — the silent-reseed hazard F804 guards)."""
+        defaulted = set(self.kwonly_defaults)
+        if self.n_defaults:
+            defaulted.update(self.params[-self.n_defaults:])
+        return tuple(p for p in self.seed_params if p in defaulted)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "fqn": self.fqn, "module": self.module, "qualname": self.qualname,
+            "name": self.name, "cls": self.cls, "path": self.path,
+            "lineno": self.lineno, "params": list(self.params),
+            "n_defaults": self.n_defaults, "kwonly": list(self.kwonly),
+            "kwonly_defaults": list(self.kwonly_defaults),
+            "seed_params": list(self.seed_params),
+            "has_local_rng": self.has_local_rng,
+            "sources": [s.to_dict() for s in self.sources],
+            "committed_writes": [list(w) for w in self.committed_writes],
+            "return_units": list(self.return_units),
+            "return_calls": list(self.return_calls),
+            "calls": [c.to_dict() for c in self.calls],
+            "unit_assigns": [list(a) for a in self.unit_assigns],
+            "local_types": dict(self.local_types),
+        }
+
+    @staticmethod
+    def from_dict(d: dict[str, Any]) -> "FunctionInfo":
+        return FunctionInfo(
+            fqn=d["fqn"], module=d["module"], qualname=d["qualname"],
+            name=d["name"], cls=d["cls"], path=d["path"], lineno=d["lineno"],
+            params=tuple(d["params"]), n_defaults=d["n_defaults"],
+            kwonly=tuple(d["kwonly"]),
+            kwonly_defaults=tuple(d["kwonly_defaults"]),
+            seed_params=tuple(d["seed_params"]),
+            has_local_rng=d["has_local_rng"],
+            sources=tuple(SourceFact.from_dict(s) for s in d["sources"]),
+            committed_writes=tuple(
+                (w[0], w[1]) for w in d["committed_writes"]),
+            return_units=tuple(d["return_units"]),
+            return_calls=tuple(d["return_calls"]),
+            calls=tuple(CallSite.from_dict(c) for c in d["calls"]),
+            unit_assigns=tuple((a[0], a[1], a[2]) for a in d["unit_assigns"]),
+            local_types=dict(d["local_types"]),
+        )
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its (canonical dotted) base names."""
+
+    fqn: str
+    module: str
+    name: str
+    lineno: int
+    bases: tuple[str, ...] = ()
+    #: method name -> function fqn
+    methods: dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"fqn": self.fqn, "module": self.module, "name": self.name,
+                "lineno": self.lineno, "bases": list(self.bases),
+                "methods": dict(self.methods)}
+
+    @staticmethod
+    def from_dict(d: dict[str, Any]) -> "ClassInfo":
+        return ClassInfo(fqn=d["fqn"], module=d["module"], name=d["name"],
+                         lineno=d["lineno"], bases=tuple(d["bases"]),
+                         methods=dict(d["methods"]))
+
+
+@dataclass
+class ModuleInfo:
+    """Everything extracted from one source file."""
+
+    module: str
+    path: str
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: local alias -> canonical dotted origin
+    imports: dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "module": self.module, "path": self.path,
+            "functions": {k: f.to_dict()
+                          for k, f in sorted(self.functions.items())},
+            "classes": {k: c.to_dict()
+                        for k, c in sorted(self.classes.items())},
+            "imports": dict(sorted(self.imports.items())),
+        }
+
+    @staticmethod
+    def from_dict(d: dict[str, Any]) -> "ModuleInfo":
+        return ModuleInfo(
+            module=d["module"], path=d["path"],
+            functions={k: FunctionInfo.from_dict(f)
+                       for k, f in d["functions"].items()},
+            classes={k: ClassInfo.from_dict(c)
+                     for k, c in d["classes"].items()},
+            imports=dict(d["imports"]),
+        )
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _ImportTable:
+    """Alias -> canonical dotted origin, with relative-import handling."""
+
+    def __init__(self, module: str, is_package: bool) -> None:
+        self.module = module
+        self.is_package = is_package
+        self.aliases: dict[str, str] = {}
+
+    def _package_parts(self, level: int) -> list[str]:
+        parts = self.module.split(".")
+        # level 1 = the containing package; for a package __init__ the
+        # module itself is that package.
+        drop = level - 1 if self.is_package else level
+        return parts[: len(parts) - drop] if drop else parts
+
+    def add_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.asname:
+                self.aliases[alias.asname] = alias.name
+            else:
+                head = alias.name.split(".")[0]
+                self.aliases[head] = head
+
+    def add_import_from(self, node: ast.ImportFrom) -> None:
+        if node.level == 0:
+            base = node.module or ""
+        else:
+            parts = self._package_parts(node.level)
+            base = ".".join(parts)
+            if node.module:
+                base = f"{base}.{node.module}" if base else node.module
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            origin = f"{base}.{alias.name}" if base else alias.name
+            self.aliases[alias.asname or alias.name] = origin
+
+    def canonical(self, dotted: str) -> str:
+        head, _, rest = dotted.partition(".")
+        head = self.aliases.get(head, head)
+        return f"{head}.{rest}" if rest else head
+
+
+class _FunctionExtractor:
+    """Collects the per-function facts from one function body."""
+
+    def __init__(self, info: FunctionInfo, imports: _ImportTable,
+                 committed_attrs: frozenset[str]) -> None:
+        self.info = info
+        self.imports = imports
+        self.committed_attrs = committed_attrs
+        self.sources: list[SourceFact] = []
+        self.calls: list[CallSite] = []
+        self.writes: list[tuple[str, int]] = []
+        self.return_units: list[str] = []
+        self.return_calls: list[str] = []
+        self.unit_assigns: list[tuple[str, str, int]] = []
+        self.local_types: dict[str, str] = {}
+        self.has_local_rng = False
+
+    # -- expression facts ----------------------------------------------
+    def _expr_unit(self, node: ast.AST) -> str | None:
+        if isinstance(node, ast.Name):
+            return unit_suffix_of(node.id)
+        if isinstance(node, ast.Attribute):
+            return unit_suffix_of(node.attr)
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted is not None:
+                tail = dotted.split(".")[-1]
+                if "_to_" in tail:
+                    word = tail.rsplit("_to_", 1)[1]
+                    return unit_suffix_of(f"_{word}")
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)):
+            left = self._expr_unit(node.left)
+            right = self._expr_unit(node.right)
+            if left is not None and left == right:
+                return left
+        if isinstance(node, ast.UnaryOp):
+            return self._expr_unit(node.operand)
+        return None
+
+    def _expr_seedish(self, node: ast.AST) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and seedish_name(sub.id):
+                return True
+            if isinstance(sub, ast.Attribute) and seedish_name(sub.attr):
+                return True
+            if isinstance(sub, ast.Call):
+                dotted = _dotted(sub.func)
+                if dotted is not None and (
+                        dotted.split(".")[-1] in _RNG_FACTORY_TAILS):
+                    return True
+        return False
+
+    def _arg_fact(self, node: ast.AST, keyword: str | None) -> ArgFact:
+        call_dotted: str | None = None
+        if isinstance(node, ast.Call):
+            raw = _dotted(node.func)
+            if raw is not None:
+                call_dotted = self.imports.canonical(raw)
+        return ArgFact(keyword=keyword, unit=self._expr_unit(node),
+                       call_dotted=call_dotted,
+                       seedish=self._expr_seedish(node))
+
+    # -- body walk -----------------------------------------------------
+    def walk(self, body: list[ast.stmt]) -> None:
+        """Breadth-first walk of the body, pruned at nested function and
+        class definitions (those get their own :class:`FunctionInfo`)."""
+        work: list[ast.AST] = list(body)
+        i = 0
+        while i < len(work):
+            node = work[i]
+            i += 1
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            self._node(node)
+            work.extend(ast.iter_child_nodes(node))
+
+    def _node(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Call):
+            self._call(node)
+        elif isinstance(node, ast.Return) and node.value is not None:
+            unit = self._expr_unit(node.value)
+            if unit is not None:
+                self.return_units.append(unit)
+            if isinstance(node.value, ast.Call):
+                raw = _dotted(node.value.func)
+                if raw is not None:
+                    self.return_calls.append(self.imports.canonical(raw))
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                self._assign(target, node.value, node.lineno)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            self._assign(node.target, node.value, node.lineno)
+        elif isinstance(node, ast.AugAssign):
+            self._committed_write(node.target, node.lineno)
+        elif isinstance(node, ast.For):
+            self._check_set_iteration(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for comp in node.generators:
+                self._check_set_iteration(comp.iter)
+
+    def _assign(self, target: ast.AST, value: ast.expr, lineno: int) -> None:
+        self._committed_write(target, lineno)
+        if not isinstance(target, ast.Name):
+            return
+        if isinstance(value, ast.Call):
+            raw = _dotted(value.func)
+            if raw is None:
+                return
+            canonical = self.imports.canonical(raw)
+            tail = canonical.split(".")[-1]
+            if tail in _RNG_FACTORY_TAILS:
+                self.has_local_rng = True
+            if tail and tail[0].isupper():
+                self.local_types[target.id] = canonical
+            suffix = unit_suffix_of(target.id)
+            if suffix is not None:
+                self.unit_assigns.append((suffix, canonical, lineno))
+
+    def _committed_write(self, target: ast.AST, lineno: int) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._committed_write(elt, lineno)
+            return
+        while isinstance(target, ast.Subscript):
+            target = target.value
+        attr = target
+        while isinstance(attr, ast.Attribute):
+            if attr.attr in self.committed_attrs:
+                self.writes.append((attr.attr, lineno))
+                return
+            attr = attr.value
+
+    def _check_set_iteration(self, iter_node: ast.AST) -> None:
+        is_set = isinstance(iter_node, (ast.Set, ast.SetComp))
+        if isinstance(iter_node, ast.Call):
+            dotted = _dotted(iter_node.func)
+            is_set = dotted in ("set", "frozenset")
+        if is_set:
+            self.sources.append(SourceFact(
+                "set-iteration", "iteration over an unordered set",
+                getattr(iter_node, "lineno", self.info.lineno)))
+
+    # -- calls ---------------------------------------------------------
+    def _call(self, node: ast.Call) -> None:
+        raw = _dotted(node.func)
+        if raw is None:
+            return
+        canonical = self.imports.canonical(raw)
+        self._check_source(node, canonical)
+        has_star = any(isinstance(a, ast.Starred) for a in node.args) or any(
+            kw.arg is None for kw in node.keywords)
+        facts = tuple(
+            [self._arg_fact(a, None) for a in node.args
+             if not isinstance(a, ast.Starred)]
+            + [self._arg_fact(kw.value, kw.arg) for kw in node.keywords
+               if kw.arg is not None]
+        )
+        self.calls.append(CallSite(
+            dotted=canonical, lineno=node.lineno, col=node.col_offset,
+            kind="direct", args=facts, has_star=has_star))
+        self._indirect_edges(node, canonical)
+
+    def _check_source(self, node: ast.Call, canonical: str) -> None:
+        if canonical.split(".")[0] == "random":
+            self.sources.append(SourceFact(
+                "stdlib-random", f"{canonical}()", node.lineno))
+            return
+        if canonical in FLOW_CLOCK_CALLS:
+            self.sources.append(SourceFact(
+                "wall-clock", f"{canonical}()", node.lineno))
+            return
+        if canonical in ENTROPY_CALLS:
+            self.sources.append(SourceFact(
+                "entropy", f"{canonical}()", node.lineno))
+            return
+        if canonical in ("numpy.random.default_rng", "np.random.default_rng"):
+            unseeded = not node.args and not node.keywords
+            none_seed = (len(node.args) == 1
+                         and isinstance(node.args[0], ast.Constant)
+                         and node.args[0].value is None)
+            if unseeded or none_seed:
+                self.sources.append(SourceFact(
+                    "unseeded-rng", "numpy default_rng() with no seed",
+                    node.lineno))
+
+    def _indirect_edges(self, node: ast.Call, canonical: str) -> None:
+        tail = canonical.split(".")[-1]
+        callee: ast.AST | None = None
+        kind = ""
+        if tail == "partial" and node.args:
+            callee, kind = node.args[0], "partial"
+        elif tail in _SUBMIT_TAILS and node.args:
+            callee, kind = node.args[0], "submit"
+        elif tail in _TARGET_CTORS:
+            for kw in node.keywords:
+                if kw.arg == "target":
+                    callee, kind = kw.value, "target"
+        if callee is None:
+            return
+        raw = _dotted(callee)
+        if raw is None:
+            return
+        self.calls.append(CallSite(
+            dotted=self.imports.canonical(raw), lineno=node.lineno,
+            col=node.col_offset, kind=kind, args=(), has_star=True))
+
+
+def _param_shape(
+    args: ast.arguments,
+) -> tuple[tuple[str, ...], int, tuple[str, ...], tuple[str, ...]]:
+    params = tuple(a.arg for a in args.posonlyargs + args.args)
+    kwonly = tuple(a.arg for a in args.kwonlyargs)
+    kwonly_defaults = tuple(
+        a.arg for a, d in zip(args.kwonlyargs, args.kw_defaults)
+        if d is not None)
+    return params, len(args.defaults), kwonly, kwonly_defaults
+
+
+def extract_module(
+    source: str,
+    path: str | Path,
+    committed_attrs: frozenset[str],
+    module: str | None = None,
+) -> ModuleInfo:
+    """Extract one module's symbols and raw call facts."""
+    p = Path(path)
+    mod_name = module if module is not None else module_name_for(p)
+    tree = ast.parse(source, filename=str(p))
+    is_package = p.stem == "__init__"
+    imports = _ImportTable(mod_name, is_package)
+    info = ModuleInfo(module=mod_name, path=str(p))
+
+    def handle_function(node: ast.FunctionDef | ast.AsyncFunctionDef,
+                        cls: ClassInfo | None) -> None:
+        qualname = f"{cls.name}.{node.name}" if cls else node.name
+        fqn = f"{mod_name}.{qualname}"
+        params, n_defaults, kwonly, kwonly_defaults = _param_shape(node.args)
+        seed_params = tuple(pn for pn in params + kwonly if seedish_name(pn))
+        fn = FunctionInfo(
+            fqn=fqn, module=mod_name, qualname=qualname, name=node.name,
+            cls=cls.name if cls else None, path=str(p), lineno=node.lineno,
+            params=params, n_defaults=n_defaults, kwonly=kwonly,
+            kwonly_defaults=kwonly_defaults, seed_params=seed_params,
+        )
+        extractor = _FunctionExtractor(fn, imports, committed_attrs)
+        extractor.walk(list(node.body))
+        fn.sources = tuple(extractor.sources)
+        fn.calls = tuple(extractor.calls)
+        fn.committed_writes = tuple(extractor.writes)
+        fn.return_units = tuple(extractor.return_units)
+        fn.return_calls = tuple(extractor.return_calls)
+        fn.unit_assigns = tuple(extractor.unit_assigns)
+        fn.local_types = extractor.local_types
+        fn.has_local_rng = extractor.has_local_rng
+        info.functions[fqn] = fn
+        if cls is not None:
+            cls.methods[node.name] = fqn
+        # Nested function definitions are attributed to the same scope
+        # chain (calls to them resolve by simple name within module).
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                handle_function(child, cls)
+
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            imports.add_import(node)
+        elif isinstance(node, ast.ImportFrom):
+            imports.add_import_from(node)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            handle_function(node, None)
+        elif isinstance(node, ast.ClassDef):
+            cls = ClassInfo(
+                fqn=f"{mod_name}.{node.name}", module=mod_name,
+                name=node.name, lineno=node.lineno,
+                bases=tuple(b for b in (
+                    imports.canonical(d) for d in (
+                        _dotted(base) for base in node.bases) if d is not None
+                )),
+            )
+            info.classes[cls.fqn] = cls
+            for child in node.body:
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    handle_function(child, cls)
+    info.imports = dict(imports.aliases)
+    return info

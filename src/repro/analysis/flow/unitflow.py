@@ -1,0 +1,198 @@
+"""F802 — interprocedural unit typestate.
+
+Unit tags (``_bytes``, ``_blocks``, ``_us``, ...) are propagated
+through returns, assignments and call arguments:
+
+* **return-unit inference** — a least fixpoint over ``return g(...)``
+  chains gives every function the set of unit tags it can return;
+* **call-site checking** — an argument carrying unit X passed to a
+  parameter named with unit Y != X is a cross-function unit mix that
+  the purely syntactic U301 cannot see;
+* **assignment checking** — ``total_bytes = free_blocks(...)`` style
+  bindings compare the target suffix against the callee's inferred
+  return unit;
+* **signature checking** — a function whose *name* carries a unit must
+  not return a value carrying a different unit.
+"""
+
+from __future__ import annotations
+
+from .base import DeepFinding, FlowConfig, fmt_trace
+from .callgraph import CallEdge, CallGraph
+from .engine import fixpoint_sets
+from .symbols import FunctionInfo, unit_suffix_of
+
+__all__ = ["infer_return_units", "run_unit_typestate"]
+
+RULE = "F802"
+
+
+def infer_return_units(graph: CallGraph) -> dict[str, frozenset[str]]:
+    """Unit tags each function can return (interprocedural fixpoint)."""
+    functions = graph.project.functions
+    init: dict[str, frozenset[str]] = {}
+    deps: dict[str, list[str]] = {}
+    for fqn in sorted(functions):
+        fn = functions[fqn]
+        init[fqn] = frozenset(fn.return_units)
+        returned = set(fn.return_calls)
+        if returned:
+            deps[fqn] = sorted(
+                {e.callee for e in graph.out_edges(fqn)
+                 if e.kind == "direct" and e.site.dotted in returned}
+            )
+    return fixpoint_sets(init, deps)
+
+
+def _effective_params(fn: FunctionInfo) -> tuple[str, ...]:
+    """Positional parameters as seen by a caller (``self``/``cls``
+    dropped for methods)."""
+    params = fn.params
+    if fn.cls is not None and params and params[0] in ("self", "cls"):
+        return params[1:]
+    return params
+
+
+def _arg_unit(
+    fact_unit: str | None,
+    call_dotted: str | None,
+    caller: FunctionInfo,
+    graph: CallGraph,
+    ret_units: dict[str, frozenset[str]],
+) -> str | None:
+    """The unit an argument expression carries: its syntactic suffix,
+    or the unique inferred return unit of the called function."""
+    if fact_unit is not None:
+        return fact_unit
+    if call_dotted is None:
+        return None
+    target = _resolve_value_call(call_dotted, caller, graph)
+    if target is None:
+        return None
+    units = ret_units.get(target, frozenset())
+    return next(iter(units)) if len(units) == 1 else None
+
+
+def _resolve_value_call(
+    dotted: str, caller: FunctionInfo, graph: CallGraph
+) -> str | None:
+    """Resolve a value-producing call (argument / assignment RHS) to a
+    unique project function, mirroring the high-precision resolver
+    cases only."""
+    functions = graph.project.functions
+    if dotted in functions:
+        return dotted
+    if "." not in dotted:
+        local = f"{caller.module}.{dotted}"
+        if local in functions:
+            return local
+    # A method call recorded at this site resolves through the graph's
+    # own edges (same dotted string, direct kind, unique target).
+    candidates = sorted(
+        {e.callee for e in graph.out_edges(caller.fqn)
+         if e.kind == "direct" and e.site.dotted == dotted}
+    )
+    return candidates[0] if len(candidates) == 1 else None
+
+
+def _check_call_site(
+    fn: FunctionInfo,
+    edge: CallEdge,
+    graph: CallGraph,
+    ret_units: dict[str, frozenset[str]],
+    findings: list[DeepFinding],
+    seen: set[str],
+) -> None:
+    target = graph.project.functions[edge.callee]
+    params = _effective_params(target)
+    pos_index = 0
+    for fact in edge.site.args:
+        if fact.keyword is None:
+            param = params[pos_index] if pos_index < len(params) else None
+            pos_index += 1
+        else:
+            param = (fact.keyword
+                     if fact.keyword in target.params + target.kwonly
+                     else None)
+        if param is None:
+            continue
+        param_unit = unit_suffix_of(param)
+        if param_unit is None:
+            continue
+        arg_unit = _arg_unit(fact.unit, fact.call_dotted, fn, graph,
+                             ret_units)
+        if arg_unit is None or arg_unit == param_unit:
+            continue
+        finding = DeepFinding(
+            rule=RULE,
+            path=fn.path,
+            line=edge.lineno,
+            function=fn.fqn,
+            message=(
+                f"argument carrying {arg_unit} passed to parameter "
+                f"'{param}' ({param_unit}) of '{target.fqn}'; convert "
+                f"through repro.common.units first"
+            ),
+            trace=fmt_trace(graph, [(fn.fqn, edge.lineno),
+                                    (target.fqn, None)]),
+            key=f"{target.fqn}:{param}:{arg_unit}",
+        )
+        if finding.fingerprint not in seen:
+            seen.add(finding.fingerprint)
+            findings.append(finding)
+
+
+def run_unit_typestate(
+    graph: CallGraph, config: FlowConfig
+) -> list[DeepFinding]:
+    del config  # roots/sinks are not needed: units are checked everywhere
+    functions = graph.project.functions
+    ret_units = infer_return_units(graph)
+    findings: list[DeepFinding] = []
+    seen: set[str] = set()
+    for fqn in sorted(functions):
+        fn = functions[fqn]
+        for edge in graph.out_edges(fqn):
+            if edge.kind == "direct" and not edge.site.has_star:
+                _check_call_site(fn, edge, graph, ret_units, findings, seen)
+        # ``x_bytes = f(...)`` against f's inferred return unit.
+        for target_unit, dotted, lineno in fn.unit_assigns:
+            callee = _resolve_value_call(dotted, fn, graph)
+            if callee is None:
+                continue
+            units = ret_units.get(callee, frozenset())
+            if len(units) == 1:
+                (ret_unit,) = sorted(units)
+                if ret_unit != target_unit:
+                    finding = DeepFinding(
+                        rule=RULE, path=fn.path, line=lineno, function=fqn,
+                        message=(
+                            f"value returned by '{callee}' carries "
+                            f"{ret_unit} but is bound to a {target_unit} "
+                            f"name; convert through repro.common.units first"
+                        ),
+                        trace=fmt_trace(graph, [(fqn, lineno),
+                                                (callee, None)]),
+                        key=f"assign:{callee}:{target_unit}",
+                    )
+                    if finding.fingerprint not in seen:
+                        seen.add(finding.fingerprint)
+                        findings.append(finding)
+        # Function whose name names a unit must return that unit.
+        name_unit = unit_suffix_of(fn.name)
+        if name_unit is not None:
+            for ret_unit in sorted(ret_units.get(fqn, frozenset())):
+                if ret_unit != name_unit and "_to_" not in fn.name:
+                    finding = DeepFinding(
+                        rule=RULE, path=fn.path, line=fn.lineno, function=fqn,
+                        message=(
+                            f"function named with {name_unit} returns a "
+                            f"{ret_unit} value"
+                        ),
+                        trace=fmt_trace(graph, [(fqn, None)]),
+                        key=f"return:{ret_unit}",
+                    )
+                    if finding.fingerprint not in seen:
+                        seen.add(finding.fingerprint)
+                        findings.append(finding)
+    return findings

@@ -11,8 +11,13 @@ surfaces as an :class:`~repro.common.errors.AuditError` raised from
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
 
-def pytest_addoption(parser) -> None:
+if TYPE_CHECKING:
+    import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
     parser.addoption(
         "--audit",
         action="store_true",
@@ -22,14 +27,14 @@ def pytest_addoption(parser) -> None:
     )
 
 
-def pytest_configure(config) -> None:
+def pytest_configure(config: pytest.Config) -> None:
     if config.getoption("--audit"):
         from .auditor import arm_global
 
         arm_global()
 
 
-def pytest_unconfigure(config) -> None:
+def pytest_unconfigure(config: pytest.Config) -> None:
     if config.getoption("--audit"):
         from .auditor import disarm_global
 

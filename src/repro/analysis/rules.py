@@ -30,6 +30,15 @@ Rule families
 * **C — crash consistency.**  The committed metadata image is the
   state a crash recovers to; only the sanctioned commit path in
   :mod:`repro.crash.persistence` may replace it.
+* **P — pragma hygiene.**  Waivers must name real rules; a typo in a
+  ``# simlint: disable=`` pragma silently waives nothing and hides the
+  violation it meant to document.
+* **F — flow (interprocedural).**  The ``repro lint --deep`` passes
+  (:mod:`repro.analysis.flow`) check the same properties as the D/U/C
+  families but across function boundaries: determinism taint, unit
+  typestate, commit-path effects, and seed threading.  They are
+  catalogued separately in :data:`FLOW_RULES` because they fire from
+  whole-program analysis, not from a single module's AST.
 """
 
 from __future__ import annotations
@@ -39,6 +48,7 @@ from dataclasses import dataclass
 __all__ = [
     "Rule",
     "RULES",
+    "FLOW_RULES",
     "LAYER_RANK",
     "UNIT_SUFFIXES",
     "ORDER_SAFE_CONSUMERS",
@@ -137,6 +147,13 @@ RULES: dict[str, Rule] = {
             "spans/counters via repro.obs, or format output in cli.py.",
         ),
         Rule(
+            "P901",
+            "pragma waives an unknown rule id",
+            "a waiver naming a rule id outside the catalogue (a typo "
+            "like D99 for D104) waives nothing and hides the violation "
+            "it meant to document; name a rule from the catalogue.",
+        ),
+        Rule(
             "C601",
             "committed-image attribute mutated outside the crash-"
             "consistency commit path",
@@ -145,6 +162,44 @@ RULES: dict[str, Rule] = {
             "(repro.crash.persistence) — any other assignment silently "
             "moves the recovery target and voids the crash-consistency "
             "guarantee.",
+        ),
+    )
+}
+
+#: The interprocedural (``repro lint --deep``) rule catalogue.  These
+#: fire from whole-program analysis in :mod:`repro.analysis.flow` and
+#: are baselined by fingerprint, not waived by pragma.
+FLOW_RULES: dict[str, Rule] = {
+    r.id: r
+    for r in (
+        Rule(
+            "F801",
+            "nondeterministic source reachable from a simulation hot path",
+            "wall clocks, stdlib random, unseeded generators, ambient "
+            "entropy, and unordered-set iteration anywhere in the call "
+            "cone of the CP/allocator/traffic/crash hot paths break "
+            "bit-for-bit reproducibility, no matter how many calls deep.",
+        ),
+        Rule(
+            "F802",
+            "unit value crosses a function boundary into a different unit",
+            "a *_blocks value passed into a size_bytes parameter (or "
+            "returned from a *_us function) corrupts accounting invisibly "
+            "to the per-line U301 check.",
+        ),
+        Rule(
+            "F803",
+            "committed-image write on a path not rooted at the commit path",
+            "helpers that mutate the committed image on behalf of "
+            "unsanctioned callers move the crash-recovery target; the "
+            "call-graph check closes the 'mutate via helper' hole in C601.",
+        ),
+        Rule(
+            "F804",
+            "held seed/rng not threaded into a randomness-consuming callee",
+            "letting a callee's seed parameter fall back to its default "
+            "silently re-seeds that subsystem and forks the random stream "
+            "same-seed reproducibility depends on.",
         ),
     )
 }

@@ -105,9 +105,17 @@ def _dotted(node: ast.AST) -> str | None:
 class _Linter(ast.NodeVisitor):
     """Single-pass visitor applying every rule family."""
 
-    def __init__(self, path: str, package: str | None) -> None:
+    def __init__(self, path: str, package: str | None,
+                 subpackages: tuple[str, ...] | None = None) -> None:
         self.path = path
         self.package = package
+        #: Full package chain under ``repro`` (("analysis", "flow") for
+        #: repro/analysis/flow/symbols.py); resolves relative imports
+        #: from nested subpackages correctly.
+        self.subpackages = (
+            subpackages if subpackages is not None
+            else ((package,) if package is not None else ())
+        )
         self.findings: list[Finding] = []
         #: local alias -> canonical dotted origin ("np" -> "numpy").
         self.aliases: dict[str, str] = {}
@@ -173,14 +181,16 @@ class _Linter(ast.NodeVisitor):
             # Top-level module: ``from . import x`` reaches siblings;
             # top modules are unconstrained.
             return None
-        # level 1 == same package (always allowed); level 2 == the repro
-        # root, so the first component of ``module`` names the target.
-        if node.level == 1:
-            return f"repro.{self.package}"
-        if node.level == 2:
-            first = (node.module or "").split(".")[0]
-            return f"repro.{first}" if first else "repro"
-        return "repro"
+        # ``level`` dots climb the package chain: level 1 stays in the
+        # containing package, each further dot drops one component.
+        # From repro/analysis/flow/x.py, ``from ..rules import`` has
+        # level 2 over chain ("analysis", "flow") -> base ("analysis",)
+        # -> repro.analysis.rules, which is still package 'analysis'.
+        base = self.subpackages[: len(self.subpackages) - (node.level - 1)]
+        if base:
+            return f"repro.{base[0]}"
+        first = (node.module or "").split(".")[0]
+        return f"repro.{first}" if first else "repro"
 
     def _check_layering(self, node: ast.AST, target_module: str) -> None:
         if self.package is None:
@@ -520,44 +530,70 @@ class _Linter(ast.NodeVisitor):
         return True
 
 
-def _pragmas(source: str) -> tuple[dict[int, set[str]], set[str]]:
-    """Per-line and file-level waivers from ``# simlint:`` pragmas."""
+def _pragmas(
+    source: str, path: str
+) -> tuple[dict[int, set[str]], set[str], list[Finding]]:
+    """Per-line and file-level waivers from ``# simlint:`` pragmas,
+    plus a P901 finding for every waived rule id that is not in the
+    catalogue (a typo'd waiver waives nothing and hides the violation
+    it meant to document)."""
     per_line: dict[int, set[str]] = {}
     file_level: set[str] = set()
+    unknown: list[Finding] = []
+
+    def note_ids(lineno: int, col: int, ids: set[str]) -> None:
+        for rule_id in sorted(ids - set(RULES)):
+            unknown.append(Finding(
+                "P901", path, lineno, col,
+                f"{RULES['P901'].summary}: '{rule_id}' is not in the "
+                f"rule catalogue",
+            ))
+
     for lineno, line in enumerate(source.splitlines(), start=1):
         match = _PRAGMA_FILE.search(line)
         if match:
-            file_level.update(r.strip() for r in match.group(1).split(","))
+            ids = {r.strip() for r in match.group(1).split(",")}
+            note_ids(lineno, match.start(), ids)
+            file_level.update(ids)
             continue
         match = _PRAGMA_LINE.search(line)
         if match:
-            per_line.setdefault(lineno, set()).update(
-                r.strip() for r in match.group(1).split(",")
-            )
-    return per_line, file_level
+            ids = {r.strip() for r in match.group(1).split(",")}
+            note_ids(lineno, match.start(), ids)
+            per_line.setdefault(lineno, set()).update(ids)
+    return per_line, file_level, unknown
+
+
+def _package_chain(path: Path) -> tuple[str, ...] | None:
+    """The chain of repro subpackages a file sits in (("analysis",
+    "flow") for repro/analysis/flow/x.py), () for top-level modules,
+    None for files outside the repro tree."""
+    parts = path.parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return tuple(parts[i + 1 : -1])
+    return None
 
 
 def _package_of(path: Path) -> str | None:
     """The repro subpackage a file belongs to, or None for top-level
     modules (and files outside the repro tree)."""
-    parts = path.parts
-    for i in range(len(parts) - 1, -1, -1):
-        if parts[i] == "repro":
-            rest = parts[i + 1 : -1]
-            return rest[0] if rest else None
-    return None
+    chain = _package_chain(path)
+    return chain[0] if chain else None
 
 
 def lint_source(
-    source: str, path: str = "<string>", package: str | None = None
+    source: str, path: str = "<string>", package: str | None = None,
+    subpackages: tuple[str, ...] | None = None,
 ) -> list[Finding]:
-    """Lint one module's source; ``package`` positions it in the DAG."""
+    """Lint one module's source; ``package`` positions it in the DAG
+    (``subpackages`` gives the full nested chain when known)."""
     tree = ast.parse(source, filename=path)
-    linter = _Linter(path, package)
+    linter = _Linter(path, package, subpackages)
     linter.visit(tree)
-    per_line, file_level = _pragmas(source)
+    per_line, file_level, unknown = _pragmas(source, path)
     kept = []
-    for f in linter.findings:
+    for f in linter.findings + unknown:
         if f.rule in file_level or f.rule in per_line.get(f.line, set()):
             continue
         kept.append(f)
@@ -567,7 +603,9 @@ def lint_source(
 def lint_file(path: str | Path) -> list[Finding]:
     """Lint one file, inferring its package from its location."""
     p = Path(path)
-    return lint_source(p.read_text(encoding="utf-8"), str(p), _package_of(p))
+    chain = _package_chain(p)
+    return lint_source(p.read_text(encoding="utf-8"), str(p),
+                       chain[0] if chain else None, chain)
 
 
 def lint_paths(paths: Iterable[str | Path]) -> list[Finding]:

@@ -1,0 +1,136 @@
+"""F801 determinism taint: nondeterminism sources anywhere in the call
+cone of a hot-path root, including laundering through modules, method
+dispatch, and pool workers that per-line simlint cannot see."""
+
+from __future__ import annotations
+
+from repro.analysis import deep_lint, lint_paths
+from repro.analysis.flow import FlowConfig
+
+
+def hot(config_modules=("app.hot",), **kw):
+    return FlowConfig(hot_root_modules=config_modules, **kw)
+
+
+def f801(report):
+    return [f for f in report.findings if f.rule == "F801"]
+
+
+class TestTruePositives:
+    def test_perf_counter_two_hops_from_hot_path(self, make_tree):
+        # time.perf_counter is *allowed* by syntactic simlint (D103
+        # permits it for bench timing), so only the flow pass can see
+        # it leak into a simulation hot path.
+        root = make_tree({
+            "app/hot.py": "from app.util import stamp\n"
+                          "def advance():\n    return stamp()\n",
+            "app/util.py": "import time\n"
+                           "def stamp():\n    return time.perf_counter()\n",
+        })
+        assert lint_paths([root]) == []  # simlint is blind to this
+        report = deep_lint([root], hot())
+        (finding,) = f801(report)
+        assert finding.function == "app.util.stamp"
+        assert "app.hot.advance" in finding.message
+        assert finding.key == "wall-clock:time.perf_counter()"
+
+    def test_trace_runs_root_to_source(self, make_tree):
+        root = make_tree({
+            "app/hot.py": "from app.mid import relay\n"
+                          "def advance():\n    return relay()\n",
+            "app/mid.py": "from app.leaf import noisy\n"
+                          "def relay():\n    return noisy()\n",
+            "app/leaf.py": "import time\n"
+                           "def noisy():\n    return time.perf_counter_ns()\n",
+        })
+        (finding,) = f801(deep_lint([root], hot()))
+        hops = [h.removeprefix("-> ").split(" ")[0] for h in finding.trace]
+        assert hops == ["app.hot.advance", "app.mid.relay", "app.leaf.noisy"]
+        # The last hop pins the source line in the source's own file.
+        assert finding.trace[-1].endswith("leaf.py:3)")
+        assert finding.line == 3
+
+    def test_unseeded_rng_in_pool_worker(self, make_tree):
+        # The worker only ever runs through submit(); no syntactic rule
+        # connects it to the hot path.
+        root = make_tree({
+            "app/hot.py": "from app.work import worker\n"
+                          "def advance(pool):\n"
+                          "    return pool.submit(worker, 3)\n",
+            "app/work.py": "import numpy as np\n"
+                           "def worker(n):\n"
+                           "    rng = np.random.default_rng()"
+                           "  # simlint: disable=D102\n"
+                           "    return rng.random()\n",
+        })
+        assert lint_paths([root]) == []
+        (finding,) = f801(deep_lint([root], hot()))
+        assert finding.function == "app.work.worker"
+        assert finding.key.startswith("unseeded-rng:")
+
+    def test_source_through_method_dispatch(self, make_tree):
+        root = make_tree({
+            "app/hot.py": "from app.eng import Engine\n"
+                          "def advance():\n"
+                          "    eng = Engine()\n"
+                          "    return eng.tick()\n",
+            "app/eng.py": "import os\n"
+                          "class Engine:\n"
+                          "    def __init__(self):\n        self.n = 0\n"
+                          "    def tick(self):\n"
+                          "        return os.urandom(4)\n",
+        })
+        (finding,) = f801(deep_lint([root], hot()))
+        assert finding.function == "app.eng.Engine.tick"
+        assert finding.key == "entropy:os.urandom()"
+
+
+class TestNegatives:
+    def test_source_outside_the_cone_is_ignored(self, make_tree):
+        root = make_tree({
+            "app/hot.py": "def advance():\n    return 1\n",
+            "app/bench.py": "import time\n"
+                            "def measure():\n    return time.perf_counter()\n",
+        })
+        assert f801(deep_lint([root], hot())) == []
+
+    def test_clean_cone_is_clean(self, make_tree):
+        root = make_tree({
+            "app/hot.py": "from app.util import double\n"
+                          "def advance():\n    return double(2)\n",
+            "app/util.py": "def double(n):\n    return 2 * n\n",
+        })
+        assert f801(deep_lint([root], hot())) == []
+
+    def test_purity_whitelist_suppresses_with_justification(self, make_tree):
+        root = make_tree({
+            "app/hot.py": "from app.util import stamp\n"
+                          "def advance():\n    return stamp()\n",
+            "app/util.py": "import time\n"
+                           "def stamp():\n    return time.perf_counter()\n",
+        })
+        config = hot(pure_fqns={"app.util.stamp": "reporting only"})
+        assert f801(deep_lint([root], config)) == []
+
+    def test_whitelist_does_not_leak_to_other_functions(self, make_tree):
+        root = make_tree({
+            "app/hot.py": "from app.util import stamp, stamp2\n"
+                          "def advance():\n    return stamp() + stamp2()\n",
+            "app/util.py": "import time\n"
+                           "def stamp():\n    return time.perf_counter()\n"
+                           "def stamp2():\n    return time.perf_counter()\n",
+        })
+        config = hot(pure_fqns={"app.util.stamp": "reporting only"})
+        (finding,) = f801(deep_lint([root], config))
+        assert finding.function == "app.util.stamp2"
+
+    def test_hot_root_fqns_extend_the_roots(self, make_tree):
+        root = make_tree({
+            "app/misc.py": "import time\n"
+                           "def special():\n    return time.process_time()\n",
+        })
+        assert f801(deep_lint([root], hot(()))) == []
+        config = FlowConfig(hot_root_modules=(),
+                            hot_root_fqns=("app.misc.special",))
+        (finding,) = f801(deep_lint([root], config))
+        assert finding.function == "app.misc.special"

@@ -1,0 +1,75 @@
+"""Deep-lint reporting: byte-identical JSON across runs (cold and warm
+cache), deterministic finding order, and the dogfood gate — the shipped
+tree must produce no finding that is not in the checked-in baseline."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import repro
+from repro.analysis import deep_lint
+from repro.analysis.flow import (
+    FlowConfig,
+    default_baseline_path,
+    load_baseline,
+    report_to_json,
+    split_findings,
+)
+
+CONFIG = FlowConfig(hot_root_modules=("app.hot",))
+
+FILES = {
+    "app/hot.py": "from app.util import stamp\n"
+                  "def advance():\n    return stamp()\n",
+    "app/util.py": "import time\n"
+                   "def stamp():\n    return time.perf_counter()\n",
+    "app/build.py": "def build_sim(n, seed=42):\n    return (n, seed)\n",
+    "app/run.py": "from app.build import build_sim\n"
+                  "def run(seed):\n    return build_sim(8)\n",
+}
+
+
+class TestDeterministicOutput:
+    def test_json_is_byte_identical_across_runs(self, make_tree):
+        root = make_tree(FILES)
+        first = report_to_json(deep_lint([root], CONFIG))
+        second = report_to_json(deep_lint([root], CONFIG))
+        assert first == second
+
+    def test_warm_cache_matches_cold_run(self, make_tree, tmp_path):
+        root = make_tree(FILES)
+        cache = tmp_path / "cache.json"
+        cold = report_to_json(deep_lint([root], CONFIG, cache_path=cache))
+        warm = report_to_json(deep_lint([root], CONFIG, cache_path=cache))
+        assert cold == warm
+
+    def test_findings_are_sorted(self, make_tree):
+        report = deep_lint([make_tree(FILES)], CONFIG)
+        keys = [(f.path, f.rule, f.line, f.fingerprint)
+                for f in report.findings]
+        assert keys == sorted(keys)
+
+    def test_json_carries_no_volatile_fields(self, make_tree):
+        doc = json.loads(report_to_json(deep_lint([make_tree(FILES)],
+                                                  CONFIG)))
+        assert set(doc) == {"version", "findings", "summary"}
+        for f in doc["findings"]:
+            assert "time" not in f and "timestamp" not in f
+
+
+class TestDogfood:
+    def test_shipped_tree_has_no_new_findings(self):
+        pkg_dir = Path(repro.__file__).parent
+        report = deep_lint([pkg_dir])
+        baseline = load_baseline(default_baseline_path())
+        diff = split_findings(list(report.findings), baseline)
+        assert diff.ok, "\n".join(str(f) for f in diff.new)
+        assert not diff.stale, diff.stale
+
+    def test_every_waiver_is_justified(self):
+        baseline = load_baseline(default_baseline_path())
+        assert baseline, "dogfood baseline should exist"
+        for fp, justification in baseline.items():
+            assert justification.strip(), fp
+            assert "unreviewed" not in justification, fp

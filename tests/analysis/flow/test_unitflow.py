@@ -1,0 +1,178 @@
+"""F802 unit typestate: unit tags crossing function boundaries into
+differently-united parameters, bindings, and returns — the cases the
+purely per-line U301 rule cannot see."""
+
+from __future__ import annotations
+
+from repro.analysis import deep_lint, lint_paths
+from repro.analysis.flow import FlowConfig
+from repro.analysis.flow.callgraph import build_graph, load_project
+from repro.analysis.flow.unitflow import infer_return_units
+from repro.analysis.rules import COMMITTED_IMAGE_ATTRS
+
+CONFIG = FlowConfig(hot_root_modules=())
+
+
+def f802(report):
+    return [f for f in report.findings if f.rule == "F802"]
+
+
+class TestCallSiteChecking:
+    def test_blocks_into_bytes_parameter_cross_module(self, make_tree):
+        # Each module is U301-clean on its own; only the call boundary
+        # mixes units.
+        root = make_tree({
+            "app/geom.py": "def reserve(size_bytes):\n"
+                           "    return size_bytes\n",
+            "app/run.py": "from app.geom import reserve\n"
+                          "def run():\n"
+                          "    free_blocks = 12\n"
+                          "    return reserve(free_blocks)\n",
+        })
+        assert lint_paths([root]) == []  # U301 is blind to this
+        (finding,) = f802(deep_lint([root], CONFIG))
+        assert finding.function == "app.run.run"
+        assert "'size_bytes'" in finding.message
+        assert finding.key == "app.geom.reserve:size_bytes:_blocks"
+
+    def test_keyword_argument_mix(self, make_tree):
+        root = make_tree({
+            "app/geom.py": "def reserve(count, size_bytes=0):\n"
+                           "    return size_bytes\n",
+            "app/run.py": "from app.geom import reserve\n"
+                          "def run(n_blocks):\n"
+                          "    return reserve(1, size_bytes=n_blocks)\n",
+        })
+        (finding,) = f802(deep_lint([root], CONFIG))
+        assert finding.key == "app.geom.reserve:size_bytes:_blocks"
+
+    def test_method_call_skips_self(self, make_tree):
+        root = make_tree({
+            "app/mod.py": "class Pool:\n"
+                          "    def grab(self, n_blocks):\n"
+                          "        return n_blocks\n"
+                          "def run():\n"
+                          "    pool = Pool()\n"
+                          "    chunk_bytes = 4096\n"
+                          "    return pool.grab(chunk_bytes)\n",
+        })
+        (finding,) = f802(deep_lint([root], CONFIG))
+        assert finding.key == "app.mod.Pool.grab:n_blocks:_bytes"
+
+    def test_matching_units_are_clean(self, make_tree):
+        root = make_tree({
+            "app/geom.py": "def reserve(size_bytes):\n"
+                           "    return size_bytes\n",
+            "app/run.py": "from app.geom import reserve\n"
+                          "def run():\n"
+                          "    hdr_bytes = 24\n"
+                          "    return reserve(hdr_bytes)\n",
+        })
+        assert f802(deep_lint([root], CONFIG)) == []
+
+    def test_unitless_argument_is_clean(self, make_tree):
+        root = make_tree({
+            "app/geom.py": "def reserve(size_bytes):\n"
+                           "    return size_bytes\n",
+            "app/run.py": "from app.geom import reserve\n"
+                          "def run(amount):\n"
+                          "    return reserve(amount)\n",
+        })
+        assert f802(deep_lint([root], CONFIG)) == []
+
+
+class TestReturnUnitInference:
+    def _graph(self, make_tree, files):
+        root = make_tree(files)
+        project = load_project([root], COMMITTED_IMAGE_ATTRS)
+        return build_graph(project)
+
+    def test_fixpoint_propagates_through_return_chain(self, make_tree):
+        graph = self._graph(make_tree, {
+            "app/mod.py": "def leaf():\n"
+                          "    elapsed_us = 5\n"
+                          "    return elapsed_us\n"
+                          "def mid():\n    return leaf()\n"
+                          "def top():\n    return mid()\n",
+        })
+        units = infer_return_units(graph)
+        assert units["app.mod.leaf"] == frozenset({"_us"})
+        assert units["app.mod.mid"] == frozenset({"_us"})
+        assert units["app.mod.top"] == frozenset({"_us"})
+
+    def test_inferred_unit_feeds_call_site_check(self, make_tree):
+        # run() passes latency() [us, two hops deep] into a _ms param.
+        root = make_tree({
+            "app/time.py": "def raw():\n"
+                           "    delay_us = 9\n"
+                           "    return delay_us\n"
+                           "def latency():\n    return raw()\n",
+            "app/sink.py": "def record(wait_ms):\n    return wait_ms\n",
+            "app/run.py": "from app.sink import record\n"
+                          "from app.time import latency\n"
+                          "def run():\n"
+                          "    return record(latency())\n",
+        })
+        assert lint_paths([root]) == []
+        (finding,) = f802(deep_lint([root], CONFIG))
+        assert finding.key == "app.sink.record:wait_ms:_us"
+
+    def test_mixed_return_units_stay_ambiguous(self, make_tree):
+        graph = self._graph(make_tree, {
+            "app/mod.py": "def either(flag):\n"
+                          "    n_blocks = 1\n"
+                          "    n_bytes = 2\n"
+                          "    if flag:\n        return n_blocks\n"
+                          "    return n_bytes\n",
+        })
+        units = infer_return_units(graph)
+        assert units["app.mod.either"] == frozenset({"_blocks", "_bytes"})
+
+
+class TestAssignmentsAndSignatures:
+    def test_binding_return_to_wrong_unit_name(self, make_tree):
+        root = make_tree({
+            "app/geom.py": "def free_blocks():\n"
+                           "    n_blocks = 7\n"
+                           "    return n_blocks\n",
+            "app/run.py": "from app.geom import free_blocks\n"
+                          "def run():\n"
+                          "    total_bytes = free_blocks()\n"
+                          "    return total_bytes\n",
+        })
+        assert lint_paths([root]) == []
+        (finding,) = f802(deep_lint([root], CONFIG))
+        assert finding.key == "assign:app.geom.free_blocks:_bytes"
+
+    def test_function_name_contradicts_return_unit(self, make_tree):
+        root = make_tree({
+            "app/geom.py": "def capacity_bytes():\n"
+                           "    n_blocks = 3\n"
+                           "    return n_blocks\n",
+        })
+        (finding,) = f802(deep_lint([root], CONFIG))
+        assert finding.function == "app.geom.capacity_bytes"
+        assert finding.key == "return:_blocks"
+
+    def test_converter_names_are_exempt(self, make_tree):
+        # blocks_to_bytes *is* the conversion; its name ends in _bytes
+        # while consuming blocks, and that is the point.
+        root = make_tree({
+            "app/units.py": "def blocks_to_bytes(n_blocks):\n"
+                            "    return n_blocks * 4096\n",
+        })
+        assert f802(deep_lint([root], CONFIG)) == []
+
+    def test_ambiguous_return_does_not_fire(self, make_tree):
+        root = make_tree({
+            "app/geom.py": "def either(flag):\n"
+                           "    n_blocks = 1\n"
+                           "    n_us = 2\n"
+                           "    if flag:\n        return n_blocks\n"
+                           "    return n_us\n",
+            "app/run.py": "from app.geom import either\n"
+                          "def run():\n"
+                          "    total_bytes = either(True)\n"
+                          "    return total_bytes\n",
+        })
+        assert f802(deep_lint([root], CONFIG)) == []

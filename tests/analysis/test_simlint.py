@@ -35,6 +35,7 @@ VIOLATIONS: dict[str, str | tuple[str, str]] = {
     ),
     "E404": ("print('loose output')\n", "core"),
     "C601": "model.committed = image\n",
+    "P901": "x = 1  # simlint: disable=Z999\n",
 }
 
 
@@ -162,6 +163,19 @@ class TestLayeringRules:
         assert rules_of("from .. import obs\n", "fs") == []
         assert "L201" in rules_of("from .. import traffic\n", "core")
 
+    def test_nested_subpackage_relative_import_resolves(self):
+        # Inside repro/analysis/flow/, ``from ..rules import`` reaches
+        # repro.analysis.rules — not a phantom top-level repro.rules.
+        src = "from ..rules import RULES\n"
+        assert lint_source(src, "src/repro/analysis/flow/base.py",
+                           "analysis", ("analysis", "flow")) == []
+
+    def test_nested_subpackage_inferred_by_lint_file(self, tmp_path):
+        mod = tmp_path / "repro" / "analysis" / "flow" / "mod.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text("from ..rules import RULES\n", encoding="utf-8")
+        assert [f.rule for f in lint_file(mod)] == []
+
     def test_dag_matches_source_layout(self):
         pkg_dir = Path(repro.__file__).parent
         on_disk = {
@@ -286,6 +300,34 @@ class TestPragmas:
             "import time\n"
             "s = {1}\n"
             "xs = [time.time() for x in s]  # simlint: disable=D103,D104\n"
+        )
+        assert rules_of(src) == []
+
+    def test_unknown_rule_in_waiver_fires_p901(self):
+        findings = lint_source("x = 1  # simlint: disable=D99\n", "m.py")
+        assert [f.rule for f in findings] == ["P901"]
+        assert "'D99'" in findings[0].message
+
+    def test_typo_waiver_still_waives_nothing(self):
+        # The D104 violation survives AND the typo itself is flagged.
+        src = "s = {1, 2}\nfor x in s:  # simlint: disable=D14\n    print(x)\n"
+        assert sorted(rules_of(src)) == ["D104", "P901"]
+
+    def test_unknown_rule_in_file_pragma_fires_p901(self):
+        src = "# simlint: disable-file=Q123\nx = 1\n"
+        assert rules_of(src) == ["P901"]
+
+    def test_mixed_known_unknown_waiver(self):
+        # Known ids keep waiving; each unknown id gets its own finding.
+        src = "s = {1}\nfor x in s:  # simlint: disable=D104,Z1,Z2\n    print(x)\n"
+        assert rules_of(src) == ["P901", "P901"]
+
+    def test_p901_is_itself_waivable(self):
+        # A deliberate forward-reference to a not-yet-shipped rule can
+        # be annotated on its own line.
+        src = (
+            "# simlint: disable-file=P901\n"
+            "x = 1  # simlint: disable=X777\n"
         )
         assert rules_of(src) == []
 
