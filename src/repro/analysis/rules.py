@@ -55,6 +55,7 @@ __all__ = [
     "REPRO_ERROR_NAMES",
     "WALL_CLOCK_CALLS",
     "COMMITTED_IMAGE_ATTRS",
+    "HOT_PATH_PACKAGES",
 ]
 
 
@@ -119,6 +120,17 @@ RULES: dict[str, Rule] = {
             "(bytes != 0xFF) and turn O(free) searches back into "
             "O(nblocks) — route bit expansion through repro.bitmap "
             "helpers or slice an explicit [lo:hi] window first.",
+        ),
+        Rule(
+            "B502",
+            "Python for loop indexes a NumPy array element-by-element "
+            "in a hot-path package",
+            "boxing one scalar per iteration through the interpreter is "
+            "what the vectorized CP pipeline exists to avoid; in the "
+            "fs/bitmap/traffic/sim hot paths, rewrite the loop as a "
+            "whole-array expression (np.maximum, np.add.accumulate, "
+            "boolean masks) or waive a deliberately scalar reference "
+            "path with a pragma naming this rule.",
         ),
         Rule(
             "E401",
@@ -272,6 +284,11 @@ REPRO_ERROR_NAMES: frozenset[str] = frozenset(
         "RecoveryExhaustedError",
     }
 )
+
+#: Packages whose per-CP work is wall-clock critical; B502 flags
+#: element-at-a-time NumPy indexing loops only here.  Driver/reporting
+#: layers (bench, analysis, cli) may loop scalar-style freely.
+HOT_PATH_PACKAGES: frozenset[str] = frozenset({"fs", "bitmap", "traffic", "sim"})
 
 #: Attribute names C601 treats as the committed image.  Only the
 #: sanctioned commit path (repro/crash/persistence.py) may assign them.

@@ -29,6 +29,7 @@ from typing import Iterable, Sequence
 
 from .rules import (
     COMMITTED_IMAGE_ATTRS,
+    HOT_PATH_PACKAGES,
     LAYER_RANK,
     REPRO_ERROR_NAMES,
     RULES,
@@ -67,6 +68,44 @@ _NP_RANDOM_LEGACY = frozenset(
 )
 
 _UNIT_BY_WORD = {suffix.lstrip("_"): suffix for suffix in UNIT_SUFFIXES}
+
+#: ``numpy.<tail>`` callables whose result B502 treats as an ndarray.
+#: Deliberately conservative: only constructors/transforms that always
+#: return arrays, so a tracked name is an array with high confidence.
+_NP_ARRAY_CTORS = frozenset(
+    {
+        "empty",
+        "zeros",
+        "ones",
+        "full",
+        "array",
+        "asarray",
+        "ascontiguousarray",
+        "arange",
+        "linspace",
+        "concatenate",
+        "stack",
+        "frombuffer",
+        "fromiter",
+        "where",
+        "cumsum",
+        "sort",
+        "argsort",
+        "maximum",
+        "minimum",
+        "repeat",
+        "tile",
+        "copy",
+        "diff",
+        "empty_like",
+        "zeros_like",
+        "ones_like",
+        "full_like",
+        "add.accumulate",
+        "maximum.accumulate",
+        "minimum.accumulate",
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -123,6 +162,10 @@ class _Linter(ast.NodeVisitor):
         self.set_scopes: list[set[str]] = [set()]
         #: ``self.<attr>`` names known to hold sets (module-wide).
         self.set_attrs: set[str] = set()
+        #: stack of scopes mapping names known to hold ndarrays (B502).
+        self.array_scopes: list[set[str]] = [set()]
+        #: ``self.<attr>`` names known to hold ndarrays (module-wide).
+        self.array_attrs: set[str] = set()
 
     # -- helpers -------------------------------------------------------
     def _emit(self, rule: str, node: ast.AST, message: str) -> None:
@@ -297,6 +340,82 @@ class _Linter(ast.NodeVisitor):
             f"slice an explicit [lo:hi] window",
         )
 
+    # -- B502: element-at-a-time array loops in hot-path packages ------
+    def _is_array_ctor(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted is None:
+                return False
+            canonical = self._canonical(dotted)
+            head, _, tail = canonical.partition(".")
+            return head == "numpy" and tail in _NP_ARRAY_CTORS
+        if isinstance(node, ast.Subscript) and isinstance(node.slice, ast.Slice):
+            # A slice of a known array is still an array view.
+            return self._is_array_expr(node.value)
+        return False
+
+    def _is_array_annotation(self, annotation: ast.AST | None) -> bool:
+        if annotation is None:
+            return False
+        base = annotation.value if isinstance(annotation, ast.Subscript) else annotation
+        name = _dotted(base)
+        return name is not None and name.split(".")[-1] in ("ndarray", "NDArray")
+
+    def _is_array_expr(self, node: ast.AST) -> bool:
+        if self._is_array_ctor(node):
+            return True
+        if isinstance(node, ast.Name):
+            return any(node.id in scope for scope in self.array_scopes)
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr in self.array_attrs
+        return False
+
+    def _record_array_binding(self, target: ast.AST, is_array: bool) -> None:
+        if isinstance(target, ast.Name):
+            scope = self.array_scopes[-1]
+            (scope.add if is_array else scope.discard)(target.id)
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            (self.array_attrs.add if is_array else self.array_attrs.discard)(
+                target.attr
+            )
+
+    def _check_array_index_loop(self, node: ast.For) -> None:
+        """B502: a for body subscripting a tracked ndarray with the loop
+        variable is the interpreter-bound pattern the batch pipeline
+        replaced; flag it only inside the hot-path packages."""
+        if self.package not in HOT_PATH_PACKAGES:
+            return
+        loop_vars = {
+            n.id for n in ast.walk(node.target) if isinstance(n, ast.Name)
+        }
+        if not loop_vars:
+            return
+        for stmt in node.body:
+            for sub in ast.walk(stmt):
+                if not isinstance(sub, ast.Subscript):
+                    continue
+                idx = sub.slice
+                if not (isinstance(idx, ast.Name) and idx.id in loop_vars):
+                    continue
+                if self._is_array_expr(sub.value):
+                    name = _dotted(sub.value) or "<array>"
+                    self._emit(
+                        "B502",
+                        node,
+                        f"{RULES['B502'].summary}: '{name}[{idx.id}]' "
+                        f"inside this loop; batch the operation or waive "
+                        f"the reference path explicitly",
+                    )
+                    return
+
     # -- D104: set bookkeeping and iteration sites ---------------------
     def _is_set_ctor(self, node: ast.AST) -> bool:
         if isinstance(node, (ast.Set, ast.SetComp)):
@@ -327,8 +446,10 @@ class _Linter(ast.NodeVisitor):
 
     def visit_Assign(self, node: ast.Assign) -> None:
         is_set = self._is_set_ctor(node.value)
+        is_array = self._is_array_ctor(node.value)
         for target in node.targets:
             self._record_binding(target, is_set)
+            self._record_array_binding(target, is_array)
             self._check_committed_attr(target)
         self.generic_visit(node)
 
@@ -373,6 +494,11 @@ class _Linter(ast.NodeVisitor):
             node.value is not None
             and self._is_set_ctor(node.value)
         ))
+        self._record_array_binding(
+            node.target,
+            (node.value is not None and self._is_array_ctor(node.value))
+            or self._is_array_annotation(node.annotation),
+        )
         self._check_aug_or_ann_units(node)
         self._check_committed_attr(node.target)
         self.generic_visit(node)
@@ -399,6 +525,7 @@ class _Linter(ast.NodeVisitor):
 
     def visit_For(self, node: ast.For) -> None:
         self._check_iteration(node.iter)
+        self._check_array_index_loop(node)
         self.generic_visit(node)
 
     def _visit_comprehension(self, node: ast.AST) -> None:
@@ -413,8 +540,13 @@ class _Linter(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self.set_scopes.append(set())
+        self.array_scopes.append(set())
+        for arg in [*node.args.args, *node.args.kwonlyargs]:
+            if self._is_array_annotation(arg.annotation):
+                self.array_scopes[-1].add(arg.arg)
         self.generic_visit(node)
         self.set_scopes.pop()
+        self.array_scopes.pop()
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self.visit_FunctionDef(node)  # type: ignore[arg-type]

@@ -492,9 +492,35 @@ def _fig10_first_cp_cost(sim: WaflSim, use_topaa: bool) -> dict:
     }
 
 
+_fig10_warmed = False
+
+
+def _fig10_warmup() -> None:
+    """Untimed first-touch warmup for the fig10 wall clocks.
+
+    The first ``simulate_mount`` in a fresh process pays one-time costs
+    the later rows never see — lazy imports, the allocator growing its
+    arenas, first-touch page faults on the freshly zeroed cache arrays
+    — which used to land entirely on the sweep's first row and make its
+    ``build_wall_ms`` an order-of-magnitude outlier.  One small
+    build+mount per process (both the TopAA and bitmap-walk paths)
+    absorbs those costs outside the timed region; the simulated metrics
+    are untouched (the warmup sim is discarded).
+    """
+    global _fig10_warmed
+    if _fig10_warmed:
+        return
+    _fig10_warmed = True
+    # Fresh sim per mount path, exactly like the sweep rows (a second
+    # mount on one sim would re-walk an already-consumed allocator).
+    for use_topaa in (True, False):
+        _fig10_first_cp_cost(_build_fig10_sim(2, 32768 * 4), use_topaa)
+
+
 def run_fig10_size(*, quick: bool = False) -> tuple[list[list], dict]:
     """Figure 10(A): first-CP cost vs FlexVol size (a runner work unit)."""
     size_mults = (4, 16) if quick else (4, 8, 16, 32)
+    _fig10_warmup()
     size_rows: list[list] = []
     size_series: dict = {}
     for mult in size_mults:
@@ -512,6 +538,7 @@ def run_fig10_size(*, quick: bool = False) -> tuple[list[list], dict]:
 def run_fig10_count(*, quick: bool = False) -> tuple[list[list], dict]:
     """Figure 10(B): first-CP cost vs FlexVol count (a runner work unit)."""
     counts = (4, 16) if quick else (4, 8, 16, 32)
+    _fig10_warmup()
     count_rows: list[list] = []
     count_series: dict = {}
     for n_vols in counts:

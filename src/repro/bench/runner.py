@@ -55,11 +55,12 @@ __all__ = [
     "run_bench",
     "strip_timing",
     "compare_to_baseline",
+    "perf_regression",
     "write_results",
 ]
 
 SCHEMA = "repro-bench/1"
-TRAJECTORY_NAME = "BENCH_PR3.json"
+TRAJECTORY_NAME = "BENCH_PR8.json"
 
 #: Repo root (two levels above ``benchmarks/results``).
 _REPO_ROOT = os.path.normpath(os.path.join(RESULTS_DIR, "..", ".."))
@@ -72,14 +73,14 @@ _NONDETERMINISTIC_KEYS = frozenset(
 )
 
 #: The macro benchmark measured on this PR's branch point (same host
-#: class as CI), before the profiling-guided optimization of the
-#: allocation pipeline: the before/after record the trajectory ships.
+#: class as CI), before the batch-pipeline vectorization: the PR 3
+#: trajectory's "after" record, i.e. the state this PR starts from.
 #: ``measure_wall_s`` is the 40-CP random-overwrite measurement phase;
 #: ``age_wall_s`` is the section 4.1 aging phase that precedes it.
 MACRO_BASELINE = {
-    "age_wall_s": 1.50,
-    "measure_wall_s": 0.74,
-    "cps_per_s": 54.0,
+    "age_wall_s": 0.7246607130000484,
+    "measure_wall_s": 0.3575506060005864,
+    "cps_per_s": 111.87227578054895,
     "cpu_us_per_op": 252.7024934387207,
     "capacity_ops": 79144.45056653117,
 }
@@ -279,6 +280,13 @@ def plan_units(
     With ``seed=None`` every unit uses its experiment's canonical seed
     (results match the ``repro figN`` commands); an explicit base seed
     derives a distinct-but-deterministic seed per unit.
+
+    Quick units always arm the invariant auditor: the quick sweep is
+    the CI bench-smoke, where the cheap configurations exist to catch
+    correctness drift, not to document wall clocks — so they should be
+    audited runs (``"audited": true`` in the trajectory).  Full-size
+    runs keep auditing opt-in because the auditor's bookkeeping rides
+    inside the timed region the trajectory records.
     """
     chosen = list(experiments) if experiments else list(ALL_EXPERIMENTS)
     for name in chosen:
@@ -294,7 +302,7 @@ def plan_units(
                 if seed is None
                 else _derive_seed(seed, f"{exp}/{unit}")
             )
-            units.append(UnitSpec(exp, unit, quick, s, audit, trace))
+            units.append(UnitSpec(exp, unit, quick, s, audit or quick, trace))
     return units
 
 
@@ -524,6 +532,36 @@ def _numeric_leaves(doc, prefix: str = "") -> dict[str, float]:
     elif isinstance(doc, (int, float)):
         out[prefix] = float(doc)
     return out
+
+
+def perf_regression(
+    current: dict, baseline: dict, *, threshold: float = 0.10
+) -> list[str]:
+    """Wall-clock regression gate: CP throughput must not drop.
+
+    Unlike :func:`compare_to_baseline` (exact simulated metrics), this
+    inspects the one timing field the trajectory treats as a product
+    number — the macro unit's ``cps_per_s`` — and flags a drop of more
+    than ``threshold`` against the baseline document.  Timing noise on
+    shared runners is real, so the threshold is deliberately loose; a
+    10% drop on the quick macro unit is an order of magnitude above
+    scheduler jitter and means the hot path actually got slower.
+    """
+    problems: list[str] = []
+    for key, base_unit in (baseline.get("units") or {}).items():
+        base_cps = (base_unit.get("timing") or {}).get("cps_per_s")
+        cur_unit = (current.get("units") or {}).get(key)
+        if base_cps is None or cur_unit is None:
+            continue
+        cur_cps = (cur_unit.get("timing") or {}).get("cps_per_s")
+        if cur_cps is None:
+            problems.append(f"{key}: cps_per_s missing (baseline {base_cps:.1f})")
+        elif cur_cps < base_cps * (1.0 - threshold):
+            problems.append(
+                f"{key}: cps_per_s {base_cps:.1f} -> {cur_cps:.1f} "
+                f"({cur_cps / base_cps - 1.0:+.1%}, gate -{threshold:.0%})"
+            )
+    return problems
 
 
 def compare_to_baseline(current: dict, baseline: dict, *, rtol: float = 1e-9) -> list[str]:

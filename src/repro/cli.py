@@ -45,6 +45,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.runner import (
         ALL_EXPERIMENTS,
         compare_to_baseline,
+        perf_regression,
         run_bench,
         write_results,
     )
@@ -103,6 +104,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 1
         print(f"\nbaseline regression check OK (rtol={args.rtol:g}) "
               f"vs {args.baseline}")
+        slow = perf_regression(doc, baseline)
+        if slow:
+            print("\nperf regression gate FAILED (CP throughput dropped):")
+            for p in slow:
+                print(f"  {p}")
+            return 1
+        print("perf regression gate OK (macro cps_per_s within 10%)")
     return 0
 
 

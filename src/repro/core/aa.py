@@ -127,23 +127,40 @@ class StripeAATopology(AATopology):
 
     def free_vbns(self, bitmap: Bitmap, aa: int, limit: int | None = None) -> np.ndarray:
         self._check_aa(aa)
-        vbn_parts: list[np.ndarray] = []
-        dbn_parts: list[np.ndarray] = []
-        disk_parts: list[np.ndarray] = []
-        for disk, (start, stop) in enumerate(self.aa_extents(aa)):
-            free = bitmap.free_in_range(start, stop)
-            vbn_parts.append(free)
-            dbn_parts.append(free - disk * self.geometry.blocks_per_disk)
-            disk_parts.append(np.full(free.size, disk, dtype=np.int64))
-        vbns = np.concatenate(vbn_parts)
-        if vbns.size == 0:
-            return vbns
-        dbns = np.concatenate(dbn_parts)
-        disks = np.concatenate(disk_parts)
-        # Stripe-major: fill each stripe across all disks before moving
-        # to the next, maximizing full stripe writes.
-        order = np.lexsort((disks, dbns))
-        out = vbns[order]
+        geom = self.geometry
+        bpd = geom.blocks_per_disk
+        first = aa * self.stripes_per_aa
+        if self.stripes_per_aa % 8 == 0 and bpd % 8 == 0:
+            # Stripe-major without sorting: unpack each disk's AA extent
+            # (byte-aligned), stack into a (stripes, disks) matrix, and
+            # scan it row-major — each row is one stripe across all
+            # disks, which *is* the stripe-major fill order.
+            cols = [
+                bitmap.allocated_bits(d * bpd + first, d * bpd + first + self.stripes_per_aa)
+                for d in range(geom.ndata)
+            ]
+            idx = np.flatnonzero(np.stack(cols, axis=1).ravel() == 0)
+            disks = idx % geom.ndata
+            dbns = first + idx // geom.ndata
+            out = disks * bpd + dbns
+        else:
+            vbn_parts: list[np.ndarray] = []
+            dbn_parts: list[np.ndarray] = []
+            disk_parts: list[np.ndarray] = []
+            for disk, (start, stop) in enumerate(self.aa_extents(aa)):
+                free = bitmap.free_in_range(start, stop)
+                vbn_parts.append(free)
+                dbn_parts.append(free - disk * bpd)
+                disk_parts.append(np.full(free.size, disk, dtype=np.int64))
+            vbns = np.concatenate(vbn_parts)
+            if vbns.size == 0:
+                return vbns
+            dbns = np.concatenate(dbn_parts)
+            disks = np.concatenate(disk_parts)
+            # Stripe-major: fill each stripe across all disks before
+            # moving to the next, maximizing full stripe writes.
+            order = np.lexsort((disks, dbns))
+            out = vbns[order]
         if limit is not None:
             out = out[:limit]
         return out

@@ -25,6 +25,8 @@ fragmentation cutoff).
 
 from __future__ import annotations
 
+from bisect import bisect_right
+
 import numpy as np
 
 from .. import obs
@@ -43,7 +45,22 @@ _MAX_FULL_AA_RETRIES = 128
 
 
 class _BaseAllocator:
-    """Shared machinery: current-AA queue, CP release/flush protocol."""
+    """Shared machinery: current-AA queue, CP release/flush protocol.
+
+    Bitmap and score updates are *pending-span batched*: taking blocks
+    from the current AA's queue only advances a cursor, and the whole
+    contiguous span taken since the last flush hits the bitmap metafile
+    (one ``allocate`` scatter) and the score keeper (one delta) at the
+    next synchronization point — AA exhaustion, ``release``, or the CP
+    boundary ``cp_flush``.  This is exact, not approximate: AAs are
+    disjoint, the queue is a point-in-time snapshot of the AA's free
+    VBNs, nothing reads the bitmap for the checked-out AA between
+    flushes, and blocks allocated in a CP are never freed in the same
+    CP, so the batched union of bit-sets and integer score deltas
+    commutes with the per-chunk order (see DESIGN.md section 9).
+    ``batch_flush=False`` restores the legacy per-chunk flushing
+    (``SimConfig.allocator.scalar_bitmap_flush``; one release).
+    """
 
     def __init__(
         self,
@@ -52,15 +69,19 @@ class _BaseAllocator:
         keeper: ScoreKeeper,
         *,
         store_offset: int = 0,
+        batch_flush: bool = True,
     ) -> None:
         self.metafile = metafile
         self.source = source
         self.keeper = keeper
         #: Added to local VBNs to form global (aggregate-wide) VBNs.
         self.store_offset = int(store_offset)
+        #: False selects the legacy per-chunk bitmap/score flushing.
+        self.batch_flush = bool(batch_flush)
         self._current_aa: int | None = None
         self._qv: np.ndarray | None = None  # free local VBNs of current AA
         self._pos = 0
+        self._flushed_pos = 0  # queue position the bitmap reflects
         #: Score (free blocks) of each AA at the moment it was selected;
         #: the section 4.1 "average free space in chosen AAs" trace.
         self.selected_aa_scores: list[int] = []
@@ -77,6 +98,14 @@ class _BaseAllocator:
     def current_aa(self) -> int | None:
         """AA currently being filled, if any."""
         return self._current_aa
+
+    @property
+    def pending_count(self) -> int:
+        """Blocks taken from the current AA but not yet reflected in
+        the bitmap (the pending-span batch).  Observables that read the
+        bitmap mid-CP (``free_count``, ``used_blocks``) add this so the
+        batching is invisible to them."""
+        return self._pos - self._flushed_pos
 
     def _queue_remaining(self) -> int:
         return 0 if self._qv is None else self._qv.size - self._pos
@@ -97,6 +126,7 @@ class _BaseAllocator:
             self._current_aa = aa
             self._qv = vbns
             self._pos = 0
+            self._flushed_pos = 0
             self.selected_aa_scores.append(int(vbns.size))
             obs.count("alloc.aa_switch", aa=int(aa), score=int(vbns.size))
             self._after_load()
@@ -106,10 +136,24 @@ class _BaseAllocator:
     def _after_load(self) -> None:
         """Hook for subclasses to index the fresh queue."""
 
+    def flush_pending(self) -> None:
+        """Apply the taken-but-unflushed queue span to the bitmap
+        metafile and the score keeper as one batch."""
+        if self._qv is None or self._flushed_pos >= self._pos:
+            return
+        span = self._qv[self._flushed_pos : self._pos]
+        # The queue holds free VBNs of the current AA only: account
+        # per-AA directly and skip re-validating the trusted batch.
+        self.metafile.allocate(span, trusted=True)
+        self.keeper.note_alloc_aa(self._current_aa, int(span.size))
+        self._flushed_pos = self._pos
+
     def _drop_queue(self) -> None:
+        self.flush_pending()
         self._current_aa = None
         self._qv = None
         self._pos = 0
+        self._flushed_pos = 0
 
     # ------------------------------------------------------------------
     # CP boundary
@@ -125,6 +169,7 @@ class _BaseAllocator:
         if self._current_aa is None:
             return
         aa = self._current_aa
+        self.flush_pending()
         self.source.return_aa(aa, self.keeper.effective_score(aa))
         self._drop_queue()
 
@@ -132,6 +177,7 @@ class _BaseAllocator:
         """Run the CP-boundary protocol: apply batched score deltas and
         rebalance the AA cache, keeping the current AA checked out
         (paper section 3.3)."""
+        self.flush_pending()
         changes = self.keeper.flush()
         held = (
             frozenset((self._current_aa,))
@@ -159,8 +205,12 @@ class LinearAllocator(_BaseAllocator):
         keeper: ScoreKeeper,
         *,
         store_offset: int = 0,
+        batch_flush: bool = True,
     ) -> None:
-        super().__init__(metafile, source, keeper, store_offset=store_offset)
+        super().__init__(
+            metafile, source, keeper,
+            store_offset=store_offset, batch_flush=batch_flush,
+        )
         self.topology = topology
 
     def _load_free_vbns(self, aa: int) -> np.ndarray:
@@ -184,10 +234,8 @@ class LinearAllocator(_BaseAllocator):
             self._pos += take
             got += take
             self.spanned_blocks += int(chunk[-1] - chunk[0]) + 1
-            # The queue holds free VBNs of the current AA only: account
-            # per-AA directly and skip re-validating the trusted batch.
-            self.metafile.allocate(chunk, trusted=True)
-            self.keeper.note_alloc_aa(self._current_aa, take)
+            if not self.batch_flush:
+                self.flush_pending()
             out.append(chunk)
         self.blocks_allocated += got
         if not out:
@@ -209,10 +257,18 @@ class RAIDGroupAllocator(_BaseAllocator):
         keeper: ScoreKeeper,
         *,
         store_offset: int = 0,
+        batch_flush: bool = True,
     ) -> None:
-        super().__init__(metafile, source, keeper, store_offset=store_offset)
+        super().__init__(
+            metafile, source, keeper,
+            store_offset=store_offset, batch_flush=batch_flush,
+        )
         self.topology = topology
         self._starts: np.ndarray | None = None  # stripe-group starts in queue
+        self._starts_list: list[int] = []  # same, as ints for bisect
+        # Geometry constants hoisted out of the per-round hot loop.
+        self._blocks_per_disk = int(topology.geometry.blocks_per_disk)
+        self._ndata = int(topology.geometry.ndata)
 
     def _load_free_vbns(self, aa: int) -> np.ndarray:
         return self.topology.free_vbns(self.metafile.bitmap, aa)
@@ -223,6 +279,7 @@ class RAIDGroupAllocator(_BaseAllocator):
         self._starts = np.concatenate(
             (np.zeros(1, dtype=np.int64), change, np.asarray([self._qv.size]))
         )
+        self._starts_list = self._starts.tolist()
 
     def best_score(self) -> int | None:
         """Best available AA score of this group (cache view)."""
@@ -240,42 +297,57 @@ class RAIDGroupAllocator(_BaseAllocator):
         if max_stripes <= 0 or max_blocks <= 0:
             return np.empty(0, dtype=np.int64)
         out: list[np.ndarray] = []
-        stripes_taken = 0
-        blocks_taken = 0
-        while stripes_taken < max_stripes and blocks_taken < max_blocks:
-            if self._queue_remaining() == 0:
-                self._drop_queue()
-                if not self._load_next_aa():
-                    break
-            # Locate the stripe group containing the current position.
-            g = int(self._starts.searchsorted(self._pos, side="right")) - 1
-            ngroups = self._starts.size - 1
-            k = min(max_stripes - stripes_taken, ngroups - g)
-            hi = int(self._starts[g + k])
-            lo = self._pos
-            if hi - lo > max_blocks - blocks_taken:
-                hi = lo + (max_blocks - blocks_taken)
-            chunk = self._qv[lo:hi]
-            self._pos = hi
-            # Count the distinct stripes actually consumed.
-            consumed_g = int(self._starts.searchsorted(hi - 1, side="right")) - 1
-            stripes_taken += consumed_g - g + 1
-            blocks_taken += int(chunk.size)
-            # Bitmap range examined: the consumed stripe span on every
-            # data disk (stripe-major assignment scans all disks' bits
-            # for those stripes).
-            geom = self.topology.geometry
-            first_dbn = int(chunk[0] % geom.blocks_per_disk)
-            last_dbn = int(chunk[-1] % geom.blocks_per_disk)
-            self.spanned_blocks += (last_dbn - first_dbn + 1) * geom.ndata
-            # Same trusted/per-AA fast path as LinearAllocator.allocate.
-            self.metafile.allocate(chunk, trusted=True)
-            self.keeper.note_alloc_aa(self._current_aa, int(chunk.size))
-            out.append(chunk)
-        self.blocks_allocated += blocks_taken
+        self.take_stripe_chunks(out, max_stripes, max_blocks)
         if not out:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(out)
+
+    def take_stripe_chunks(
+        self, out: list[np.ndarray], max_stripes: int, max_blocks: int
+    ) -> int:
+        """:meth:`take_stripes`, but appending queue-slice views to
+        ``out`` instead of concatenating them — the aggregate round-robin
+        loop calls this once per tetris round and defers all copying to
+        one final concatenate.  Returns the blocks taken."""
+        stripes_taken = 0
+        blocks_taken = 0
+        bpd = self._blocks_per_disk
+        while stripes_taken < max_stripes and blocks_taken < max_blocks:
+            qv = self._qv
+            if qv is None or qv.size == self._pos:
+                self._drop_queue()
+                if not self._load_next_aa():
+                    break
+                qv = self._qv
+            # Locate the stripe group containing the current position.
+            # Plain-int bisect over the cached starts list: this loop
+            # runs ~once per tetris per group per CP, so scalar NumPy
+            # searchsorted overhead here dominated whole-run profiles.
+            starts = self._starts_list
+            lo = self._pos
+            g = bisect_right(starts, lo) - 1
+            ngroups = len(starts) - 1
+            k = min(max_stripes - stripes_taken, ngroups - g)
+            hi = starts[g + k]
+            if hi - lo > max_blocks - blocks_taken:
+                hi = lo + (max_blocks - blocks_taken)
+            chunk = qv[lo:hi]
+            self._pos = hi
+            # Count the distinct stripes actually consumed.
+            consumed_g = bisect_right(starts, hi - 1) - 1
+            stripes_taken += consumed_g - g + 1
+            blocks_taken += hi - lo
+            # Bitmap range examined: the consumed stripe span on every
+            # data disk (stripe-major assignment scans all disks' bits
+            # for those stripes).
+            first_dbn = int(qv[lo]) % bpd
+            last_dbn = int(qv[hi - 1]) % bpd
+            self.spanned_blocks += (last_dbn - first_dbn + 1) * self._ndata
+            if not self.batch_flush:
+                self.flush_pending()
+            out.append(chunk)
+        self.blocks_allocated += blocks_taken
+        return blocks_taken
 
 
 class AggregateAllocator:
@@ -345,25 +417,43 @@ class AggregateAllocator:
             if not any(active):
                 active = [i in allowed for i in range(len(self.groups))]
         out: list[np.ndarray] = []
+        offs: list[int] = []
+        lens: list[int] = []
         got = 0
         dry = [not a for a in active]
         while got < n and not all(dry):
             for gi, galloc in enumerate(self.groups):
                 if dry[gi] or got >= n:
                     continue
-                chunk = galloc.take_stripes(self.stripes_per_round, n - got)
-                if chunk.size == 0:
+                base = len(out)
+                taken = galloc.take_stripe_chunks(
+                    out, self.stripes_per_round, n - got
+                )
+                if taken == 0:
                     dry[gi] = True
                     continue
-                self._cp_writes[gi].append(chunk)
-                got += int(chunk.size)
-                if galloc.store_offset:
-                    out.append(chunk + galloc.store_offset)
-                else:
-                    out.append(chunk)
+                got += taken
+                off = galloc.store_offset
+                cp_w = self._cp_writes[gi]
+                for c in out[base:]:
+                    cp_w.append(c)
+                    offs.append(off)
+                    lens.append(c.size)
         if not out:
             return np.empty(0, dtype=np.int64)
-        return np.concatenate(out)
+        # Localize: offsets are added once on the concatenated result
+        # instead of allocating a shifted copy per tetris-sized chunk.
+        result = np.concatenate(out)
+        if any(offs):
+            result += np.repeat(
+                np.asarray(offs, dtype=np.int64), np.asarray(lens)
+            )
+        return result
+
+    def flush_pending(self) -> None:
+        """Sync every group allocator's pending span into its bitmap."""
+        for g in self.groups:
+            g.flush_pending()
 
     def drain_cp_writes(self) -> list[np.ndarray]:
         """Local VBNs written to each group since the last drain (for
@@ -380,5 +470,6 @@ class AggregateAllocator:
 
     @property
     def total_free(self) -> int:
-        """Free blocks across all groups (bitmap truth)."""
-        return sum(g.metafile.free_count for g in self.groups)
+        """Free blocks across all groups (bitmap truth, net of each
+        group's pending-span batch)."""
+        return sum(g.metafile.free_count - g.pending_count for g in self.groups)

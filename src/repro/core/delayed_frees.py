@@ -43,6 +43,8 @@ class DelayedFreeLog:
         "_per_block",
         "_staged",
         "_pending",
+        "_count_backlog",
+        "_pending_total",
         "_hbps",
         "total_logged",
     )
@@ -62,6 +64,12 @@ class DelayedFreeLog:
         self._per_block: dict[int, list[np.ndarray]] = {}
         self._staged: list[np.ndarray] = []
         self._pending: dict[int, int] = {}
+        # Chunks whose per-block counts / HBPS scores have not been
+        # folded in yet; replayed in add order by `_ensure_counts` so
+        # the budgeted path sees exactly the state eager updates would
+        # have produced.  The full-drain path never pays for them.
+        self._count_backlog: list[np.ndarray] = []
+        self._pending_total = 0
         # Keep the paper's ~32-bins-per-score-space shape regardless of
         # the metafile block size used (tests shrink it).
         bin_width = max(bits_per_block // 32, 1)
@@ -75,44 +83,62 @@ class DelayedFreeLog:
     @property
     def pending_count(self) -> int:
         """VBNs logged but not yet applied."""
-        return sum(self._pending.values())
+        return self._pending_total
 
     @property
     def pending_blocks(self) -> int:
         """Distinct metafile blocks with pending frees."""
+        self._ensure_counts()
         return len(self._pending)
 
     @property
     def hbps(self) -> HBPS:
         """The prioritizing HBPS (exposed for tests and metrics)."""
+        self._ensure_counts()
         return self._hbps
 
     # ------------------------------------------------------------------
     def add(self, vbns: np.ndarray) -> None:
-        """Log ``vbns`` for deferred freeing."""
+        """Log ``vbns`` for deferred freeing.
+
+        Only the chunk itself is staged here; per-block counts and HBPS
+        scores are folded in lazily (`_ensure_counts`) because the
+        common full-drain CP never reads either.
+        """
         vbns = np.asarray(vbns, dtype=np.int64)
         if vbns.size == 0:
             return
         self.total_logged += int(vbns.size)
+        self._pending_total += int(vbns.size)
         self._staged.append(vbns)
-        blocks = vbns // self.bits_per_block
-        # Per-block counts via a bincount over the touched block range:
-        # the range is tiny (one block covers 32K VBNs) so this avoids
-        # the argsort/unique a per-block grouping would need.
-        bmin = int(blocks.min())
-        counts = np.bincount(blocks - bmin)
-        touched = np.flatnonzero(counts)
-        for off, cnt in zip(touched.tolist(), counts[touched].tolist()):
-            blk = bmin + off
-            old = self._pending.get(blk, 0)
-            new = old + cnt
-            self._pending[blk] = new
-            score_old = min(old, self.bits_per_block)
-            score_new = min(new, self.bits_per_block)
-            if old == 0:
-                self._hbps.insert(blk, score_new)
-            else:
-                self._hbps.update(blk, score_old, score_new)
+        self._count_backlog.append(vbns)
+
+    def _ensure_counts(self) -> None:
+        """Replay deferred per-block accounting in add order, producing
+        exactly the pending-count map and HBPS history eager updates
+        would have (the HBPS tie-break order is sequence-dependent)."""
+        if not self._count_backlog:
+            return
+        backlog, self._count_backlog = self._count_backlog, []
+        for vbns in backlog:
+            blocks = vbns // self.bits_per_block
+            # Per-block counts via a bincount over the touched block
+            # range: the range is tiny (one block covers 32K VBNs) so
+            # this avoids the argsort/unique a grouping would need.
+            bmin = int(blocks.min())
+            counts = np.bincount(blocks - bmin)
+            touched = np.flatnonzero(counts)
+            for off, cnt in zip(touched.tolist(), counts[touched].tolist()):
+                blk = bmin + off
+                old = self._pending.get(blk, 0)
+                new = old + cnt
+                self._pending[blk] = new
+                score_old = min(old, self.bits_per_block)
+                score_new = min(new, self.bits_per_block)
+                if old == 0:
+                    self._hbps.insert(blk, score_new)
+                else:
+                    self._hbps.update(blk, score_old, score_new)
 
     def _ensure_grouped(self) -> None:
         """Fold staged (ungrouped) chunks into the per-block map."""
@@ -145,6 +171,8 @@ class DelayedFreeLog:
         self._per_block.clear()
         self._staged = []
         self._pending.clear()
+        self._count_backlog = []
+        self._pending_total = 0
         self._hbps.rebuild(())
         return vbns
 
@@ -157,6 +185,7 @@ class DelayedFreeLog:
         the most space per metafile block written.  Returns the freed
         VBNs.
         """
+        self._ensure_counts()
         self._ensure_grouped()
         freed: list[np.ndarray] = []
         applied = 0
@@ -179,6 +208,7 @@ class DelayedFreeLog:
                 continue
             self._pending.pop(blk, None)
             vbns = np.concatenate(chunks)
+            self._pending_total -= int(vbns.size)
             metafile.free(vbns, trusted=True)
             freed.append(vbns)
             applied += 1
@@ -207,6 +237,7 @@ class DelayedFreeLog:
         pending VBN is still allocated there (a logged free that is
         already clear would double-free on apply).
         """
+        self._ensure_counts()
         self._ensure_grouped()
         for blk, count in self._pending.items():
             chunks = self._per_block.get(blk, [])
@@ -218,6 +249,11 @@ class DelayedFreeLog:
                 )
         if set(self._per_block) != set(self._pending):
             raise CacheError("delayed-free chunk map and pending map diverge")
+        if self._pending_total != sum(self._pending.values()):
+            raise CacheError(
+                f"delayed-free running total {self._pending_total} != "
+                f"per-block sum {sum(self._pending.values())}"
+            )
         self._hbps.check_invariants()
         if self._hbps.total_count != len(self._pending):
             raise CacheError(

@@ -111,6 +111,13 @@ def serialize_fs(fs) -> bytes:
     re-serializes byte-identically to the committed page no matter how
     much I/O the recovery itself performed.
     """
+    # Sync the allocator's pending-span batch into the bitmap first: a
+    # mid-CP capture must reflect every block already handed out, not
+    # the batching cursor (scalar and batched pipelines then serialize
+    # byte-identically).
+    alloc = getattr(fs, "allocator", None)
+    if alloc is not None and hasattr(alloc, "flush_pending"):
+        alloc.flush_pending()
     mf = fs.metafile
     pending = fs.delayed_frees.pending_vbns()
     is_vol = getattr(fs, "l2v", None) is not None

@@ -110,7 +110,7 @@ class CrashUnderLoadReport:
 def _step_fingerprint(engine, stats) -> tuple:
     """Everything a replayed step must reproduce exactly."""
     admitted = {st.spec.name: st.admitted for st in engine.states}
-    rejected = {st.spec.name: len(st.rejected_us) for st in engine.states}
+    rejected = {st.spec.name: st.rejected_count() for st in engine.states}
     if stats is None:
         cp = None
     else:

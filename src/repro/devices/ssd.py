@@ -172,15 +172,26 @@ class SSD(Device):
         already_valid = self._valid[dbns]
         # Live pages per touched unit overwritten by this batch, aligned
         # with `touched` ordering: they pay down relocation liability.
-        overwritten = np.zeros(touched.size, dtype=np.int64)
-        if np.any(already_valid):
-            ow_ebs, ow_counts = group_counts(ebs[already_valid], self.n_erase_blocks)
-            overwritten[np.searchsorted(touched, ow_ebs)] = ow_counts
+        if already_valid.any():
+            overwritten = np.bincount(
+                ebs[already_valid], minlength=self.n_erase_blocks
+            )[touched]
+        else:
+            overwritten = np.zeros(touched.size, dtype=np.int64)
 
         us = 0.0
-        for i, eb in enumerate(touched.tolist()):
-            us += self._touch_open(eb)
-            self._open[eb].credits += int(overwritten[i])
+        open_units = self._open
+        max_open = self.config.max_open_units
+        for eb, ow in zip(touched.tolist(), overwritten.tolist()):
+            # Inlined _touch_open: this runs once per touched unit per
+            # write batch and dominates the device hot path.
+            sess = open_units.pop(eb, None)
+            if sess is None:
+                while len(open_units) >= max_open:
+                    us += self._close_unit(next(iter(open_units)))
+                sess = _OpenUnit(int(self._valid_per_eb[eb]))
+            open_units[eb] = sess
+            sess.credits += ow
 
         # State update: everything written is now valid.
         self._valid[dbns] = True
@@ -213,7 +224,10 @@ class SSD(Device):
             live // self.config.erase_block_blocks, self.n_erase_blocks
         )
         self._valid_per_eb[ebs] -= counts
-        for eb, cnt in zip(ebs.tolist(), counts.tolist()):
-            sess = self._open.get(eb)
-            if sess is not None:
-                sess.credits += cnt
+        # A random free batch touches many units but at most
+        # max_open_units (a handful) can have sessions: probe the open
+        # dict against the sorted touched array, not the reverse.
+        for eb, sess in self._open.items():
+            i = int(np.searchsorted(ebs, eb))
+            if i < ebs.size and ebs[i] == eb:
+                sess.credits += int(counts[i])

@@ -123,8 +123,8 @@ def run_chaos_under_load(
         p99s: dict[str, float] = {}
         counts: dict[str, int] = {}
         for st in engine.states:
-            complete = np.asarray(st.complete_us)
-            latency = np.asarray(st.latency_us)
+            complete = st.complete_array()
+            latency = st.latency_array()
             mask = (complete > lo) & (complete <= hi)
             n = int(mask.sum())
             counts[st.spec.name] = n

@@ -28,7 +28,6 @@ import numpy as np
 
 from .. import obs
 from ..bitmap.metafile import BitmapMetafile
-from ..common.arrayops import sorted_unique
 from ..core.delayed_frees import DelayedFreeLog
 from ..common.config import SimConfig
 from ..common.constants import RAID_AGNOSTIC_AA_BLOCKS
@@ -198,9 +197,11 @@ class RAIDGroupRuntime:
         policy: PolicyKind = PolicyKind.CACHE,
         seed: int | np.random.Generator | None = None,
         name: str = "rg",
+        batch_flush: bool = True,
     ) -> None:
         self.config = config
         self.name = name
+        self._batch_flush = bool(batch_flush)
         self.geometry = RAIDGeometry(config.ndata, config.nparity, config.blocks_per_disk)
         stripes_per_aa = config.resolve_stripes_per_aa(self.geometry)
         self.topology = StripeAATopology(self.geometry, stripes_per_aa)
@@ -217,7 +218,8 @@ class RAIDGroupRuntime:
         else:
             self.source = LinearScanSource(self.topology.num_aas)
         self.allocator = RAIDGroupAllocator(
-            self.topology, self.metafile, self.source, self.keeper, store_offset=offset
+            self.topology, self.metafile, self.source, self.keeper,
+            store_offset=offset, batch_flush=self._batch_flush,
         )
         self.offset = offset
         self.azcs = config.azcs
@@ -238,6 +240,14 @@ class RAIDGroupRuntime:
         #: True while allocation runs on the direct bitmap walk
         #: (cache offline during repair; see :meth:`enter_degraded`).
         self.degraded_alloc = False
+        #: Aging-phase fast path: issue every device write (FTL state
+        #: must advance exactly as priced CPs would) but skip the
+        #: stripe/tetris/chain classification and parity-read charging,
+        #: whose only outputs are CPStats fields and device timing stats
+        #: that :func:`repro.workloads.aging.reset_measurement_state`
+        #: discards.  Only honored for healthy all-SSD groups, where
+        #: devices carry no positional state a skipped read could move.
+        self.unpriced = False
         # Degraded-read accounting (recovery metrics).
         self.reconstruction_reads = 0
         self.degraded_reads = 0
@@ -386,7 +396,7 @@ class RAIDGroupRuntime:
         self.cache = None
         self.allocator = RAIDGroupAllocator(
             self.topology, self.metafile, self.source, self.keeper,
-            store_offset=self.offset,
+            store_offset=self.offset, batch_flush=self._batch_flush,
         )
         self._last_cache_ops = 0
         self._last_aa_switches = 0
@@ -407,7 +417,7 @@ class RAIDGroupRuntime:
         self.keeper = ScoreKeeper(self.topology, self.metafile.bitmap)
         self.allocator = RAIDGroupAllocator(
             self.topology, self.metafile, self.source, self.keeper,
-            store_offset=self.offset,
+            store_offset=self.offset, batch_flush=self._batch_flush,
         )
         self._last_cache_ops = 0
         self._last_aa_switches = 0
@@ -425,6 +435,13 @@ class RAIDGroupRuntime:
     def price_cp_writes(self, local_vbns: np.ndarray) -> GroupCPReport:
         """Charge devices for one CP's writes to this group and return
         the per-group report (stripe/tetris/chain accounting)."""
+        if (
+            self.unpriced
+            and self.config.media is MediaType.SSD
+            and not self.failed_disks
+            and not self.azcs
+        ):
+            return self._price_cp_writes_unpriced(local_vbns)
         with obs.span(
             "rg.price_writes", group=self.where, blocks=int(local_vbns.size)
         ):
@@ -434,6 +451,40 @@ class RAIDGroupRuntime:
             obs.count("raid.full_stripes", report.full_stripes, group=self.where)
             obs.count("raid.partial_stripes", report.partial_stripes, group=self.where)
             obs.count("raid.parity_reads", report.parity_reads, group=self.where)
+        return report
+
+    def _price_cp_writes_unpriced(self, local_vbns: np.ndarray) -> GroupCPReport:
+        """Issue one CP's device writes without pricing them.
+
+        The per-device data streams and parity-stripe writes are byte
+        for byte the ones :meth:`_price_cp_writes` derives from the full
+        ``analyze_raid_writes`` pass, so FTL state (valid maps, open
+        units, erase counts) evolves identically; everything skipped —
+        classification, parity-read charging, busy-time maxing — only
+        feeds statistics the measurement reset clears.
+        """
+        report = GroupCPReport(
+            blocks_per_disk=np.zeros(self.geometry.ndata, dtype=np.int64)
+        )
+        report.reconstruction_reads += self._pending_recon_reads
+        report.busy_us += self._pending_recon_us
+        self._pending_recon_reads = 0
+        self._pending_recon_us = 0.0
+        if local_vbns.size == 0:
+            return report
+        bpd = self.geometry.blocks_per_disk
+        sv = np.sort(local_vbns)
+        sb = sv % bpd
+        dmin = int(sb.min())
+        occupancy = np.bincount(sb - dmin)
+        touched = np.flatnonzero(occupancy) + dmin
+        bounds = np.searchsorted(sv, np.arange(self.geometry.ndata + 1) * bpd)
+        for d, dev in enumerate(self.data_devices):
+            dev.write_blocks(sb[bounds[d] : bounds[d + 1]])
+        for dev in self.parity_devices:
+            dev.write_blocks(touched)
+        report.blocks = int(local_vbns.size)
+        report.stripes = int(touched.size)
         return report
 
     def _price_cp_writes(self, local_vbns: np.ndarray) -> GroupCPReport:
@@ -463,21 +514,22 @@ class RAIDGroupRuntime:
         report.blocks_per_disk = stats.blocks_per_disk
         self.reconstruction_reads += stats.reconstruction_reads
 
-        disks = self.geometry.disk_of(local_vbns)
-        dbns = self.geometry.dbn_of(local_vbns)
+        # The analysis already lexsorted the writes disk-major; slice
+        # each device's sorted DBN run out of that single sort.
+        sd, sb = stats.sorted_disks, stats.sorted_dbns
+        bounds = np.searchsorted(sd, np.arange(self.geometry.ndata + 1))
         busy: list[float] = []
         # Parity reads are spread uniformly across the group's surviving
         # devices (failed devices absorb no I/O).
         live = max(self.survivor_count, 1)
         reads_per_dev = stats.parity_blocks_read // live
         for d, dev in enumerate(self.data_devices):
-            mine = np.sort(dbns[disks == d])
+            mine = sb[bounds[d] : bounds[d + 1]]
             us = self._issue_writes(dev, mine)
             us += dev.read_blocks(reads_per_dev)
             busy.append(us)
-        touched_stripes = sorted_unique(dbns)
         for dev in self.parity_devices:
-            us = self._issue_writes(dev, touched_stripes)
+            us = self._issue_writes(dev, stats.touched_stripes)
             us += dev.read_blocks(reads_per_dev)
             busy.append(us)
         report.busy_us += max(busy) if busy else 0.0
@@ -574,16 +626,21 @@ class RAIDStore:
         if not group_configs:
             raise GeometryError("an aggregate needs at least one RAID group")
         threshold = _resolve_threshold(threshold_fraction, config, "RAIDStore")
-        stripes_per_round = (
+        alloc_cfg = (
             config if config is not None else SimConfig.default()
-        ).allocator.stripes_per_round
+        ).allocator
+        stripes_per_round = alloc_cfg.stripes_per_round
+        batch_flush = not alloc_cfg.scalar_bitmap_flush
         rng = make_rng(seed)
         self.groups: list[RAIDGroupRuntime] = []
         self.offsets: list[int] = []
         offset = 0
         for i, cfg in enumerate(group_configs):
             self.offsets.append(offset)
-            g = RAIDGroupRuntime(cfg, offset=offset, policy=policy, seed=rng, name=f"rg{i}")
+            g = RAIDGroupRuntime(
+                cfg, offset=offset, policy=policy, seed=rng, name=f"rg{i}",
+                batch_flush=batch_flush,
+            )
             g.where = f"group:{i}"
             self.groups.append(g)
             offset += cfg.ndata * cfg.blocks_per_disk
@@ -599,7 +656,9 @@ class RAIDStore:
     # ------------------------------------------------------------------
     @property
     def free_count(self) -> int:
-        return sum(g.metafile.free_count for g in self.groups)
+        return sum(
+            g.metafile.free_count - g.allocator.pending_count for g in self.groups
+        )
 
     @property
     def devices(self) -> list[Device]:
@@ -697,6 +756,10 @@ class RAIDStore:
         per_group_writes = self.allocator.drain_cp_writes()
         busy: list[float] = []
         for gi, (g, local) in enumerate(zip(self.groups, per_group_writes)):
+            # Sync the group allocator's pending span before applying
+            # frees (a same-CP write-then-delete frees a just-allocated
+            # VBN).
+            g.allocator.flush_pending()
             grp = g.price_cp_writes(local)
             grp.busy_us += self._pending_read_us[gi]
             self._pending_read_us[gi] = 0.0
@@ -759,6 +822,9 @@ class LinearStore:
     ) -> None:
         self.topology = LinearAATopology(nblocks, blocks_per_aa)
         self.nblocks = nblocks
+        self._batch_flush = not (
+            config if config is not None else SimConfig.default()
+        ).allocator.scalar_bitmap_flush
         self.metafile = BitmapMetafile(nblocks)
         self.delayed_frees = DelayedFreeLog()
         self.keeper = ScoreKeeper(self.topology, self.metafile.bitmap)
@@ -766,7 +832,8 @@ class LinearStore:
             policy, self.topology, self.metafile, self.keeper, seed, config
         )
         self.allocator = LinearAllocator(
-            self.topology, self.metafile, self.source, self.keeper
+            self.topology, self.metafile, self.source, self.keeper,
+            batch_flush=self._batch_flush,
         )
         self.device = ObjectStore(nblocks, object_config)
         self._cp_writes: list[np.ndarray] = []
@@ -786,7 +853,7 @@ class LinearStore:
     # ------------------------------------------------------------------
     @property
     def free_count(self) -> int:
-        return self.metafile.free_count
+        return self.metafile.free_count - self.allocator.pending_count
 
     @property
     def devices(self) -> list[Device]:
@@ -825,7 +892,8 @@ class LinearStore:
         self.source = BitmapWalkSource(self.topology, self.metafile)
         self.cache = None
         self.allocator = LinearAllocator(
-            self.topology, self.metafile, self.source, self.keeper
+            self.topology, self.metafile, self.source, self.keeper,
+            batch_flush=self._batch_flush,
         )
         self._last_cache_ops = 0
         self._last_aa_switches = 0
@@ -844,7 +912,8 @@ class LinearStore:
 
         self.source = CacheSource(cache, replenisher)
         self.allocator = LinearAllocator(
-            self.topology, self.metafile, self.source, self.keeper
+            self.topology, self.metafile, self.source, self.keeper,
+            batch_flush=self._batch_flush,
         )
         self._last_cache_ops = 0
         self._last_aa_switches = 0
@@ -883,6 +952,9 @@ class LinearStore:
                 obs.advance_us(report.device_busy_us)
         report.device_busy_us += self._pending_read_us
         self._pending_read_us = 0.0
+        # Sync the allocator's pending span before applying frees (a
+        # same-CP write-then-delete frees a just-allocated VBN).
+        self.allocator.flush_pending()
         if self.free_budget_blocks is None:
             freed = self.delayed_frees.apply_all(self.metafile)
         else:

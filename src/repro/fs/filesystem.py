@@ -96,7 +96,8 @@ class WaflSim:
             seed=rng,
         )
         vols = {
-            spec.name: FlexVol(spec, policy=vol_policy, seed=rng) for spec in vol_specs
+            spec.name: FlexVol(spec, policy=vol_policy, config=config, seed=rng)
+            for spec in vol_specs
         }
         cls._check_capacity(store.nblocks, vol_specs)
         return cls(store, vols, cpu_model=cpu_model)
@@ -125,7 +126,8 @@ class WaflSim:
             seed=rng,
         )
         vols = {
-            spec.name: FlexVol(spec, policy=vol_policy, seed=rng) for spec in vol_specs
+            spec.name: FlexVol(spec, policy=vol_policy, config=config, seed=rng)
+            for spec in vol_specs
         }
         cls._check_capacity(nblocks, vol_specs)
         return cls(store, vols, cpu_model=cpu_model)

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..bitmap.metafile import BitmapMetafile
 from ..core.delayed_frees import DelayedFreeLog
+from ..common.config import SimConfig
 from ..common.constants import RAID_AGNOSTIC_AA_BLOCKS
 from ..common.errors import AllocationError, MediaError, TransientIOError
 from ..core.aa import LinearAATopology
@@ -67,10 +68,13 @@ class FlexVol:
         spec: VolSpec,
         *,
         policy: PolicyKind = PolicyKind.CACHE,
+        config: SimConfig | None = None,
         seed: int | np.random.Generator | None = None,
     ) -> None:
         self.spec = spec
         self.name = spec.name
+        cfg = config if config is not None else SimConfig.default()
+        self._batch_flush = not cfg.allocator.scalar_bitmap_flush
         nblocks = spec.resolve_virtual_blocks()
         self.topology = LinearAATopology(nblocks, spec.blocks_per_aa)
         self.metafile = BitmapMetafile(nblocks)
@@ -80,7 +84,8 @@ class FlexVol:
             policy, self.topology, self.metafile, self.keeper, seed
         )
         self.allocator = LinearAllocator(
-            self.topology, self.metafile, self.source, self.keeper
+            self.topology, self.metafile, self.source, self.keeper,
+            batch_flush=self._batch_flush,
         )
         #: logical block -> virtual VBN (-1 = never written).
         self.l2v = np.full(spec.logical_blocks, -1, dtype=np.int64)
@@ -115,8 +120,9 @@ class FlexVol:
 
     @property
     def used_blocks(self) -> int:
-        """Mapped (live) virtual blocks."""
-        return self.metafile.bitmap.allocated_count
+        """Mapped (live) virtual blocks (including the allocator's
+        pending-span batch not yet reflected in the bitmap)."""
+        return self.metafile.bitmap.allocated_count + self.allocator.pending_count
 
     def lookup_physical(self, logical_ids: np.ndarray) -> np.ndarray:
         """Physical VBNs backing mapped logical blocks (reads path);
@@ -203,7 +209,9 @@ class FlexVol:
         held = self._snapshots.pop(name)
         # Rebuild the union mask from the remaining snapshots.
         self._snap_mask[:] = False
-        for other in self._snapshots.values():
+        # Each `other` is an index *array*: this is one fancy-index
+        # scatter per snapshot, not an element-at-a-time loop.
+        for other in self._snapshots.values():  # simlint: disable=B502
             self._snap_mask[other] = True
         # A held block is freed iff the active file system no longer
         # maps it and no remaining snapshot pins it.
@@ -258,7 +266,8 @@ class FlexVol:
         self.source = BitmapWalkSource(self.topology, self.metafile)
         self.cache = None
         self.allocator = LinearAllocator(
-            self.topology, self.metafile, self.source, self.keeper
+            self.topology, self.metafile, self.source, self.keeper,
+            batch_flush=self._batch_flush,
         )
         self._last_cache_ops = 0
         self._last_aa_switches = 0
@@ -278,7 +287,8 @@ class FlexVol:
 
         self.source = CacheSource(cache, replenisher)
         self.allocator = LinearAllocator(
-            self.topology, self.metafile, self.source, self.keeper
+            self.topology, self.metafile, self.source, self.keeper,
+            batch_flush=self._batch_flush,
         )
         self._last_cache_ops = 0
         self._last_aa_switches = 0
@@ -310,6 +320,10 @@ class FlexVol:
         score deltas into the AA cache, drain metafile dirty counts.
         (Virtual VBNs have no device cost; only metadata accounting.)"""
         report = StoreCPReport()
+        # Sync the allocator's pending span before applying frees: a
+        # same-CP write-then-delete frees a just-allocated VBN, whose
+        # bit must be set before the free clears it.
+        self.allocator.flush_pending()
         if self.free_budget_blocks is None:
             freed = self.delayed_frees.apply_all(self.metafile)
         else:

@@ -23,7 +23,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .. import obs
-from ..common.arrayops import sorted_unique_counts
 from ..common.constants import TETRIS_STRIPES
 from .geometry import RAIDGeometry
 from .tetris import count_tetrises
@@ -61,6 +60,13 @@ class StripeWriteStats:
     blocks_per_disk: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
     #: Contiguous write chains per data disk.
     chains_per_disk: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    #: Disk-major sorted view of the analyzed writes (disk ascending,
+    #: DBN ascending within a disk).  Computed once for chain analysis
+    #: and reused by device pricing so it never re-sorts per disk.
+    sorted_disks: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    sorted_dbns: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    #: Sorted unique stripe indexes touched (parity devices write these).
+    touched_stripes: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
 
     @property
     def total_chains(self) -> int:
@@ -136,12 +142,22 @@ def _analyze(
     stripes_per_tetris: int,
     failed_disks: int,
 ) -> StripeWriteStats:
-    disks = geometry.disk_of(vbns)
-    dbns = geometry.dbn_of(vbns)
+    # VBNs are disk-major (vbn = disk * blocks_per_disk + dbn), so one
+    # plain sort of the VBNs *is* the (disk, dbn) lexicographic order;
+    # everything below derives from it instead of sorting per key.
+    bpd = geometry.blocks_per_disk
+    sv = np.sort(vbns)
+    sd = sv // bpd
+    sb = sv % bpd
 
     # Stripe occupancy: how many of each touched stripe's data blocks
-    # were written in this CP.
-    touched, counts = sorted_unique_counts(dbns)
+    # were written in this CP.  The touched stripes live in a narrow
+    # DBN window, so a bincount over that window beats a second sort.
+    dmin = int(sb.min())
+    occupancy = np.bincount(sb - dmin)
+    touched_off = np.flatnonzero(occupancy)
+    touched = touched_off + dmin
+    counts = occupancy[touched_off]
     stats.data_blocks = int(vbns.size)
     stats.stripes_written = int(touched.size)
     full = counts == geometry.ndata
@@ -169,9 +185,10 @@ def _analyze(
     stats.tetrises = count_tetrises(touched, stripes_per_tetris)
 
     # Per-disk blocks and chains.
-    stats.blocks_per_disk = np.bincount(disks, minlength=geometry.ndata).astype(np.int64)
-    order = np.lexsort((dbns, disks))
-    sd, sb = disks[order], dbns[order]
+    disk_bounds = np.searchsorted(sv, np.arange(geometry.ndata + 1) * bpd)
+    stats.blocks_per_disk = np.diff(disk_bounds)
+    stats.sorted_disks, stats.sorted_dbns = sd, sb
+    stats.touched_stripes = touched
     if sd.size:
         # A chain breaks where the disk changes or the DBN is not
         # consecutive within the same disk.

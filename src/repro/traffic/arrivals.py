@@ -32,6 +32,26 @@ class ArrivalProcess(abc.ABC):
     def next_after(self, t_us: float) -> float:
         """The next arrival time strictly after ``t_us``."""
 
+    def window(self, first_us: float, until_us: float) -> tuple[np.ndarray, float]:
+        """``(arrivals, next)``: the already-drawn arrival ``first_us``
+        plus every subsequent arrival before ``until_us``, and the first
+        arrival at or past it.
+
+        The base implementation iterates :meth:`next_after`, so it
+        consumes the generator exactly as the scalar admission loop
+        does; subclasses may batch the draws as long as the produced
+        times are bit-identical (the engine's vectorized/scalar identity
+        guarantee rests on that).
+        """
+        if first_us >= until_us:
+            return np.empty(0, dtype=np.float64), first_us
+        out = []
+        t = first_us
+        while t < until_us:
+            out.append(t)
+            t = self.next_after(t)
+        return np.asarray(out, dtype=np.float64), t
+
     @property
     @abc.abstractmethod
     def mean_rate_ops_s(self) -> float:
@@ -50,9 +70,51 @@ class PoissonArrivals(ArrivalProcess):
             raise ValueError("rate_ops_s must be positive")
         self.rate_ops_s = float(rate_ops_s)
         self._mean_gap_us = 1e6 / self.rate_ops_s
+        # Pre-drawn arrival times not yet handed out.  Batch draws pull
+        # the same value stream from the generator as repeated scalar
+        # draws (numpy fills element-wise from the same sampler), and
+        # ``np.add.accumulate`` reproduces the scalar left-to-right
+        # addition chain, so buffered times are bit-identical to what
+        # ``next_after`` would have returned call by call.
+        self._buf: np.ndarray | None = None
+        self._pos = 0
+
+    def _refill(self, last_us: float, n: int) -> None:
+        draws = self.rng.exponential(self._mean_gap_us, size=n)
+        self._buf = np.add.accumulate(np.concatenate(([last_us], draws)))[1:]
+        self._pos = 0
 
     def next_after(self, t_us: float) -> float:
+        if self._buf is not None:
+            v = float(self._buf[self._pos])
+            self._pos += 1
+            if self._pos == self._buf.size:
+                self._buf = None
+            return v
         return t_us + self.rng.exponential(self._mean_gap_us)
+
+    def window(self, first_us: float, until_us: float) -> tuple[np.ndarray, float]:
+        if first_us >= until_us:
+            return np.empty(0, dtype=np.float64), first_us
+        chunks = [np.array([first_us])]
+        last = first_us
+        while True:
+            if self._buf is None:
+                est = int((until_us - last) / self._mean_gap_us * 1.1) + 16
+                self._refill(last, min(est, 65_536))
+            buf = self._buf[self._pos:]
+            cut = int(np.searchsorted(buf, until_us, side="left"))
+            if cut < buf.size:
+                chunks.append(buf[:cut])
+                nxt = float(buf[cut])
+                self._pos += cut + 1
+                if self._pos == self._buf.size:
+                    self._buf = None
+                return np.concatenate(chunks), nxt
+            chunks.append(buf)
+            if buf.size:
+                last = float(buf[-1])
+            self._buf = None
 
     @property
     def mean_rate_ops_s(self) -> float:

@@ -128,8 +128,21 @@ class TrafficResult:
         }
 
 
+_EMPTY = np.empty(0, dtype=np.float64)
+
+
 class _TenantState:
-    """Mutable per-tenant run state (admission + measurement)."""
+    """Mutable per-tenant run state (admission + measurement).
+
+    Two storage modes share this class.  The scalar mode keeps per-op
+    tuples in deques and floats in lists (the one-release reference
+    pipeline); the vectorized mode keeps the same quantities as arrays
+    — chunk lists for measurements, ``(arrival, admit)`` array pairs
+    for the deferred queue, and consolidated arrays with a head cursor
+    for the backend queue.  The ``*_array`` / ``*_count`` accessors
+    below give mode-independent views, so the measurement code reads
+    one shape regardless of which pipeline produced it.
+    """
 
     def __init__(self, spec: TenantSpec) -> None:
         self.spec = spec
@@ -154,6 +167,23 @@ class _TenantState:
         self.admitted = 0
         self.charged_cpu_us = 0.0
         self.charged_device_us = 0.0
+        # ---- vectorized-mode storage ---------------------------------
+        #: Measurement chunks (arrays of times, concatenated on read).
+        self.arrival_chunks: list[np.ndarray] = []
+        self.rejected_chunks: list[np.ndarray] = []
+        self.complete_chunks: list[np.ndarray] = []
+        self.latency_chunks: list[np.ndarray] = []
+        #: Admitted-not-yet-ridden (arrival, admit) array pairs, FIFO.
+        self.deferred_arrays: deque[tuple[np.ndarray, np.ndarray]] = deque()
+        #: CP chunks not yet folded into the consolidated queue below.
+        self.backend_chunks: list[tuple[np.ndarray, np.ndarray, float, float]] = []
+        #: Consolidated backend queue (arrival/admit/occupancy/latency
+        #: per op) with ``q_head`` ops already served.
+        self.q_arrival = _EMPTY
+        self.q_admit = _EMPTY
+        self.q_occ = _EMPTY
+        self.q_lat = _EMPTY
+        self.q_head = 0
 
     def take_riders(self, before_us: float) -> list[tuple[float, float]]:
         """Admitted ops whose admission time falls before ``before_us``
@@ -162,6 +192,84 @@ class _TenantState:
         while self.deferred and self.deferred[0][1] < before_us:
             riders.append(self.deferred.popleft())
         return riders
+
+    def take_riders_arrays(self, before_us: float) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`take_riders`: the admitted prefix with
+        ``admit < before_us``, as (arrivals, admits) arrays."""
+        ts_parts: list[np.ndarray] = []
+        adm_parts: list[np.ndarray] = []
+        while self.deferred_arrays:
+            ts, adm = self.deferred_arrays[0]
+            cut = int(np.searchsorted(adm, before_us, side="left"))
+            if cut == adm.size:
+                ts_parts.append(ts)
+                adm_parts.append(adm)
+                self.deferred_arrays.popleft()
+                continue
+            if cut:
+                ts_parts.append(ts[:cut])
+                adm_parts.append(adm[:cut])
+                self.deferred_arrays[0] = (ts[cut:], adm[cut:])
+            break
+        if not ts_parts:
+            return _EMPTY, _EMPTY
+        if len(ts_parts) == 1:
+            return ts_parts[0], adm_parts[0]
+        return np.concatenate(ts_parts), np.concatenate(adm_parts)
+
+    def consolidate_backend(self) -> None:
+        """Fold freshly ridden CP chunks into the consolidated queue,
+        dropping the already-served prefix."""
+        if not self.backend_chunks:
+            return
+        arrs = [self.q_arrival[self.q_head:]]
+        adms = [self.q_admit[self.q_head:]]
+        occs = [self.q_occ[self.q_head:]]
+        lats = [self.q_lat[self.q_head:]]
+        for ts, adm, s_occ, s_lat in self.backend_chunks:
+            arrs.append(ts)
+            adms.append(adm)
+            occs.append(np.full(ts.size, s_occ))
+            lats.append(np.full(ts.size, s_lat))
+        self.backend_chunks = []
+        self.q_arrival = np.concatenate(arrs)
+        self.q_admit = np.concatenate(adms)
+        self.q_occ = np.concatenate(occs)
+        self.q_lat = np.concatenate(lats)
+        self.q_head = 0
+
+    # ---- mode-independent measurement accessors ----------------------
+    def _gather(self, chunks: list[np.ndarray], scalars: list[float]) -> np.ndarray:
+        if chunks:
+            return chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+        return np.asarray(scalars, dtype=np.float64)
+
+    def arrivals_array(self) -> np.ndarray:
+        return self._gather(self.arrival_chunks, self.arrivals_us)
+
+    def rejected_array(self) -> np.ndarray:
+        return self._gather(self.rejected_chunks, self.rejected_us)
+
+    def complete_array(self) -> np.ndarray:
+        return self._gather(self.complete_chunks, self.complete_us)
+
+    def latency_array(self) -> np.ndarray:
+        return self._gather(self.latency_chunks, self.latency_us)
+
+    def arrived_count(self) -> int:
+        if self.arrival_chunks:
+            return sum(c.size for c in self.arrival_chunks)
+        return len(self.arrivals_us)
+
+    def rejected_count(self) -> int:
+        if self.rejected_chunks:
+            return sum(c.size for c in self.rejected_chunks)
+        return len(self.rejected_us)
+
+    def backend_pending(self) -> int:
+        """Ops ridden into a CP but not yet served, either mode."""
+        pending = len(self.backend) + (self.q_admit.size - self.q_head)
+        return pending + sum(ts.size for ts, _, _, _ in self.backend_chunks)
 
 
 class TrafficEngine:
@@ -194,12 +302,18 @@ class TrafficEngine:
         cp_interval_us: float | None = None,
         target_ops_per_cp: int | None = None,
         cores: int | None = None,
+        vectorized: bool | None = None,
     ) -> None:
         traffic_cfg = TrafficConfig()
         if target_ops_per_cp is None:
             target_ops_per_cp = traffic_cfg.target_ops_per_cp
         if cores is None:
             cores = traffic_cfg.cores
+        if vectorized is None:
+            vectorized = traffic_cfg.vectorized
+        #: Batched admission/SFQ pipeline (scalar loops when False; the
+        #: two are byte-identical in every metric — see DESIGN.md §9).
+        self.vectorized = bool(vectorized)
         if not tenants:
             raise ValueError("need at least one tenant")
         names = [t.name for t in tenants]
@@ -259,6 +373,64 @@ class TrafficEngine:
                 st.admitted += 1
             st.next_arrival_us = spec.arrivals.next_after(t)
 
+    def _generate_arrivals_vec(self, st: _TenantState, until_us: float) -> None:
+        """Batched :meth:`_generate_arrivals`: one window of arrivals in
+        one array, admitted with the same float expressions.
+
+        Unthrottled open-queue tenants admit at ``max(t, tail)`` with a
+        monotone tail, so the whole window collapses to one exact
+        ``np.maximum`` against the window-entry tail.  QoS/bounded-queue
+        tenants run the scalar recurrence (token-bucket state is a
+        sequential dependence) over the pre-generated array, which still
+        skips the per-arrival generator calls.
+        """
+        spec = st.spec
+        ts, st.next_arrival_us = spec.arrivals.window(st.next_arrival_us, until_us)
+        if ts.size == 0:
+            return
+        st.arrival_chunks.append(ts)
+        if not st.buckets and spec.queue_depth is None:
+            admits = np.maximum(ts, st.admit_tail_us)
+            st.admit_tail_us = float(admits[-1])
+            st.admitted += int(ts.size)
+            st.deferred_arrays.append((ts, admits))
+            return
+        blocks_per_op = float(spec.mix.blocks_per_op)
+        admits = np.empty(ts.size, dtype=np.float64)
+        keep = np.ones(ts.size, dtype=bool)
+        rejected: list[float] = []
+        k = 0
+        # Deliberately scalar reference path: token-bucket state and the
+        # queue-depth gate are sequential (each admit feeds the next).
+        for j, t in enumerate(ts.tolist()):  # simlint: disable=B502
+            while st.pending_admits and st.pending_admits[0] <= t:
+                st.pending_admits.popleft()
+            if (
+                spec.queue_depth is not None
+                and len(st.pending_admits) >= spec.queue_depth
+            ):
+                rejected.append(t)
+                keep[j] = False
+                continue
+            admit = t if st.admit_tail_us <= t else st.admit_tail_us
+            for bucket, dim in st.buckets:
+                n = 1.0 if dim == "ops" else blocks_per_op
+                ready = bucket.ready_time_us(admit, n)
+                if ready > admit:
+                    admit = ready
+            for bucket, dim in st.buckets:
+                n = 1.0 if dim == "ops" else blocks_per_op
+                bucket.take(admit, n)
+            st.admit_tail_us = admit
+            st.pending_admits.append(admit)
+            admits[k] = admit
+            k += 1
+            st.admitted += 1
+        if rejected:
+            st.rejected_chunks.append(np.asarray(rejected, dtype=np.float64))
+        if k:
+            st.deferred_arrays.append((ts[keep], admits[:k]))
+
     # ------------------------------------------------------------------
     # Backend fair service (start-time fair queueing)
     # ------------------------------------------------------------------
@@ -306,6 +478,152 @@ class TrafficEngine:
             st.complete_us.append(complete)
             st.latency_us.append(complete - arrival)
 
+    def _drain_vec(self, until_us: float) -> None:
+        """Batched :meth:`_drain` over the consolidated backend arrays.
+
+        The SFQ pick is data-dependent — each newly admitted op can
+        preempt a backlogged neighbor the moment the serve clock passes
+        its admission — so a fully batched multi-tenant serve would be
+        cut at every admission boundary and degenerate to tiny NumPy
+        calls.  The split that pays: whenever exactly ONE tenant has
+        pending ops, whole stretches collapse to array chains (FIFO
+        order, no preemption possible), and the multi-tenant interleave
+        runs a tight buffered scalar loop over the arrays.
+
+        The bulk round reproduces the scalar recurrence exactly: serve
+        starts are ``np.add.accumulate`` over occupancies from ``t0 =
+        max(server_free, head admit)`` (the scalar left-to-right
+        addition chain), valid while ``start >= admit`` elementwise —
+        the first violation is where the scalar server would go idle
+        and lift the clock, so the round is cut there and the next
+        round re-lifts ``t0`` the same way.  SFQ tags chain through
+        ``max(vfinish, vtime)`` only at round entry (mid-round the
+        virtual time equals the tenant's own last tag, so the lift
+        never fires).  Cutting a round early is always exact — the
+        next round continues the identical recurrence — which also
+        lets the round length be capped for O(n) total work.  Every
+        float is produced by the same operation on the same operands
+        as the scalar path, so results are bit-identical.
+        """
+        states = self.states
+        for st in states:
+            st.consolidate_backend()
+        nstates = len(states)
+        comp_buf: list[list[float]] = [[] for _ in states]
+        lat_buf: list[list[float]] = [[] for _ in states]
+
+        def flush(k: int) -> None:
+            if comp_buf[k]:
+                states[k].complete_chunks.append(
+                    np.asarray(comp_buf[k], dtype=np.float64)
+                )
+                states[k].latency_chunks.append(
+                    np.asarray(lat_buf[k], dtype=np.float64)
+                )
+                comp_buf[k] = []
+                lat_buf[k] = []
+
+        while True:
+            pending = [
+                k for k, st in enumerate(states) if st.q_head < st.q_admit.size
+            ]
+            if not pending:
+                break
+            if len(pending) == 1:
+                k = pending[0]
+                st = states[k]
+                h = st.q_head
+                first = float(st.q_admit[h])
+                t0 = (
+                    self._server_free_us
+                    if self._server_free_us > first
+                    else first
+                )
+                if t0 >= until_us:
+                    break
+                occ0 = float(st.q_occ[h])
+                limit = st.q_admit.size - h
+                if occ0 > 0.0:
+                    cap = int((until_us - t0) / occ0) + 2
+                    if cap < limit:
+                        limit = cap
+                admits = st.q_admit[h:h + limit]
+                occs = st.q_occ[h:h + limit]
+                tacc = np.add.accumulate(np.concatenate(([t0], occs)))
+                starts = tacc[:-1]
+                ok = (starts < until_us) & (starts >= admits)
+                m = int(starts.size) if bool(ok.all()) else int(np.argmax(~ok))
+                flush(k)
+                completes = starts[:m] + st.q_lat[h:h + m]
+                st.complete_chunks.append(completes)
+                st.latency_chunks.append(completes - st.q_arrival[h:h + m])
+                start = st.vfinish if st.vfinish > self._vtime else self._vtime
+                acc = np.add.accumulate(np.concatenate(([start], occs[:m])))
+                st.q_head = h + m
+                st.vfinish = float(acc[m])
+                self._vtime = float(acc[m - 1])
+                self._server_free_us = float(tacc[m])
+                continue
+            # Multi-tenant interleave: op-by-op, plain floats, local
+            # cursors, buffered output — the scalar algorithm verbatim.
+            # Head admits are cached as Python floats (INF = drained)
+            # so the per-op scan never touches the arrays.
+            inf = float("inf")
+            vt = self._vtime
+            free = self._server_free_us
+            qa = [st.q_admit for st in states]
+            qo = [st.q_occ for st in states]
+            ql = [st.q_lat for st in states]
+            qr = [st.q_arrival for st in states]
+            hs = [st.q_head for st in states]
+            ns = [a.size for a in qa]
+            vf = [st.vfinish for st in states]
+            ha = [
+                float(qa[k][hs[k]]) if hs[k] < ns[k] else inf
+                for k in range(nstates)
+            ]
+            hit_until = False
+            while True:
+                min_admit = min(ha)
+                if min_admit == inf:
+                    break
+                t = free if free > min_admit else min_admit
+                if t >= until_us:
+                    hit_until = True
+                    break
+                pick = -1
+                pick_tag = 0.0
+                for k in range(nstates):
+                    if ha[k] > t:
+                        continue
+                    tag = vf[k] if vf[k] > vt else vt
+                    if pick < 0 or tag < pick_tag:
+                        pick = k
+                        pick_tag = tag
+                hk = hs[pick]
+                s_occ = float(qo[pick][hk])
+                complete = t + float(ql[pick][hk])
+                vt = pick_tag
+                vf[pick] = pick_tag + s_occ
+                free = t + s_occ
+                comp_buf[pick].append(complete)
+                lat_buf[pick].append(complete - float(qr[pick][hk]))
+                hk += 1
+                hs[pick] = hk
+                if hk == ns[pick]:
+                    ha[pick] = inf
+                    break  # a queue drained: the bulk path may apply now
+                ha[pick] = float(qa[pick][hk])
+            self._vtime = vt
+            self._server_free_us = free
+            for k, st in enumerate(states):
+                st.q_head = hs[k]
+                st.vfinish = vf[k]
+            if hit_until or min_admit == inf:
+                break
+        for k in range(nstates):
+            flush(k)
+
     # ------------------------------------------------------------------
     # CP loop
     # ------------------------------------------------------------------
@@ -316,7 +634,7 @@ class TrafficEngine:
         # different CP intervals never overlap in the trace timeline.
         obs.sync_us(self.clock_us)
         with obs.span("traffic.step", interval=self._cp_count):
-            return self._step()
+            return self._step_vec() if self.vectorized else self._step()
 
     def _step(self) -> CPStats | None:
         window_end = self.clock_us + self.cp_interval_us
@@ -384,6 +702,78 @@ class TrafficEngine:
         self._cp_count += 1
         return stats
 
+    def _step_vec(self) -> CPStats | None:
+        """Batched :meth:`_step`: identical control flow, but riders
+        move as (arrival, admit) array pairs from admission through the
+        backend queue — no per-op tuples.  The CP itself and every
+        charged-share float expression are shared with the scalar path
+        verbatim, so the two pipelines produce byte-identical metrics.
+        """
+        window_end = self.clock_us + self.cp_interval_us
+        traced = obs.active()
+        rejected_before = (
+            [st.rejected_count() for st in self.states] if traced else None
+        )
+        cp_ops: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for i, st in enumerate(self.states):
+            self._generate_arrivals_vec(st, window_end)
+            ts, adm = st.take_riders_arrays(window_end)
+            if ts.size:
+                cp_ops[i] = (ts, adm)
+        if traced:
+            for st, before in zip(self.states, rejected_before):
+                delta = st.rejected_count() - before
+                if delta:
+                    obs.count("traffic.rejected_ops", delta, tenant=st.spec.name)
+            for i in sorted(cp_ops):
+                st = self.states[i]
+                obs.count(
+                    "traffic.admitted_ops",
+                    int(cp_ops[i][0].size),
+                    tenant=st.spec.name,
+                    vol=st.spec.volume,
+                )
+        self.clock_us = window_end
+        total = int(sum(ts.size for ts, _ in cp_ops.values()))
+        if total == 0:
+            self._drain_vec(window_end)
+            self._cp_count += 1
+            return None
+
+        writes: dict[str, np.ndarray] = {}
+        deletes: dict[str, np.ndarray] = {}
+        ops_by_source: dict[str, int] = {}
+        for i in sorted(cp_ops):
+            st = self.states[i]
+            count = int(cp_ops[i][0].size)
+            w, d = st.spec.mix.next_ops(count)
+            if w.size:
+                writes[st.spec.volume] = w
+            if d.size:
+                deletes[st.spec.volume] = d
+            ops_by_source[st.spec.name] = count
+        stats = self.sim.engine.run_cp(
+            CPBatch(writes=writes, ops=total, deletes=deletes,
+                    ops_by_source=ops_by_source)
+        )
+
+        cpu_per_op = stats.cpu_us / total
+        dev_per_op = stats.device_busy_us / total
+        core_share = cpu_per_op / self.cores
+        s_occ = core_share if core_share > dev_per_op else dev_per_op
+        s_lat = cpu_per_op + dev_per_op
+        self._occ_weighted_us += s_occ * total
+        self._total_ops += total
+        for i, (ts, adm) in cp_ops.items():
+            share = ts.size / total
+            st = self.states[i]
+            st.charged_cpu_us += stats.cpu_us * share
+            st.charged_device_us += stats.device_busy_us * share
+            st.backend_chunks.append((ts, adm, s_occ, s_lat))
+        self._drain_vec(window_end)
+        self._cp_count += 1
+        return stats
+
     def run(self, n_cps: int) -> "TrafficEngine":
         for _ in range(n_cps):
             self.step()
@@ -404,31 +794,28 @@ class TrafficEngine:
         metrics = self.sim.metrics
         edges = np.arange(0.0, horizon_us + self.cp_interval_us / 2,
                           self.cp_interval_us)
-        arrivals = np.asarray(st.arrivals_us)
-        rejected = np.asarray(st.rejected_us)
-        complete = np.sort(np.asarray(st.complete_us))
-        latency = np.asarray(st.latency_us)
-        order = np.argsort(np.asarray(st.complete_us), kind="stable")
+        arrivals = st.arrivals_array()
+        rejected = st.rejected_array()
+        complete_raw = st.complete_array()
+        complete = np.sort(complete_raw)
+        latency = st.latency_array()
+        order = np.argsort(complete_raw, kind="stable")
         latency_by_completion = latency[order] if latency.size else latency
         name = st.spec.name
         interval_s = self.cp_interval_us / 1e6
+        # One vectorized searchsorted per series over all edges; the
+        # remaining loop touches only Python ints (counts per interval).
+        cuts = np.searchsorted(complete, edges, side="right").tolist()
+        arr_cum = np.searchsorted(np.sort(arrivals), edges, side="right").tolist()
+        rej_cum = np.searchsorted(np.sort(rejected), edges, side="right").tolist()
         for k in range(len(edges) - 1):
-            lo, hi = edges[k], edges[k + 1]
-            done = np.searchsorted(complete, hi, side="right") - np.searchsorted(
-                complete, lo, side="right"
-            )
+            lo_cut, hi_cut = cuts[k], cuts[k + 1]
+            done = hi_cut - lo_cut
             metrics.record_point(f"traffic.{name}.achieved_ops_s", done / interval_s)
-            window = latency_by_completion[
-                np.searchsorted(complete, lo, side="right"):
-                np.searchsorted(complete, hi, side="right")
-            ]
+            window = latency_by_completion[lo_cut:hi_cut]
             p99 = float(np.percentile(window, 99)) / 1e3 if window.size else 0.0
             metrics.record_point(f"traffic.{name}.p99_ms", p99)
-            in_flight = (
-                int((arrivals <= hi).sum())
-                - int((rejected <= hi).sum())
-                - int(np.searchsorted(complete, hi, side="right"))
-            )
+            in_flight = arr_cum[k + 1] - rej_cum[k + 1] - hi_cut
             metrics.record_point(f"traffic.{name}.queue_depth", in_flight)
 
     def summary(self) -> TrafficResult:
@@ -442,13 +829,13 @@ class TrafficEngine:
         for st in self.states:
             if not already_recorded:
                 self._record_series(st, horizon_us)
-            complete = np.asarray(st.complete_us)
-            latency = np.asarray(st.latency_us)
+            complete = st.complete_array()
+            latency = st.latency_array()
             done_mask = complete <= horizon_us
             done_lat_ms = latency[done_mask] / 1e3
             completed = int(done_mask.sum())
-            arrived = len(st.arrivals_us)
-            rejected = len(st.rejected_us)
+            arrived = st.arrived_count()
+            rejected = st.rejected_count()
             qd = np.asarray(
                 self.sim.metrics.query(
                     "queue_depth", tenant=st.spec.name, default=[0]

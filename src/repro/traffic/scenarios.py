@@ -290,6 +290,7 @@ def run_traffic(
     blocks_per_disk: int | None = None,
     cores: int = DEFAULT_CORES,
     audit_hook=None,
+    vectorized: bool | None = None,
 ) -> TrafficRun:
     """Build, calibrate, and run one named scenario end to end.
 
@@ -318,7 +319,8 @@ def run_traffic(
         scenario, sim, cal.capacity_ops, n_tenants=n_tenants, seed=seed
     )
     engine = TrafficEngine(
-        sim, tenants, target_ops_per_cp=_TARGET_OPS_PER_CP, cores=cores
+        sim, tenants, target_ops_per_cp=_TARGET_OPS_PER_CP, cores=cores,
+        vectorized=vectorized,
     )
     engine.run(n_cps)
     result = engine.summary()

@@ -96,6 +96,7 @@ class TestDelayedFreeInvariants:
     def test_pending_count_mismatch_raises(self):
         log = DelayedFreeLog(bits_per_block=64)
         log.add(np.array([1, 2, 65]))
+        log._ensure_counts()  # counts are folded lazily; corrupt after
         log._pending[0] += 1
         with pytest.raises(CacheError, match="pending count"):
             log.check_invariants()

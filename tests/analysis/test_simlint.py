@@ -27,6 +27,13 @@ VIOLATIONS: dict[str, str | tuple[str, str]] = {
     "L201": ("from ..fs.cp import CPEngine\n", "core"),
     "U301": "size_bytes = 1\nsize_blocks = 2\ntotal = size_bytes + size_blocks\n",
     "B501": "import numpy as np\nbits = np.unpackbits(buf, bitorder='little')\n",
+    "B502": (
+        "import numpy as np\n"
+        "admits = np.empty(4)\n"
+        "for i in range(4):\n"
+        "    admits[i] = float(i)\n",
+        "traffic",
+    ),
     "E401": "try:\n    x = 1\nexcept:\n    pass\n",
     "E402": "try:\n    x = 1\nexcept Exception:\n    x = 2\n",
     "E403": (
@@ -121,6 +128,101 @@ class TestBitmapDisciplineRules:
         assert "B501" in rules_of(
             "import numpy as xp\nbits = xp.unpackbits(arr)\n"
         )
+
+
+class TestElementwiseLoopRule:
+    HOT_LOOP = (
+        "import numpy as np\n"
+        "vals = np.zeros(8)\n"
+        "for i in range(8):\n"
+        "    vals[i] = vals[i] + 1.0\n"
+    )
+
+    def test_fires_in_hot_path_packages(self):
+        for pkg in ("fs", "bitmap", "traffic", "sim"):
+            assert "B502" in rules_of(self.HOT_LOOP, pkg)
+
+    def test_silent_outside_hot_paths(self):
+        for pkg in ("bench", "analysis", "workloads", None):
+            assert "B502" not in rules_of(self.HOT_LOOP, pkg)
+
+    def test_whole_array_expression_is_clean(self):
+        src = (
+            "import numpy as np\n"
+            "vals = np.zeros(8)\n"
+            "vals += 1.0\n"
+        )
+        assert rules_of(src, "traffic") == []
+
+    def test_python_list_indexing_is_clean(self):
+        # Only names known to hold ndarrays fire; plain list loops are
+        # the interpreter's job.
+        src = "vals = [0.0] * 8\nfor i in range(8):\n    vals[i] = 1.0\n"
+        assert rules_of(src, "traffic") == []
+
+    def test_self_attribute_array_tracked(self):
+        src = (
+            "import numpy as np\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lat = np.empty(4)\n"
+            "    def fill(self):\n"
+            "        for i in range(4):\n"
+            "            self._lat[i] = 0.0\n"
+        )
+        assert "B502" in rules_of(src, "traffic")
+
+    def test_annotated_parameter_tracked(self):
+        src = (
+            "import numpy as np\n"
+            "def f(xs: np.ndarray) -> float:\n"
+            "    total = 0.0\n"
+            "    for i in range(3):\n"
+            "        total += xs[i]\n"
+            "    return total\n"
+        )
+        assert "B502" in rules_of(src, "sim")
+
+    def test_slice_view_of_array_tracked(self):
+        src = (
+            "import numpy as np\n"
+            "base = np.arange(10)\n"
+            "view = base[2:8]\n"
+            "for i in range(6):\n"
+            "    print(view[i])\n"
+        )
+        assert "B502" in [f.rule for f in lint_source(src, "m.py", "bitmap")]
+
+    def test_rebound_to_list_is_forgotten(self):
+        src = (
+            "import numpy as np\n"
+            "vals = np.zeros(4)\n"
+            "vals = [0.0] * 4\n"
+            "for i in range(4):\n"
+            "    vals[i] = 1.0\n"
+        )
+        assert rules_of(src, "traffic") == []
+
+    def test_fancy_index_scatter_is_clean(self):
+        # `mask[idx_array] = True` batches the scatter; the loop variable
+        # never appears as a scalar subscript.
+        src = (
+            "import numpy as np\n"
+            "mask = np.zeros(16, dtype=bool)\n"
+            "groups = [np.array([1, 2]), np.array([3])]\n"
+            "for g in range(2):\n"
+            "    mask[groups[g]] = True\n"
+        )
+        assert rules_of(src, "fs") == []
+
+    def test_waivable_by_pragma(self):
+        src = (
+            "import numpy as np\n"
+            "vals = np.zeros(4)\n"
+            "for i in range(4):  # simlint: disable=B502\n"
+            "    vals[i] = 1.0\n"
+        )
+        assert rules_of(src, "traffic") == []
 
 
 class TestLayeringRules:

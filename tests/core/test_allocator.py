@@ -64,9 +64,27 @@ class TestLinearAllocator:
     def test_bitmap_and_keeper_updated(self):
         alloc, topo, mf, keeper, _ = make_linear()
         v = alloc.allocate(100)
-        assert mf.bitmap.test(v).all()
+        # Bitmap updates are pending-span batched; the CP boundary is a
+        # synchronization point.
         alloc.cp_flush()
+        assert mf.bitmap.test(v).all()
         keeper.verify_against(mf.bitmap)
+
+    def test_flush_pending_syncs_bitmap(self):
+        alloc, topo, mf, keeper, _ = make_linear()
+        v = alloc.allocate(100)
+        alloc.flush_pending()
+        assert mf.bitmap.test(v).all()
+        # Idempotent: a second flush changes nothing.
+        before = mf.bitmap.allocated_count
+        alloc.flush_pending()
+        assert mf.bitmap.allocated_count == before
+
+    def test_scalar_flush_updates_bitmap_eagerly(self):
+        alloc, topo, mf, keeper, _ = make_linear()
+        alloc.batch_flush = False
+        v = alloc.allocate(100)
+        assert mf.bitmap.test(v).all()
 
     def test_store_offset_applied(self):
         topo = LinearAATopology(1024, 512)
@@ -77,6 +95,7 @@ class TestLinearAllocator:
         v = alloc.allocate(5)
         assert (v >= 10_000).all()
         # The metafile tracks local VBNs.
+        alloc.flush_pending()
         assert mf.bitmap.allocated_count == 5
 
     def test_selected_scores_recorded(self):

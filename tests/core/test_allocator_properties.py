@@ -61,6 +61,13 @@ def run_ops(alloc, metafile, keeper, ops, rng):
             freed = np.asarray([live[i] for i in idx], dtype=np.int64)
             for i in idx:
                 live.pop(i)
+            # Sync the allocator's pending span first: this model frees
+            # directly against the metafile, something the real pipeline
+            # only does at CP boundaries (which are flush points).  The
+            # delayed-free discipline guarantees a block allocated in a
+            # CP is never freed in that same CP, so the pending span and
+            # a CP's frees are always disjoint.
+            alloc.flush_pending()
             metafile.free(freed)
             keeper.note_free(freed)
         else:  # cp

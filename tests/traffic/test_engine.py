@@ -139,7 +139,8 @@ class TestServiceAndCharging:
         result = engine.summary()
         assert result.capacity_ops == pytest.approx(engine.capacity_ops)
         assert result.total_ops == sum(
-            len(st.latency_us) + len(st.backend) for st in engine.states
+            int(st.latency_array().size) + st.backend_pending()
+            for st in engine.states
         )
 
     def test_accounting_identity_per_tenant(self):
