@@ -12,10 +12,13 @@ tables land in benchmarks/results/ablations.txt.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
 from repro.bench import build_aged_ssd_sim, emit, fmt_table, measure_random_overwrite
+from repro.common.config import SimConfig
 from repro.core import (
     HBPS,
     RAIDAgnosticAACache,
@@ -174,9 +177,14 @@ def test_ablation_fragmentation_threshold(benchmark):
                 for _ in range(2)
             ]
             vols = [VolSpec("lun", logical_blocks=150_000)]
-            sim = WaflSim.build_raid(
-                groups, vols, threshold_fraction=threshold, seed=5
+            cfg = replace(
+                SimConfig.default(),
+                allocator=replace(
+                    SimConfig.default().allocator,
+                    threshold_fraction=threshold,
+                ),
             )
+            sim = WaflSim.build_raid(groups, vols, config=cfg, seed=5)
             # Statically fragment group 0 to ~15% free per AA.
             g = sim.store.groups[0]
             rng = np.random.default_rng(7)

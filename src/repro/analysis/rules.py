@@ -241,6 +241,11 @@ LAYER_RANK: dict[str, int] = {
     #: The crash-consistency subsystem drives the whole stack (mount,
     #: traffic, the invariant auditor) and is consumed only by cli.
     "crash": 13,
+    #: The fleet layer: many aggregate-scale sims as shards, scheduled
+    #: and migrated from above.  It may import everything below it;
+    #: nothing below (traffic, fs, bench, ...) may import it — the
+    #: bench runner dispatches to it by name via importlib only.
+    "cluster": 14,
 }
 
 #: Identifier suffixes treated as units by U301.  Multiplicative
@@ -282,6 +287,7 @@ REPRO_ERROR_NAMES: frozenset[str] = frozenset(
         "CrashError",
         "TornWriteError",
         "RecoveryExhaustedError",
+        "PlacementError",
     }
 )
 

@@ -60,7 +60,7 @@ __all__ = [
 ]
 
 SCHEMA = "repro-bench/1"
-TRAJECTORY_NAME = "BENCH_PR8.json"
+TRAJECTORY_NAME = "BENCH_PR9.json"
 
 #: Repo root (two levels above ``benchmarks/results``).
 _REPO_ROOT = os.path.normpath(os.path.join(RESULTS_DIR, "..", ".."))
@@ -226,6 +226,24 @@ def _unit_traffic(spec: UnitSpec) -> dict:
     return out
 
 
+def _unit_cluster(spec: UnitSpec) -> dict:
+    """The fleet bench: filter/weigher vs random placement on the
+    noisy-neighbor fleet, plus the worker-scaling curve re-evaluating
+    the same placement history (byte-identical digest at every worker
+    count; only the wall clocks land in ``timing``).
+
+    Late-bound through importlib: ``repro.cluster`` is the layer above
+    this one in the DAG, so the bench may dispatch to it by name but
+    never import it statically.
+    """
+    import importlib
+
+    cluster = importlib.import_module("repro.cluster")
+    return cluster.run_cluster_bench(
+        quick=spec.quick, seed=spec.seed, audit=spec.audit
+    )
+
+
 _EXPERIMENTS: dict[str, tuple[str, ...]] = {}
 
 
@@ -244,6 +262,7 @@ def _unit_names(experiment: str) -> tuple[str, ...]:
                 "fig10": ("size", "count"),
                 "macro": ("random-overwrite",),
                 "traffic": ("uniform", "noisy-neighbor", "throttled"),
+                "cluster": ("fleet",),
             }
         )
     return _EXPERIMENTS[experiment]
@@ -257,6 +276,7 @@ _RUNNERS = {
     "fig10": _unit_fig10,
     "macro": _unit_macro,
     "traffic": _unit_traffic,
+    "cluster": _unit_cluster,
 }
 
 ALL_EXPERIMENTS = tuple(_RUNNERS)
@@ -398,9 +418,12 @@ def run_bench(
     # shares cores with pool workers: it runs serially, in-process,
     # BEFORE the pool starts — the quietest window of the run.
     # Everything else only reports deterministic metrics and can
-    # tolerate contention.
-    timed = [s for s in units if s.experiment == "macro"]
-    pooled = [s for s in units if s.experiment != "macro"]
+    # tolerate contention.  The cluster unit also runs in-process: it
+    # owns a process pool of its own (one worker per shard subset), and
+    # its scaling curve is a timed record too.
+    _SERIAL = ("macro", "cluster")
+    timed = [s for s in units if s.experiment in _SERIAL]
+    pooled = [s for s in units if s.experiment not in _SERIAL]
     if workers <= 1:
         timed, pooled = units, []
     t0 = time.perf_counter()

@@ -577,6 +577,107 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """Fleet-scale cluster: filter/weigher placement, online rebalance,
+    and the aggregate-kill chaos drill."""
+    from repro.bench.harness import fmt_table
+
+    t0 = time.perf_counter()
+    if args.action == "place":
+        from repro.cluster import (Cluster, FilterScheduler, RandomPlacer,
+                                   make_shard_specs, noisy_fleet_requests,
+                                   derive_seed)
+
+        n_shards = args.shards if args.shards else (8 if args.quick else 64)
+        per_shard = args.tenants if args.tenants else (3 if args.quick else 16)
+        n_volumes = n_shards * per_shard
+        print(f"cluster place: {n_shards} shards, {n_volumes} tenant volumes, "
+              f"seed={args.seed}")
+        specs = make_shard_specs(n_shards, seed=args.seed)
+        requests = noisy_fleet_requests(
+            n_volumes, seed=derive_seed(args.seed, "fleet"))
+        fleet = Cluster(specs, scheduler=FilterScheduler(),
+                        workers=args.workers)
+        scheduled = fleet.schedule(requests)
+        control = Cluster(
+            specs,
+            scheduler=RandomPlacer(seed=derive_seed(args.seed, "random")),
+            workers=args.workers,
+        )
+        random_result = control.schedule(requests, rounds=1)
+        rows = []
+        for sid in sorted(scheduled.shard_stats):
+            st = scheduled.shard_stats[sid]
+            rows.append([sid, st["n_volumes"], f"{st['committed_fraction']:.2f}",
+                         st["free_blocks"], f"{st['aa_free_fraction']:.3f}",
+                         f"{st['worst_p99_ms']:.2f}"])
+        print("\n" + fmt_table(
+            ["shard", "vols", "committed", "free blk", "aa free", "worst p99 ms"],
+            rows, title="filter/weigher placement (final epoch)"))
+        victims = [r.name for r in requests if r.profile == "victim"]
+        sched_p99 = [scheduled.tenant_p99_ms[v] for v in victims
+                     if v in scheduled.tenant_p99_ms]
+        rand_p99 = [random_result.tenant_p99_ms[v] for v in victims
+                    if v in random_result.tenant_p99_ms]
+        mean_s = sum(sched_p99) / len(sched_p99) if sched_p99 else 0.0
+        mean_r = sum(rand_p99) / len(rand_p99) if rand_p99 else 0.0
+        print(f"\nvictim mean p99: scheduled {mean_s:.3f} ms vs "
+              f"random {mean_r:.3f} ms")
+        print(f"fleet digest {scheduled.digest[:16]} "
+              f"[{time.perf_counter() - t0:.1f}s]")
+        return 0 if mean_s <= mean_r else 1
+
+    if args.action == "rebalance":
+        from repro.cluster import run_rebalance
+
+        n_shards = args.shards if args.shards else 4
+        per_shard = args.tenants if args.tenants else 3
+        print(f"cluster rebalance: {n_shards} shards, "
+              f"{n_shards * per_shard} tenants, seed={args.seed}")
+        out = run_rebalance(n_shards=n_shards, tenants_per_shard=per_shard,
+                            seed=args.seed)
+        mig = out["migration"]
+        print(f"\nmigrated {mig['volume']}: shard {mig['source_shard']} -> "
+              f"{mig['target_shard']}, {mig['blocks_copied']} blocks copied, "
+              f"{mig['blocks_freed']} freed, {mig['ops_drained']} ops "
+              f"drained/replayed")
+        print(f"audit: {mig['audit_checks']} checks clean, "
+              f"{mig['iron_findings']} Iron findings")
+        rows = [[sid, f"{out['worst_p99_before'][sid]:.2f}",
+                 f"{out['worst_p99_after'][sid]:.2f}"]
+                for sid in sorted(out["worst_p99_before"])]
+        print("\n" + fmt_table(["shard", "p99 before", "p99 after"], rows,
+                               title="worst tenant p99 (ms) per shard"))
+        print(f"[{time.perf_counter() - t0:.1f}s]")
+        return 0 if (mig["blocks_copied"] == mig["blocks_freed"]
+                     and mig["iron_findings"] == 0) else 1
+
+    # chaos
+    from repro.cluster import run_cluster_chaos
+
+    n_shards = args.shards if args.shards else 6
+    per_shard = args.tenants if args.tenants else 2
+    print(f"cluster chaos: {n_shards} shards, {n_shards * per_shard} tenants, "
+          f"seed={args.seed}")
+    report = run_cluster_chaos(n_shards=n_shards, tenants_per_shard=per_shard,
+                               seed=args.seed)
+    d = report.as_dict()
+    print(f"\nkilled shard {d['killed_shard']}; evacuated "
+          f"{len(d['evacuated'])} volume(s): {d['evacuated']}")
+    if d["stranded"]:
+        print(f"STRANDED (no surviving shard fits): {d['stranded']}")
+    rows = [[v, f"{d['victim_p99_ms'][v]:.3f}", f"{d['victim_bound_ms'][v]:.3f}"]
+            for v in sorted(d["victim_p99_ms"])]
+    print("\n" + fmt_table(["victim", "p99 ms", "bound ms"], rows,
+                           title="victim tails after the kill"))
+    print(f"\naudit: {d['audit_checks']} checks clean, "
+          f"{d['iron_findings']} Iron findings; victims bounded: "
+          f"{d['victims_bounded']} [{time.perf_counter() - t0:.1f}s]")
+    ok = (d["victims_bounded"] and d["iron_findings"] == 0
+          and not d["stranded"])
+    return 0 if ok else 1
+
+
 def _cmd_quickstart(args: argparse.Namespace) -> int:
     # Defer to the shipped example (kept as the single source of truth).
     import runpy
@@ -639,7 +740,8 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--workers", type=int, default=1,
                    help="process-pool size (1 = serial reference; 0 = auto)")
     p.add_argument("--experiments", nargs="*", metavar="EXP",
-                   help="subset to run (fig6 fig7 fig8 fig9 fig10 macro traffic)")
+                   help="subset to run (fig6 fig7 fig8 fig9 fig10 macro "
+                        "traffic cluster)")
     p.add_argument("--seed", type=int, default=None,
                    help="base seed (default: each figure's canonical seed)")
     p.add_argument("--audit", action="store_true",
@@ -743,6 +845,26 @@ def main(argv: list[str] | None = None) -> int:
                    help="call-graph extraction cache (content-hashed; "
                         "default .flowcache.json, '' disables)")
     p.set_defaults(fn=_cmd_lint)
+    p = sub.add_parser(
+        "cluster",
+        help="fleet-scale cluster: filter/weigher placement, online "
+             "rebalance, aggregate-kill chaos",
+    )
+    p.add_argument("action", choices=["place", "rebalance", "chaos"],
+                   help="place: schedule a noisy-neighbor fleet vs random; "
+                        "rebalance: migrate a hot tenant under live traffic; "
+                        "chaos: kill an aggregate and evacuate its tenants")
+    p.add_argument("--shards", type=int, default=None,
+                   help="aggregates in the fleet (default per action)")
+    p.add_argument("--tenants", type=int, default=None,
+                   help="tenant volumes per shard (default per action)")
+    p.add_argument("--seed", type=int, default=77,
+                   help="fleet seed (same seed => byte-identical digests)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="shard pool size for place (default: in-process)")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller fleet for interactive use")
+    p.set_defaults(fn=_cmd_cluster)
     p = sub.add_parser("audit", help="CP-time invariant audit incl. chaos scenario")
     p.add_argument("--quick", action="store_true",
                    help="smaller configurations for interactive use")

@@ -1,0 +1,73 @@
+"""Fleet-scale multi-aggregate cluster simulation.
+
+Tens to hundreds of aggregate-scale simulators ("shards") run as
+independent members of one fleet, hosting thousands of tenant FlexVols
+driven by the vectorized traffic engine.  The package layers on top of
+everything below it:
+
+* :mod:`~repro.cluster.stats` — shard identities (picklable specs) and
+  the scheduler-visible stats snapshot, with the fleet seed derivation.
+* :mod:`~repro.cluster.volumes` — tenant volume requests and
+  deterministic fleet builders (including the noisy-neighbor fleet).
+* :mod:`~repro.cluster.scheduler` — the Cinder-style filter/weigher
+  volume scheduler and the seeded random control arm.
+* :mod:`~repro.cluster.shard` — one live shard: simulator, calibration,
+  epoch traffic, carryover, and the picklable pool replay task.
+* :mod:`~repro.cluster.cluster` — the fleet: scheduling rounds with
+  stats refreshes, full-replay evaluation (byte-identical across
+  worker counts), and the ``cluster`` bench experiment.
+* :mod:`~repro.cluster.migration` — online volume migration with drain
+  and replay, block-conservation checks, audits, and Iron scans.
+* :mod:`~repro.cluster.chaos` — the aggregate-kill drill: evacuate a
+  dead shard through the scheduler under live traffic.
+"""
+
+from .chaos import ChaosReport, run_cluster_chaos
+from .cluster import Cluster, ClusterResult, make_shard_specs, run_cluster_bench
+from .migration import MigrationReport, migrate_volume, run_rebalance
+from .scheduler import (
+    AAPressureWeigher,
+    CapacityFilter,
+    FilterScheduler,
+    FreeSpaceWeigher,
+    HeadroomWeigher,
+    MediaTypeFilter,
+    Placement,
+    QosHeadroomFilter,
+    RaidGeometryFilter,
+    RandomPlacer,
+    TailLatencyWeigher,
+)
+from .shard import ShardRuntime
+from .stats import ShardSpec, ShardStats, derive_seed
+from .volumes import VolumeRequest, fleet_requests, noisy_fleet_requests
+
+__all__ = [
+    "AAPressureWeigher",
+    "CapacityFilter",
+    "ChaosReport",
+    "Cluster",
+    "ClusterResult",
+    "FilterScheduler",
+    "FreeSpaceWeigher",
+    "HeadroomWeigher",
+    "MediaTypeFilter",
+    "MigrationReport",
+    "Placement",
+    "QosHeadroomFilter",
+    "RaidGeometryFilter",
+    "RandomPlacer",
+    "ShardRuntime",
+    "ShardSpec",
+    "ShardStats",
+    "TailLatencyWeigher",
+    "VolumeRequest",
+    "derive_seed",
+    "fleet_requests",
+    "make_shard_specs",
+    "migrate_volume",
+    "noisy_fleet_requests",
+    "run_cluster_bench",
+    "run_cluster_chaos",
+    "run_rebalance",
+]

@@ -1,0 +1,328 @@
+"""The fleet: shard specs, scheduling rounds, and the cluster bench.
+
+A :class:`Cluster` owns a set of :class:`~repro.cluster.stats
+.ShardSpec` identities and a *placement history* — for each shard, the
+list of ``(VolumeRequest, placed_at_epoch)`` decisions made so far.
+That history is the cluster's entire mutable state: every evaluation
+(:meth:`Cluster._run_all`) rebuilds each shard from scratch in a pool
+worker and replays its placements, so the fleet digest is a pure
+function of ``(specs, placements, epochs)`` — byte-identical across 1,
+2, or 8 workers, which the determinism suite asserts.
+
+Scheduling runs in rounds, Cinder style: place a chunk of requests
+against the current stats snapshots (the scheduler projects each
+placement into its winner so a round is internally consistent), then
+*refresh* — run the fleet one more epoch and read back measured stats
+(free space after COW churn, AA-cache pressure, worst tenant p99) —
+and place the next chunk against reality instead of projections.
+
+:func:`run_cluster_bench` is the ``cluster`` bench experiment: the
+same noisy-neighbor fleet placed by the filter/weigher scheduler and
+by seeded random placement, comparing victim-tenant p99 (the paper's
+noisy-neighbor question at fleet scale), plus a worker-scaling curve
+on the deterministic digest.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+
+from ..common.config import SimConfig
+from .scheduler import FilterScheduler, Placement, RandomPlacer
+from .shard import _run_shard_task, digest_of
+from .stats import ShardSpec, ShardStats, derive_seed
+from .volumes import VolumeRequest, noisy_fleet_requests
+
+__all__ = ["make_shard_specs", "Cluster", "ClusterResult", "run_cluster_bench"]
+
+
+def make_shard_specs(
+    n_shards: int, *, seed: int, config: SimConfig | None = None
+) -> list[ShardSpec]:
+    """Shard identities for a fleet: geometry from config, per-shard
+    seeds derived from the fleet seed."""
+    cfg = (config if config is not None else SimConfig.default()).cluster
+    return [
+        ShardSpec(
+            shard_id=i,
+            seed=derive_seed(seed, f"shard{i}"),
+            blocks_per_disk=cfg.blocks_per_disk,
+            n_groups=cfg.groups_per_shard,
+            ndata=cfg.ndata,
+        )
+        for i in range(n_shards)
+    ]
+
+
+@dataclass
+class ClusterResult:
+    """A finished fleet evaluation (deterministic payload only)."""
+
+    n_shards: int
+    seed: int
+    scheduler: str
+    epochs: int
+    epoch_cps: int
+    #: volume name -> hosting shard id.
+    placements: dict[str, int]
+    #: sha256 over the sorted per-shard digests: the fleet fingerprint.
+    digest: str
+    shard_digests: dict[int, str]
+    #: Final measured stats per shard (``ShardStats.as_dict()``).
+    shard_stats: dict[int, dict]
+    #: Last-epoch p99 per tenant volume (ms).
+    tenant_p99_ms: dict[str, float]
+    #: Full per-shard payloads (large; excluded from ``as_dict``).
+    payloads: dict[int, dict] = field(repr=False, default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "n_shards": self.n_shards,
+            "seed": self.seed,
+            "scheduler": self.scheduler,
+            "epochs": self.epochs,
+            "epoch_cps": self.epoch_cps,
+            "placements": dict(sorted(self.placements.items())),
+            "digest": self.digest,
+            "shard_digests": {
+                str(k): v for k, v in sorted(self.shard_digests.items())
+            },
+            "tenant_p99_ms": dict(sorted(self.tenant_p99_ms.items())),
+        }
+
+
+def _last_p99s(payloads: dict[int, dict]) -> dict[str, float]:
+    """Each tenant's p99 from the last epoch it actually ran in."""
+    out: dict[str, float] = {}
+    for payload in payloads.values():
+        for epoch in payload["epochs"]:
+            if epoch is None:
+                continue
+            for name, summary in epoch["tenants"].items():
+                out[name] = summary["p99_ms"]
+    return out
+
+
+class Cluster:
+    """A fleet of shards plus its placement history."""
+
+    def __init__(
+        self,
+        specs: list[ShardSpec],
+        *,
+        scheduler=None,
+        config: SimConfig | None = None,
+        workers: int | None = None,
+        audit: bool = True,
+    ) -> None:
+        self.specs = list(specs)
+        self.config = config if config is not None else SimConfig.default()
+        self.scheduler = (
+            scheduler
+            if scheduler is not None
+            else FilterScheduler(config=self.config)
+        )
+        self.workers = workers
+        self.audit = audit
+        self.epoch_cps = self.config.cluster.epoch_cps
+        #: shard id -> [(request, placed_at_epoch), ...]
+        self.placements: dict[int, list[tuple[VolumeRequest, int]]] = {
+            s.shard_id: [] for s in self.specs
+        }
+        #: volume name -> hosting shard id.
+        self.volume_home: dict[str, int] = {}
+        self.decisions: list[Placement] = []
+
+    # ------------------------------------------------------------------
+    # Evaluation (full replay)
+    # ------------------------------------------------------------------
+    def _run_all(
+        self, epochs: int, workers: int | None = None
+    ) -> dict[int, dict]:
+        """Rebuild and replay every shard for ``epochs`` epochs."""
+        if workers is None:
+            workers = self.workers
+        tasks = [
+            (
+                spec,
+                tuple(self.placements[spec.shard_id]),
+                epochs,
+                self.epoch_cps,
+                self.audit,
+            )
+            for spec in self.specs
+        ]
+        if workers is None or workers <= 1:
+            pairs = [_run_shard_task(t) for t in tasks]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                pairs = list(pool.map(_run_shard_task, tasks))
+        return dict(sorted(pairs))
+
+    def current_stats(self, epochs: int) -> tuple[list[ShardStats], dict[int, dict]]:
+        """Measured stats after replaying ``epochs`` epochs."""
+        payloads = self._run_all(epochs)
+        stats = [
+            ShardStats.from_dict(p["stats"]) for p in payloads.values()
+        ]
+        return stats, payloads
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _place_one(
+        self, request: VolumeRequest, stats: list[ShardStats], epoch: int
+    ) -> Placement:
+        decision = self.scheduler.place(request, stats)
+        self.placements[decision.shard_id].append((request, epoch))
+        self.volume_home[request.name] = decision.shard_id
+        self.decisions.append(decision)
+        return decision
+
+    def schedule(
+        self, requests: list[VolumeRequest], *, rounds: int | None = None
+    ) -> ClusterResult:
+        """Place ``requests`` over ``rounds`` scheduling rounds, with a
+        stats refresh (one fleet epoch) between rounds, then run the
+        full history and return the deterministic fleet result."""
+        if rounds is None:
+            rounds = self.config.cluster.rounds
+        rounds = max(1, min(rounds, len(requests)))
+        stats, _ = self.current_stats(0)
+        chunk = (len(requests) + rounds - 1) // rounds
+        for k in range(rounds):
+            batch = requests[k * chunk : (k + 1) * chunk]
+            if k > 0:
+                stats, _ = self.current_stats(k)
+            for request in batch:
+                self._place_one(request, stats, k)
+        return self.evaluate(rounds)
+
+    def evaluate(self, epochs: int) -> ClusterResult:
+        """Run the placement history for ``epochs`` epochs and package
+        the fleet result."""
+        payloads = self._run_all(epochs)
+        shard_digests = {sid: p["digest"] for sid, p in payloads.items()}
+        fleet_digest = digest_of(
+            {str(sid): d for sid, d in sorted(shard_digests.items())}
+        )
+        return ClusterResult(
+            n_shards=len(self.specs),
+            seed=min(s.seed for s in self.specs) if self.specs else 0,
+            scheduler=getattr(self.scheduler, "name", "custom"),
+            epochs=epochs,
+            epoch_cps=self.epoch_cps,
+            placements=dict(self.volume_home),
+            digest=fleet_digest,
+            shard_digests=shard_digests,
+            shard_stats={sid: p["stats"] for sid, p in payloads.items()},
+            tenant_p99_ms=_last_p99s(payloads),
+            payloads=payloads,
+        )
+
+
+def _victim_mean_p99(
+    requests: list[VolumeRequest], result: ClusterResult
+) -> float:
+    victims = [r.name for r in requests if r.profile == "victim"]
+    p99s = [
+        result.tenant_p99_ms[v] for v in victims if v in result.tenant_p99_ms
+    ]
+    return sum(p99s) / len(p99s) if p99s else 0.0
+
+
+def run_cluster_bench(
+    *,
+    quick: bool = False,
+    seed: int = 77,
+    workers: int | None = None,
+    audit: bool = True,
+    config: SimConfig | None = None,
+) -> dict:
+    """The ``cluster`` bench experiment payload.
+
+    Places one noisy-neighbor fleet twice — filter/weigher scheduler vs
+    seeded random — and compares victim p99; then re-evaluates the
+    scheduled fleet at several worker counts, asserting the digest is
+    identical while recording the wall-clock scaling curve (the only
+    nondeterministic output, reported under ``timing``).
+    """
+    cfg = config if config is not None else SimConfig.default()
+    if quick:
+        n_shards, per_shard, worker_points = 8, 3, (1, 2)
+    else:
+        n_shards, per_shard, worker_points = 64, 16, (1, 8)
+    n_volumes = n_shards * per_shard
+    requests = noisy_fleet_requests(
+        n_volumes, seed=derive_seed(seed, "fleet")
+    )
+    # The full-size fleet deliberately oversubscribes (every 8-slot
+    # cycle offers ~2.2x one shard's capacity); widen the QoS admission
+    # bound so the run measures placement quality, not admission
+    # control.  The quick fleet stays under the configured bound.
+    offered_per_shard = sum(r.offered_fraction for r in requests) / n_shards
+    if offered_per_shard * 1.5 > cfg.cluster.headroom_fraction:
+        cfg = replace(
+            cfg,
+            cluster=replace(
+                cfg.cluster, headroom_fraction=offered_per_shard * 1.5
+            ),
+        )
+    specs = make_shard_specs(n_shards, seed=seed, config=cfg)
+
+    scheduled_cluster = Cluster(
+        specs,
+        scheduler=FilterScheduler(config=cfg),
+        config=cfg,
+        workers=workers,
+        audit=audit,
+    )
+    scheduled = scheduled_cluster.schedule(requests)
+    random_cluster = Cluster(
+        specs,
+        scheduler=RandomPlacer(seed=derive_seed(seed, "random"), config=cfg),
+        config=cfg,
+        workers=workers,
+        audit=audit,
+    )
+    random_result = random_cluster.schedule(requests, rounds=1)
+
+    scaling = []
+    saved_workers = scheduled_cluster.workers
+    for w in worker_points:
+        scheduled_cluster.workers = w
+        t0 = time.perf_counter()
+        check = scheduled_cluster.evaluate(scheduled.epochs)
+        wall = time.perf_counter() - t0
+        if check.digest != scheduled.digest:
+            raise AssertionError(
+                f"fleet digest changed under workers={w}: "
+                f"{check.digest} != {scheduled.digest}"
+            )
+        total_cps = n_shards * scheduled.epochs * scheduled.epoch_cps
+        scaling.append(
+            {
+                "shards": n_shards,
+                "workers": w,
+                "wall_s": wall,
+                "cps_per_s": total_cps / wall if wall > 0 else 0.0,
+            }
+        )
+    scheduled_cluster.workers = saved_workers
+    metrics = {
+        "n_shards": n_shards,
+        "n_volumes": n_volumes,
+        "epochs": scheduled.epochs,
+        "epoch_cps": scheduled.epoch_cps,
+        "digest": scheduled.digest,
+        "digest_random": random_result.digest,
+        "placements": scheduled.as_dict()["placements"],
+        "victim_p99_ms": _victim_mean_p99(requests, scheduled),
+        "victim_p99_ms_random": _victim_mean_p99(requests, random_result),
+        "max_volumes_per_shard": max(
+            len(v) for v in scheduled_cluster.placements.values()
+        ),
+    }
+    return {"metrics": metrics, "timing": {"scaling": scaling}}

@@ -1,0 +1,304 @@
+"""Cinder-style filter/weigher volume scheduler.
+
+Placement runs in two pluggable stages, the same architecture
+OpenStack Cinder uses for its volume scheduler:
+
+1. **Filters** prune: every candidate shard must pass every filter
+   (capacity with slack, media family, RAID geometry, QoS headroom).
+2. **Weighers** rank: each weigher scores the survivors, the scores
+   are min–max normalized to [0, 1] per weigher, and a weighted sum
+   (per-weigher multipliers from :class:`~repro.common.config
+   .ClusterConfig`) orders the candidates.
+
+The winner is the highest-weight survivor; ties break on the lower
+``shard_id``, so a placement is a pure function of the request and the
+stats snapshot — independent of candidate iteration order, worker
+count, or dict ordering.  :class:`RandomPlacer` is the control arm for
+the placement-quality experiment: seeded uniform choice among the
+shards that merely *fit* the volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from ..common.config import ClusterConfig, SimConfig
+from ..common.errors import PlacementError
+from ..common.rng import make_rng
+from .stats import ShardStats
+from .volumes import VolumeRequest
+
+__all__ = [
+    "Filter",
+    "Weigher",
+    "CapacityFilter",
+    "MediaTypeFilter",
+    "RaidGeometryFilter",
+    "QosHeadroomFilter",
+    "FreeSpaceWeigher",
+    "AAPressureWeigher",
+    "HeadroomWeigher",
+    "TailLatencyWeigher",
+    "Placement",
+    "FilterScheduler",
+    "RandomPlacer",
+]
+
+
+class Filter(Protocol):
+    """Prunes candidate shards; all filters must pass."""
+
+    name: str
+
+    def passes(self, request: VolumeRequest, stats: ShardStats) -> bool: ...
+
+
+class Weigher(Protocol):
+    """Scores surviving shards; higher raw score = better candidate."""
+
+    name: str
+
+    def weigh(self, request: VolumeRequest, stats: ShardStats) -> float: ...
+
+
+# ----------------------------------------------------------------------
+# Filters
+# ----------------------------------------------------------------------
+
+
+class CapacityFilter:
+    """The volume's logical size must fit in the shard's projected free
+    space, with slack held back for COW churn and metadata."""
+
+    name = "capacity"
+
+    def __init__(self, slack: float = 0.9) -> None:
+        self.slack = float(slack)
+
+    def passes(self, request: VolumeRequest, stats: ShardStats) -> bool:
+        return request.logical_blocks <= stats.projected_free_blocks * self.slack
+
+
+class MediaTypeFilter:
+    """A requested media family must be present on the shard."""
+
+    name = "media"
+
+    def passes(self, request: VolumeRequest, stats: ShardStats) -> bool:
+        return request.media is None or request.media in stats.media
+
+
+class RaidGeometryFilter:
+    """The shard's RAID groups must be at least ``min_ndata`` wide."""
+
+    name = "raid"
+
+    def passes(self, request: VolumeRequest, stats: ShardStats) -> bool:
+        return stats.ndata >= request.min_ndata
+
+
+class QosHeadroomFilter:
+    """Total committed offered load (fractions of calibrated capacity)
+    must stay under the oversubscription headroom after placement."""
+
+    name = "qos-headroom"
+
+    def __init__(self, headroom: float = 3.0) -> None:
+        self.headroom = float(headroom)
+
+    def passes(self, request: VolumeRequest, stats: ShardStats) -> bool:
+        return (
+            stats.committed_fraction + request.offered_fraction <= self.headroom
+        )
+
+
+# ----------------------------------------------------------------------
+# Weighers (raw scores; the scheduler normalizes per weigher)
+# ----------------------------------------------------------------------
+
+
+class FreeSpaceWeigher:
+    """Prefer shards with more projected free space (fraction of total,
+    so differently sized shards compare fairly)."""
+
+    name = "free-space"
+
+    def weigh(self, request: VolumeRequest, stats: ShardStats) -> float:
+        if stats.total_blocks <= 0:
+            return 0.0
+        return stats.projected_free_blocks / stats.total_blocks
+
+
+class AAPressureWeigher:
+    """Prefer shards whose AA caches still surface emptier allocation
+    areas (the TopAA/HBPS best-available score): low scores mean every
+    write pays the fragmented-AA tax regardless of load."""
+
+    name = "aa-pressure"
+
+    def weigh(self, request: VolumeRequest, stats: ShardStats) -> float:
+        return stats.aa_free_fraction
+
+
+class HeadroomWeigher:
+    """Prefer shards with less committed offered load.  Commitment is
+    *provisioned*, not measured, so this steers placements away from a
+    shard the moment an aggressor lands on it — one refresh earlier
+    than any measured signal can."""
+
+    name = "headroom"
+
+    def weigh(self, request: VolumeRequest, stats: ShardStats) -> float:
+        return -stats.committed_fraction
+
+
+class TailLatencyWeigher:
+    """Prefer shards with a low measured worst-tenant p99 from the last
+    epoch — the direct noisy-neighbor signal: a shard hosting a
+    saturating tenant shows it here before free space moves at all."""
+
+    name = "tail-latency"
+
+    def weigh(self, request: VolumeRequest, stats: ShardStats) -> float:
+        return -stats.worst_p99_ms
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One scheduling decision, with its audit trail."""
+
+    volume: str
+    shard_id: int
+    #: Final combined weight of the winner.
+    weight: float
+    #: Shards that survived filtering (sorted ids).
+    candidates: tuple[int, ...]
+    #: ``filter name -> shard ids it rejected`` (sorted).
+    rejected: dict[str, tuple[int, ...]]
+
+
+def _default_filters(cfg: ClusterConfig) -> list:
+    return [
+        CapacityFilter(cfg.capacity_slack),
+        MediaTypeFilter(),
+        RaidGeometryFilter(),
+        QosHeadroomFilter(cfg.headroom_fraction),
+    ]
+
+
+def _default_weighers(cfg: ClusterConfig) -> list[tuple[object, float]]:
+    return [
+        (FreeSpaceWeigher(), cfg.free_space_weight),
+        (AAPressureWeigher(), cfg.aa_pressure_weight),
+        (HeadroomWeigher(), cfg.headroom_weight),
+        (TailLatencyWeigher(), cfg.tail_latency_weight),
+    ]
+
+
+class FilterScheduler:
+    """Filter then weigh; deterministic tie-break on ``shard_id``."""
+
+    name = "filter-weigher"
+
+    def __init__(
+        self,
+        filters: Sequence[Filter] | None = None,
+        weighers: Sequence[tuple[Weigher, float]] | None = None,
+        *,
+        config: SimConfig | None = None,
+    ) -> None:
+        cfg = (config if config is not None else SimConfig.default()).cluster
+        self.filters = list(filters) if filters is not None else _default_filters(cfg)
+        self.weighers = (
+            list(weighers) if weighers is not None else _default_weighers(cfg)
+        )
+
+    def place(
+        self, request: VolumeRequest, stats: Sequence[ShardStats]
+    ) -> Placement:
+        """Pick the shard for one request and project the placement
+        into the winner's stats snapshot."""
+        ordered = sorted(
+            (s for s in stats if s.alive), key=lambda s: s.shard_id
+        )
+        rejected: dict[str, list[int]] = {f.name: [] for f in self.filters}
+        survivors: list[ShardStats] = []
+        for s in ordered:
+            ok = True
+            for f in self.filters:
+                if not f.passes(request, s):
+                    rejected[f.name].append(s.shard_id)
+                    ok = False
+                    break
+            if ok:
+                survivors.append(s)
+        if not survivors:
+            detail = ", ".join(
+                f"{name} rejected {ids}" for name, ids in rejected.items() if ids
+            )
+            raise PlacementError(
+                f"no shard passes all filters for {request.name!r} "
+                f"({detail or 'no live shards'})"
+            )
+        # Min–max normalize each weigher across the survivors (the
+        # Cinder convention: a weigher with no spread contributes
+        # equally to everyone), then combine with multipliers.
+        weights = [0.0] * len(survivors)
+        for weigher, mult in self.weighers:
+            raw = [weigher.weigh(request, s) for s in survivors]
+            lo, hi = min(raw), max(raw)
+            span = hi - lo
+            for i, r in enumerate(raw):
+                norm = (r - lo) / span if span > 0.0 else 1.0
+                weights[i] += mult * norm
+        best_i = min(
+            range(len(survivors)),
+            key=lambda i: (-weights[i], survivors[i].shard_id),
+        )
+        winner = survivors[best_i]
+        winner.note_placement(request)
+        return Placement(
+            volume=request.name,
+            shard_id=winner.shard_id,
+            weight=weights[best_i],
+            candidates=tuple(s.shard_id for s in survivors),
+            rejected={
+                name: tuple(ids) for name, ids in rejected.items() if ids
+            },
+        )
+
+
+class RandomPlacer:
+    """Control arm: seeded uniform choice among shards that merely fit
+    (capacity filter only).  Deterministic given seed and call order."""
+
+    name = "random"
+
+    def __init__(
+        self, *, seed: int = 0, config: SimConfig | None = None
+    ) -> None:
+        cfg = (config if config is not None else SimConfig.default()).cluster
+        self._fit = CapacityFilter(cfg.capacity_slack)
+        self.rng = make_rng(seed)
+
+    def place(
+        self, request: VolumeRequest, stats: Sequence[ShardStats]
+    ) -> Placement:
+        survivors = sorted(
+            (s for s in stats if s.alive and self._fit.passes(request, s)),
+            key=lambda s: s.shard_id,
+        )
+        if not survivors:
+            raise PlacementError(
+                f"no live shard has capacity for {request.name!r}"
+            )
+        winner = survivors[int(self.rng.integers(len(survivors)))]
+        winner.note_placement(request)
+        return Placement(
+            volume=request.name,
+            shard_id=winner.shard_id,
+            weight=0.0,
+            candidates=tuple(s.shard_id for s in survivors),
+            rejected={},
+        )

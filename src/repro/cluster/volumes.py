@@ -1,0 +1,152 @@
+"""Tenant volume requests and fleet request builders.
+
+A :class:`VolumeRequest` is what arrives at the cluster scheduler: a
+named FlexVol of a given size with a traffic *profile* (which arrival
+process and op mix the tenant will run), an offered-load fraction, and
+optional placement constraints (media family, minimum RAID width, QoS
+contract).  Requests are frozen dataclasses of primitives so they
+pickle across the shard process pool and serialize into result JSON.
+
+The builders produce deterministic fleets from one seed: a plain
+mixed fleet (:func:`fleet_requests`) and the noisy-neighbor fleet
+(:func:`noisy_fleet_requests`) the placement-quality experiment uses —
+unthrottled aggressors that saturate whatever shard they land on,
+QoS-protected victims whose tail latency measures placement quality,
+and bursty/moderate bystanders filling out the population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from ..common.rng import make_rng
+
+__all__ = ["PROFILES", "VolumeRequest", "fleet_requests", "noisy_fleet_requests"]
+
+#: Tenant traffic shapes a shard knows how to drive (see
+#: :meth:`repro.cluster.shard.ShardRuntime._tenant_specs`).
+PROFILES = ("uniform", "aggressor", "victim", "onoff")
+
+
+@dataclass(frozen=True)
+class VolumeRequest:
+    """One tenant volume awaiting placement on some shard."""
+
+    name: str
+    logical_blocks: int
+    #: Offered load as a fraction of the *hosting* shard's calibrated
+    #: capacity (an aggressor offers >1: it saturates any shard).
+    offered_fraction: float = 0.05
+    profile: str = "uniform"
+    #: Required media family (``None`` = any).
+    media: str | None = None
+    #: Minimum data disks per RAID group on the hosting shard.
+    min_ndata: int = 0
+    #: IOPS cap as a fraction of the hosting shard's capacity
+    #: (``None`` = unthrottled).
+    qos_fraction: float | None = None
+    #: Bounded admission queue depth (``None`` = unbounded).
+    queue_depth: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.profile not in PROFILES:
+            raise ValueError(
+                f"unknown profile {self.profile!r}; pick one of {PROFILES}"
+            )
+        if self.logical_blocks <= 0:
+            raise ValueError("logical_blocks must be positive")
+        if self.offered_fraction <= 0:
+            raise ValueError("offered_fraction must be positive")
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def fleet_requests(
+    n: int, *, logical_blocks: int = 640, seed: int = 0
+) -> list[VolumeRequest]:
+    """``n`` plain tenants with deterministically varied sizes/loads.
+
+    Sizes vary ±25% and offered loads span 2–8% of shard capacity, so
+    capacity and headroom weighing have real differences to act on.
+    """
+    rng = make_rng(seed)
+    sizes = rng.integers(
+        int(logical_blocks * 0.75), int(logical_blocks * 1.25) + 1, size=n
+    )
+    loads = rng.uniform(0.02, 0.08, size=n)
+    return [
+        VolumeRequest(
+            name=f"vol{i:04d}",
+            logical_blocks=int(sizes[i]),
+            offered_fraction=float(loads[i]),
+        )
+        for i in range(n)
+    ]
+
+
+def noisy_fleet_requests(
+    n: int, *, logical_blocks: int = 640, seed: int = 0
+) -> list[VolumeRequest]:
+    """The placement-quality fleet: one aggressor and one victim per
+    eight tenants, one on/off burster per eight, moderates in between.
+
+    The aggressor offers 1.2x whatever shard hosts it (unthrottled),
+    so a shard with two aggressors is deeply saturated while a shard
+    with none idles — exactly the contrast where filter/weigher
+    placement beats random placement on the victims' p99.
+    """
+    rng = make_rng(seed)
+    sizes = rng.integers(
+        int(logical_blocks * 0.75), int(logical_blocks * 1.25) + 1, size=n
+    )
+    loads = rng.uniform(0.02, 0.06, size=n)
+    out: list[VolumeRequest] = []
+    for i in range(n):
+        name = f"vol{i:04d}"
+        size = int(sizes[i])
+        slot = i % 8
+        if slot == 0:
+            out.append(
+                VolumeRequest(
+                    name=name,
+                    logical_blocks=size,
+                    offered_fraction=1.2,
+                    profile="aggressor",
+                )
+            )
+        elif slot == 1:
+            # Victims burst: offered_fraction is the ON-period rate
+            # (~8% duty cycle, so the mean load is modest).  The burst
+            # exceeds the SFQ fair share only on a shard that also
+            # hosts a persistently backlogged aggressor, so victim p99
+            # measures exactly what placement controls.  The bounded
+            # admission queue caps the damage (and gives the chaos
+            # drill its p99 bound).
+            out.append(
+                VolumeRequest(
+                    name=name,
+                    logical_blocks=size,
+                    offered_fraction=0.6,
+                    profile="victim",
+                    queue_depth=64,
+                )
+            )
+        elif slot == 2:
+            out.append(
+                VolumeRequest(
+                    name=name,
+                    logical_blocks=size,
+                    offered_fraction=0.15,
+                    profile="onoff",
+                )
+            )
+        else:
+            out.append(
+                VolumeRequest(
+                    name=name,
+                    logical_blocks=size,
+                    offered_fraction=float(loads[i]),
+                )
+            )
+    return out

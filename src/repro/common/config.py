@@ -15,9 +15,9 @@ override fields with :func:`dataclasses.replace`:
     cfg = replace(cfg, allocator=replace(cfg.allocator,
                                          threshold_fraction=0.1))
 
-The legacy loose keyword arguments (``threshold_fraction=...`` on the
-builders) keep working for one release behind a ``DeprecationWarning``
-shim.
+The config object is the only way to set these tunables; the legacy
+loose keyword arguments on the builders were removed after their
+one-release deprecation window.
 """
 
 from __future__ import annotations
@@ -39,6 +39,7 @@ __all__ = [
     "BenchConfig",
     "FaultConfig",
     "ObsConfig",
+    "ClusterConfig",
     "SimConfig",
 ]
 
@@ -60,8 +61,8 @@ class AllocatorConfig:
     #: The default batches each AA's taken span into one bitmap scatter
     #: and one score delta per synchronization point (AA switch,
     #: release, CP boundary), which is byte-identical in every metric
-    #: (DESIGN.md section 9).  Kept for one release as the scalar
-    #: reference pipeline for the identity tests.
+    #: (DESIGN.md section 9).  Kept permanently as the scalar reference
+    #: pipeline for the identity tests; never the default.
     scalar_bitmap_flush: bool = False
 
 
@@ -92,8 +93,8 @@ class TrafficConfig:
     default_tenants: int = 4
     #: Batched admission and SFQ service (NumPy array pipeline).  The
     #: scalar per-op loops are byte-identical in every metric and kept
-    #: for one release as the reference path for the identity tests
-    #: (DESIGN.md section 9).
+    #: permanently as the explicit opt-out reference path for the
+    #: identity tests (DESIGN.md section 9); never the default.
     vectorized: bool = True
 
 
@@ -109,6 +110,7 @@ class BenchConfig:
     fig10_seed: int = 0
     macro_seed: int = 42
     traffic_seed: int = 7
+    cluster_seed: int = 77
 
     def canonical_seeds(self) -> dict[str, int]:
         """``experiment -> seed`` mapping, as the runner consumes it."""
@@ -120,6 +122,7 @@ class BenchConfig:
             "fig10": self.fig10_seed,
             "macro": self.macro_seed,
             "traffic": self.traffic_seed,
+            "cluster": self.cluster_seed,
         }
 
 
@@ -149,6 +152,42 @@ class ObsConfig:
 
 
 @dataclass(frozen=True)
+class ClusterConfig:
+    """Fleet-scale cluster defaults (:mod:`repro.cluster`)."""
+
+    #: Aggregates (shards) in the default cluster.
+    default_shards: int = 8
+    #: Tenant volumes placed per shard in the default fleet.
+    default_tenants_per_shard: int = 3
+    #: Shard testbed size (small: a cluster builds many of these).
+    blocks_per_disk: int = 4096
+    #: RAID groups per shard aggregate.
+    groups_per_shard: int = 2
+    #: Data disks per RAID group.
+    ndata: int = 4
+    #: Traffic CPs driven per scheduling epoch.
+    epoch_cps: int = 6
+    #: Scheduling rounds (stats refresh between rounds).
+    rounds: int = 2
+    #: QoS headroom: total committed offered load admitted per shard,
+    #: as a multiple of the shard's calibrated capacity.
+    headroom_fraction: float = 3.0
+    #: Fraction of a shard's free blocks the capacity filter may fill.
+    capacity_slack: float = 0.9
+    #: Weigher multipliers (Cinder-style weighted sum).
+    #: Kept below the headroom multiplier on purpose: min–max
+    #: normalization stretches even trivial free-space differences to
+    #: [0, 1], so an evenly filled fleet would otherwise let noise-level
+    #: block deltas outvote large committed-load differences.
+    free_space_weight: float = 0.5
+    aa_pressure_weight: float = 0.5
+    #: Multiplier for the committed-load (provisioned QoS) weigher —
+    #: the dominant signal until measured stats exist.
+    headroom_weight: float = 2.0
+    tail_latency_weight: float = 1.0
+
+
+@dataclass(frozen=True)
 class SimConfig:
     """All tunables, one immutable object.
 
@@ -162,6 +201,7 @@ class SimConfig:
     bench: BenchConfig = field(default_factory=BenchConfig)
     faults: FaultConfig = field(default_factory=FaultConfig)
     obs: ObsConfig = field(default_factory=ObsConfig)
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
 
     _default: ClassVar["SimConfig | None"] = None
 

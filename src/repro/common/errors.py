@@ -83,3 +83,8 @@ class RecoveryExhaustedError(TransientIOError):
     page reads + background rebuild) was exhausted before the transient
     fault cleared.  Subclasses :class:`TransientIOError` because the
     last failure was transient — it just persisted past the budget."""
+
+
+class PlacementError(ReproError):
+    """The cluster volume scheduler found no aggregate that passes every
+    placement filter (:mod:`repro.cluster.scheduler`)."""

@@ -11,8 +11,6 @@ from .heap_cache import RAIDAwareAACache
 from .policies import (
     AASource,
     BitmapWalkSource,
-    HBPSSource,
-    HeapSource,
     LinearScanSource,
     RandomSource,
 )
@@ -54,8 +52,6 @@ __all__ = [
     "make_aa_cache",
     "AASource",
     "BitmapWalkSource",
-    "HBPSSource",
-    "HeapSource",
     "LinearScanSource",
     "RandomSource",
     "ScoreChange",

@@ -58,8 +58,9 @@ class _BaseAllocator:
     flushes, and blocks allocated in a CP are never freed in the same
     CP, so the batched union of bit-sets and integer score deltas
     commutes with the per-chunk order (see DESIGN.md section 9).
-    ``batch_flush=False`` restores the legacy per-chunk flushing
-    (``SimConfig.allocator.scalar_bitmap_flush``; one release).
+    ``batch_flush=False`` restores the scalar per-chunk flushing
+    (``SimConfig.allocator.scalar_bitmap_flush``), kept as the
+    reference path for the identity tests.
     """
 
     def __init__(

@@ -90,8 +90,7 @@ class AACache(Protocol):
 class CacheSource:
     """Adapter: any :class:`AACache` -> the allocator's ``AASource``.
 
-    Replaces the old per-implementation ``HeapSource``/``HBPSSource``
-    pair.  ``replenisher`` supplies authoritative scores for a full
+    ``replenisher`` supplies authoritative scores for a full
     refill — the background bitmap-metafile walk that runs when the
     allocator drains the cache faster than frees repopulate it (paper
     section 3.3.2); the callable is charged for its own metafile I/O.

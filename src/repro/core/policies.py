@@ -7,9 +7,7 @@ policies without touching allocation logic:
 * :class:`~repro.core.cache.CacheSource` — either of the paper's AA
   caches behind the unified :class:`~repro.core.cache.AACache`
   protocol (with automatic background refill when a replenisher is
-  supplied).  The old per-implementation adapters
-  :class:`HeapSource` and :class:`HBPSSource` remain as deprecated
-  one-release shims.
+  supplied).
 * :class:`RandomSource` — the "AA cache disabled" baseline of section
   4.1: AAs are picked at random, which is what selecting regions with
   no free-space guidance degenerates to ("randomly selected AAs average
@@ -20,22 +18,16 @@ policies without touching allocation logic:
 
 from __future__ import annotations
 
-import warnings
-from typing import Callable, Protocol
+from typing import Protocol
 
 import numpy as np
 
 from ..common.errors import CacheError
 from ..common.rng import make_rng
-from .cache import CacheSource
-from .heap_cache import RAIDAwareAACache
-from .hbps_cache import RAIDAgnosticAACache
 from .score import ScoreChange
 
 __all__ = [
     "AASource",
-    "HeapSource",
-    "HBPSSource",
     "RandomSource",
     "LinearScanSource",
     "BitmapWalkSource",
@@ -63,41 +55,6 @@ class AASource(Protocol):
     def best_score(self) -> int | None:
         """Best available score, or None when unknown (baselines)."""
         ...
-
-
-class HeapSource(CacheSource):
-    """Deprecated alias of :class:`~repro.core.cache.CacheSource`.
-
-    One-release shim: construct ``CacheSource(cache)`` instead.
-    """
-
-    def __init__(self, cache: RAIDAwareAACache) -> None:
-        warnings.warn(
-            "HeapSource is deprecated; use repro.core.cache.CacheSource",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        super().__init__(cache)
-
-
-class HBPSSource(CacheSource):
-    """Deprecated alias of :class:`~repro.core.cache.CacheSource`.
-
-    One-release shim: construct ``CacheSource(cache, replenisher)``
-    instead.
-    """
-
-    def __init__(
-        self,
-        cache: RAIDAgnosticAACache,
-        replenisher: Callable[[], np.ndarray] | None = None,
-    ) -> None:
-        warnings.warn(
-            "HBPSSource is deprecated; use repro.core.cache.CacheSource",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        super().__init__(cache, replenisher)
 
 
 class RandomSource:

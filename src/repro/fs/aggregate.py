@@ -21,7 +21,6 @@ deltas into the caches, and drain metafile dirty-block counts.
 from __future__ import annotations
 
 import enum
-import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -589,28 +588,6 @@ class RAIDGroupRuntime:
         return d_ops, d_sw, d_sp
 
 
-#: Sentinel distinguishing "not passed" from an explicit value for the
-#: deprecated loose keyword arguments (one-release shims).
-_UNSET = object()
-
-
-def _resolve_threshold(
-    threshold_fraction, config: SimConfig | None, owner: str
-) -> float:
-    """One-release shim: honor an explicitly passed ``threshold_fraction``
-    with a DeprecationWarning, else read it from the config."""
-    if threshold_fraction is not _UNSET:
-        warnings.warn(
-            f"{owner}(threshold_fraction=...) is deprecated; pass "
-            f"config=replace(SimConfig.default(), allocator=...) instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        return float(threshold_fraction)
-    cfg = config if config is not None else SimConfig.default()
-    return cfg.allocator.threshold_fraction
-
-
 class RAIDStore:
     """Aggregate physical store backed by one or more RAID groups."""
 
@@ -620,15 +597,14 @@ class RAIDStore:
         *,
         policy: PolicyKind = PolicyKind.CACHE,
         config: SimConfig | None = None,
-        threshold_fraction=_UNSET,
         seed: int | np.random.Generator | None = None,
     ) -> None:
         if not group_configs:
             raise GeometryError("an aggregate needs at least one RAID group")
-        threshold = _resolve_threshold(threshold_fraction, config, "RAIDStore")
         alloc_cfg = (
             config if config is not None else SimConfig.default()
         ).allocator
+        threshold = alloc_cfg.threshold_fraction
         stripes_per_round = alloc_cfg.stripes_per_round
         batch_flush = not alloc_cfg.scalar_bitmap_flush
         rng = make_rng(seed)

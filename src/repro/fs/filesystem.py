@@ -18,12 +18,10 @@ from ..devices.objectstore import ObjectStoreConfig
 from ..sim.cpu import CpuModel
 from ..sim.stats import CPStats, MetricsLog
 from .aggregate import (
-    _UNSET,
     LinearStore,
     PolicyKind,
     RAIDGroupConfig,
     RAIDStore,
-    _resolve_threshold,
 )
 from .cp import CPBatch, CPEngine
 from .flexvol import FlexVol, VolSpec
@@ -63,7 +61,6 @@ class WaflSim:
         aggregate_policy: PolicyKind = PolicyKind.CACHE,
         vol_policy: PolicyKind = PolicyKind.CACHE,
         config: SimConfig | None = None,
-        threshold_fraction=_UNSET,
         cpu_model: CpuModel | None = None,
         seed: int | np.random.Generator | None = None,
     ) -> "WaflSim":
@@ -71,23 +68,8 @@ class WaflSim:
 
         ``aggregate_policy`` and ``vol_policy`` select AA caches or
         baselines independently — the four quadrants of Figure 6.
-        Tunables come from ``config`` (default :meth:`SimConfig.default`);
-        ``threshold_fraction`` is a deprecated one-release alias for
-        ``config.allocator.threshold_fraction``.
+        Tunables come from ``config`` (default :meth:`SimConfig.default`).
         """
-        if threshold_fraction is not _UNSET:
-            from dataclasses import replace
-
-            cfg = config if config is not None else SimConfig.default()
-            config = replace(
-                cfg,
-                allocator=replace(
-                    cfg.allocator,
-                    threshold_fraction=_resolve_threshold(
-                        threshold_fraction, config, "WaflSim.build_raid"
-                    ),
-                ),
-            )
         rng = make_rng(seed)
         store = RAIDStore(
             group_configs,

@@ -135,8 +135,9 @@ class _TenantState:
     """Mutable per-tenant run state (admission + measurement).
 
     Two storage modes share this class.  The scalar mode keeps per-op
-    tuples in deques and floats in lists (the one-release reference
-    pipeline); the vectorized mode keeps the same quantities as arrays
+    tuples in deques and floats in lists (the permanent opt-out
+    reference pipeline for the identity tests); the vectorized mode
+    keeps the same quantities as arrays
     — chunk lists for measurements, ``(arrival, admit)`` array pairs
     for the deferred queue, and consolidated arrays with a head cursor
     for the backend queue.  The ``*_array`` / ``*_count`` accessors

@@ -4,9 +4,7 @@ Every test in ``TestConformance`` runs against both implementations —
 the RAID-aware max-heap and the RAID-agnostic HBPS — through nothing
 but the protocol surface (``select`` / ``invalidate`` / ``consume`` /
 ``refill`` / ``stats`` and the probe properties).  The factory tests
-pin :func:`make_aa_cache`'s topology dispatch and config plumbing, and
-the shim tests pin the one-release deprecation path for the old
-``HeapSource`` / ``HBPSSource`` adapters.
+pin :func:`make_aa_cache`'s topology dispatch and config plumbing.
 """
 
 from __future__ import annotations
@@ -25,7 +23,6 @@ from repro.core import (
     StripeAATopology,
     make_aa_cache,
 )
-from repro.core.policies import HBPSSource, HeapSource
 from repro.raid import RAIDGeometry
 
 N_AAS = 8
@@ -172,15 +169,9 @@ class TestFactory:
         assert cache.hbps.bin_width == SimConfig.default().cache.hbps_bin_width
 
 
-class TestDeprecatedShims:
-    def test_heap_source_warns_and_still_works(self):
-        with pytest.warns(DeprecationWarning, match="HeapSource"):
-            src = HeapSource(make_heap())
-        assert isinstance(src, CacheSource)
-        assert src.next_aa() is not None
+class TestShimsRemoved:
+    def test_old_adapters_are_gone(self):
+        import repro.core.policies as policies
 
-    def test_hbps_source_warns_and_still_works(self):
-        with pytest.warns(DeprecationWarning, match="HBPSSource"):
-            src = HBPSSource(make_hbps())
-        assert isinstance(src, CacheSource)
-        assert src.next_aa() is not None
+        assert not hasattr(policies, "HeapSource")
+        assert not hasattr(policies, "HBPSSource")

@@ -8,8 +8,7 @@ import pytest
 from repro.bitmap import BitmapMetafile
 from repro.core import (
     AggregateAllocator,
-    HBPSSource,
-    HeapSource,
+    CacheSource,
     LinearAATopology,
     LinearAllocator,
     RAIDAgnosticAACache,
@@ -27,7 +26,7 @@ def make_linear(nblocks=4096, per_aa=512):
     mf = BitmapMetafile(nblocks)
     keeper = ScoreKeeper(topo, mf.bitmap)
     cache = RAIDAgnosticAACache(topo.num_aas, topo.aa_blocks, keeper.scores)
-    src = HBPSSource(cache, lambda: topo.scores_from_bitmap(mf.bitmap))
+    src = CacheSource(cache, lambda: topo.scores_from_bitmap(mf.bitmap))
     return LinearAllocator(topo, mf, src, keeper), topo, mf, keeper, cache
 
 
@@ -37,7 +36,7 @@ def make_raid(ndata=3, blocks_per_disk=1024, stripes_per_aa=128, offset=0):
     mf = BitmapMetafile(g.data_blocks)
     keeper = ScoreKeeper(topo, mf.bitmap)
     cache = RAIDAwareAACache(topo.num_aas, keeper.scores)
-    alloc = RAIDGroupAllocator(topo, mf, HeapSource(cache), keeper, store_offset=offset)
+    alloc = RAIDGroupAllocator(topo, mf, CacheSource(cache), keeper, store_offset=offset)
     return alloc, topo, mf, keeper, cache
 
 
@@ -91,7 +90,7 @@ class TestLinearAllocator:
         mf = BitmapMetafile(1024)
         keeper = ScoreKeeper(topo, mf.bitmap)
         cache = RAIDAgnosticAACache(2, 512, keeper.scores)
-        alloc = LinearAllocator(topo, mf, HBPSSource(cache), keeper, store_offset=10_000)
+        alloc = LinearAllocator(topo, mf, CacheSource(cache), keeper, store_offset=10_000)
         v = alloc.allocate(5)
         assert (v >= 10_000).all()
         # The metafile tracks local VBNs.

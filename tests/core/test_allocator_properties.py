@@ -17,8 +17,7 @@ from hypothesis import strategies as st
 from repro.bitmap import BitmapMetafile
 from repro.core import (
     AggregateAllocator,
-    HBPSSource,
-    HeapSource,
+    CacheSource,
     LinearAATopology,
     LinearAllocator,
     RAIDAgnosticAACache,
@@ -85,7 +84,7 @@ def test_linear_allocator_random_interleavings(ops, seed):
     mf = BitmapMetafile(4096, bits_per_block=512)
     keeper = ScoreKeeper(topo, mf.bitmap)
     cache = RAIDAgnosticAACache(topo.num_aas, topo.aa_blocks, keeper.scores)
-    src = HBPSSource(cache, lambda: topo.scores_from_bitmap(mf.bitmap))
+    src = CacheSource(cache, lambda: topo.scores_from_bitmap(mf.bitmap))
     alloc = LinearAllocator(topo, mf, src, keeper)
     run_ops(alloc, mf, keeper, ops, np.random.default_rng(seed))
     cache.check_invariants()
@@ -99,7 +98,7 @@ def test_raid_allocator_random_interleavings(ops, seed):
     mf = BitmapMetafile(g.data_blocks, bits_per_block=512)
     keeper = ScoreKeeper(topo, mf.bitmap)
     cache = RAIDAwareAACache(topo.num_aas, keeper.scores)
-    alloc = RAIDGroupAllocator(topo, mf, HeapSource(cache), keeper)
+    alloc = RAIDGroupAllocator(topo, mf, CacheSource(cache), keeper)
     run_ops(alloc, mf, keeper, ops, np.random.default_rng(seed))
     cache.check_invariants()
 
@@ -119,7 +118,7 @@ def test_aggregate_allocator_never_duplicates(requests, seed):
         mf = BitmapMetafile(g.data_blocks, bits_per_block=512)
         keeper = ScoreKeeper(topo, mf.bitmap)
         cache = RAIDAwareAACache(topo.num_aas, keeper.scores)
-        a = RAIDGroupAllocator(topo, mf, HeapSource(cache), keeper,
+        a = RAIDGroupAllocator(topo, mf, CacheSource(cache), keeper,
                                store_offset=offset)
         allocs.append(a)
         parts.append((mf, keeper))

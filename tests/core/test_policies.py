@@ -6,8 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core import (
-    HBPSSource,
-    HeapSource,
+    CacheSource,
     LinearScanSource,
     RAIDAgnosticAACache,
     RAIDAwareAACache,
@@ -15,10 +14,10 @@ from repro.core import (
 )
 
 
-class TestHeapSource:
+class TestCacheSourceHeap:
     def test_delegates(self):
         cache = RAIDAwareAACache(3, np.array([10, 30, 20]))
-        src = HeapSource(cache)
+        src = CacheSource(cache)
         assert src.best_score() == 30
         assert src.next_aa() == 1
         src.return_aa(1, 30)
@@ -27,7 +26,7 @@ class TestHeapSource:
         assert src.next_aa() == 2
 
 
-class TestHBPSSource:
+class TestCacheSourceHBPS:
     def test_auto_replenish(self):
         scores = np.array([100, 200], dtype=np.int64)
         cache = RAIDAgnosticAACache(2, 32768, scores, list_capacity=1)
@@ -37,7 +36,7 @@ class TestHBPSSource:
             calls.append(1)
             return scores
 
-        src = HBPSSource(cache, replenisher)
+        src = CacheSource(cache, replenisher)
         a = src.next_aa()
         assert a is not None
         src.cp_flush([(a, int(scores[a]), int(scores[a]))])
@@ -47,7 +46,7 @@ class TestHBPSSource:
 
     def test_no_replenisher_returns_none(self):
         cache = RAIDAgnosticAACache(2, 32768, np.array([100, 200]), list_capacity=1)
-        src = HBPSSource(cache)
+        src = CacheSource(cache)
         src.next_aa()
         # Second pop: the one remaining AA is unlisted -> None.
         assert src.next_aa() is None

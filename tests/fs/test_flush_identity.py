@@ -1,7 +1,7 @@
 """Identity of the batched and scalar bitmap-flush paths.
 
 ``AllocatorConfig.scalar_bitmap_flush`` keeps the per-block scalar
-flush for one release as the reference implementation; the fused batch
+flush as the permanent reference implementation; the fused batch
 pass must reach bit-for-bit the same state (per-CP stats, bitmap bytes,
 free counts) on the same workload and seed.
 """

@@ -1,6 +1,6 @@
 """SimConfig consolidation tests: the typed frozen dataclasses, the
-single ``SimConfig.default()`` entry point, and the one-release
-deprecation shims for the loose keyword arguments they replaced."""
+single ``SimConfig.default()`` entry point, and the builders reading
+their tunables from the config object."""
 
 from __future__ import annotations
 
@@ -69,38 +69,28 @@ class TestSimConfig:
         assert set(seeds) == set(ALL_EXPERIMENTS)
 
 
-class TestThresholdShim:
-    def test_raidstore_config_path_is_silent(self):
+class TestThresholdFromConfig:
+    def test_raidstore_reads_config(self):
         cfg = dataclasses.replace(
             SimConfig.default(),
             allocator=AllocatorConfig(threshold_fraction=0.1),
         )
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            store = RAIDStore(GROUPS, config=cfg, seed=7)
+        store = RAIDStore(GROUPS, config=cfg, seed=7)
         assert store.allocator.threshold_fraction == 0.1
 
-    def test_raidstore_kwarg_warns_but_works(self):
-        with pytest.warns(DeprecationWarning, match="threshold_fraction"):
-            store = RAIDStore(GROUPS, threshold_fraction=0.1, seed=7)
-        assert store.allocator.threshold_fraction == 0.1
-
-    def test_build_raid_kwarg_warns_but_works(self):
-        with pytest.warns(DeprecationWarning, match="threshold_fraction"):
-            sim = WaflSim.build_raid(
-                GROUPS, VOLS, threshold_fraction=0.1, seed=7
-            )
-        assert sim.store.allocator.threshold_fraction == 0.1
-
-    def test_build_raid_config_path_is_silent(self):
+    def test_build_raid_reads_config(self):
         cfg = dataclasses.replace(
             SimConfig.default(),
             allocator=AllocatorConfig(threshold_fraction=0.1),
         )
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            sim = WaflSim.build_raid(GROUPS, VOLS, config=cfg, seed=7)
+        sim = WaflSim.build_raid(GROUPS, VOLS, config=cfg, seed=7)
         assert sim.store.allocator.threshold_fraction == 0.1
+
+    def test_loose_kwarg_is_gone(self):
+        with pytest.raises(TypeError):
+            RAIDStore(GROUPS, threshold_fraction=0.1, seed=7)
+        with pytest.raises(TypeError):
+            WaflSim.build_raid(GROUPS, VOLS, threshold_fraction=0.1, seed=7)
 
     def test_default_comes_from_sim_config(self):
         with warnings.catch_warnings():
