@@ -26,7 +26,8 @@ from repro.core import (
     seed_heap_cache,
     serialize_heap_seed,
 )
-from repro.fs import MediaType, PolicyKind, RAIDGroupConfig, VolSpec, WaflSim
+from repro.common.config import AggregateSpec, TierSpec, VolumeDecl
+from repro.fs import PolicyKind, WaflSim
 from repro.workloads import RandomOverwriteWorkload, fill_volumes, reset_measurement_state
 
 
@@ -171,12 +172,12 @@ def test_ablation_fragmentation_threshold(benchmark):
     def run():
         out = {}
         for label, threshold in [("no cutoff", 0.0), ("cutoff at 30%", 0.30)]:
-            groups = [
-                RAIDGroupConfig(ndata=4, nparity=1, blocks_per_disk=65536,
-                                media=MediaType.SSD, stripes_per_aa=2048)
-                for _ in range(2)
-            ]
-            vols = [VolSpec("lun", logical_blocks=150_000)]
+            spec = AggregateSpec(
+                tiers=(TierSpec(label="ssd", media="ssd", n_groups=2,
+                                ndata=4, blocks_per_disk=65536,
+                                stripes_per_aa=2048),),
+                volumes=(VolumeDecl("lun", logical_blocks=150_000),),
+            )
             cfg = replace(
                 SimConfig.default(),
                 allocator=replace(
@@ -184,7 +185,7 @@ def test_ablation_fragmentation_threshold(benchmark):
                     threshold_fraction=threshold,
                 ),
             )
-            sim = WaflSim.build_raid(groups, vols, config=cfg, seed=5)
+            sim = WaflSim.build(spec, config=cfg, seed=5)
             # Statically fragment group 0 to ~15% free per AA.
             g = sim.store.groups[0]
             rng = np.random.default_rng(7)

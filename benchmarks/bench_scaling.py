@@ -16,7 +16,8 @@ import numpy as np
 import pytest
 
 from repro.bitmap import Bitmap
-from repro.fs import MediaType, RAIDGroupConfig, VolSpec, WaflSim
+from repro.common.config import AggregateSpec, TierSpec, VolumeDecl
+from repro.fs import WaflSim
 from repro.workloads import RandomOverwriteWorkload, fill_volumes
 
 MILLION = 1_000_000
@@ -25,13 +26,14 @@ MILLION = 1_000_000
 @pytest.mark.parametrize("blocks_per_disk", [65_536, 262_144])
 def test_cp_throughput(benchmark, blocks_per_disk):
     """Steady-state CP execution rate on a filled SSD aggregate."""
-    groups = [
-        RAIDGroupConfig(ndata=4, nparity=1, blocks_per_disk=blocks_per_disk,
-                        media=MediaType.SSD)
-    ]
     phys = 4 * blocks_per_disk
-    sim = WaflSim.build_raid(
-        groups, [VolSpec("lun", logical_blocks=phys // 2)], seed=1
+    sim = WaflSim.build(
+        AggregateSpec(
+            tiers=(TierSpec(label="ssd", media="ssd", ndata=4,
+                            blocks_per_disk=blocks_per_disk),),
+            volumes=(VolumeDecl("lun", logical_blocks=phys // 2),),
+        ),
+        seed=1,
     )
     fill_volumes(sim, ops_per_cp=16384)
     wl = RandomOverwriteWorkload(sim, ops_per_cp=8192, blocks_per_op=2, seed=2)

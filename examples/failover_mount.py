@@ -16,26 +16,26 @@ from __future__ import annotations
 import numpy as np
 
 from repro import (
-    MediaType,
-    RAIDGroupConfig,
     RandomOverwriteWorkload,
-    VolSpec,
     WaflSim,
     background_rebuild,
     export_topaa,
     simulate_mount,
 )
+from repro.common.config import AggregateSpec, TierSpec, VolumeDecl
 from repro.workloads import fill_volumes, reset_measurement_state
 
 
 def main() -> None:
     # A mid-size system: one RAID group, eight FlexVols.
-    groups = [
-        RAIDGroupConfig(ndata=4, nparity=1, blocks_per_disk=131_072,
-                        media=MediaType.SSD)
-    ]
-    vols = [VolSpec(f"vol{i}", logical_blocks=40_000) for i in range(8)]
-    sim = WaflSim.build_raid(groups, vols, seed=13)
+    spec = AggregateSpec(
+        tiers=(TierSpec(label="ssd", media="ssd", ndata=4,
+                        blocks_per_disk=131_072),),
+        volumes=tuple(
+            VolumeDecl(f"vol{i}", logical_blocks=40_000) for i in range(8)
+        ),
+    )
+    sim = WaflSim.build(spec, seed=13)
     fill_volumes(sim, ops_per_cp=16_384)
     sim.run(RandomOverwriteWorkload(sim, ops_per_cp=8_192, seed=2), 10)
     print(f"running system: {sim}")

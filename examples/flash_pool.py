@@ -17,11 +17,19 @@ from __future__ import annotations
 import numpy as np
 
 from repro import MediaType, RAIDGroupConfig, VolSpec, WaflSim
+from repro.common.rng import make_rng
 from repro.fs import CPBatch
+from repro.fs.aggregate import RAIDStore
+from repro.fs.flexvol import FlexVol
+from repro.tiering import FlashPoolPolicy
 from repro.workloads import RandomOverwriteWorkload, fill_volumes
 
 
 def main() -> None:
+    # A Flash Pool is ONE RAID store whose groups mix media — unlike
+    # the multi-tier aggregates of repro.tiering, which compose one
+    # store per tier.  Build it compositionally and attach the
+    # hot/cold placement policy explicitly.
     groups = [
         RAIDGroupConfig(ndata=3, nparity=1, blocks_per_disk=65_536,
                         media=MediaType.SSD),
@@ -30,9 +38,11 @@ def main() -> None:
         RAIDGroupConfig(ndata=4, nparity=1, blocks_per_disk=131_072,
                         media=MediaType.HDD),
     ]
-    vols = [VolSpec("db", logical_blocks=400_000)]
-    sim = WaflSim.build_raid(groups, vols, seed=17)
-    assert sim.store.supports_tiering
+    rng = make_rng(17)
+    store = RAIDStore(groups, seed=rng)
+    store.tier_policy = FlashPoolPolicy()
+    vols = {"db": FlexVol(VolSpec("db", logical_blocks=400_000), seed=rng)}
+    sim = WaflSim(store, vols)
     print(f"Flash Pool aggregate: {[m.value for m in sim.store.media_kinds]}")
 
     # Cold fill: first writes go to the capacity (HDD) tier.

@@ -9,13 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    MediaType,
-    RAIDGroupConfig,
-    RandomOverwriteWorkload,
-    VolSpec,
-    WaflSim,
-)
+from repro import RandomOverwriteWorkload, WaflSim
+from repro.common.config import AggregateSpec, TierSpec, VolumeDecl
 from repro.workloads import fill_volumes
 
 
@@ -24,19 +19,21 @@ def main() -> None:
     # 1. Build an aggregate: one RAID group of 4 data + 1 parity SSDs,
     #    hosting two FlexVol volumes.
     # ------------------------------------------------------------------
-    groups = [
-        RAIDGroupConfig(
-            ndata=4,
-            nparity=1,
-            blocks_per_disk=131_072,  # 512 MiB per device (4 KiB blocks)
-            media=MediaType.SSD,
-        )
-    ]
-    vols = [
-        VolSpec("projects", logical_blocks=120_000),
-        VolSpec("homes", logical_blocks=80_000),
-    ]
-    sim = WaflSim.build_raid(groups, vols, seed=7)
+    spec = AggregateSpec(
+        tiers=(
+            TierSpec(
+                label="ssd",
+                media="ssd",
+                ndata=4,
+                blocks_per_disk=131_072,  # 512 MiB per device (4 KiB blocks)
+            ),
+        ),
+        volumes=(
+            VolumeDecl("projects", logical_blocks=120_000),
+            VolumeDecl("homes", logical_blocks=80_000),
+        ),
+    )
+    sim = WaflSim.build(spec, seed=7)
     print(f"built: {sim}")
 
     # ------------------------------------------------------------------

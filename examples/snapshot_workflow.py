@@ -14,7 +14,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import MediaType, RAIDGroupConfig, VolSpec, WaflSim
+from repro import WaflSim
+from repro.common.config import AggregateSpec, TierSpec, VolumeDecl
 from repro.fs import CPBatch
 from repro.workloads import RandomOverwriteWorkload, fill_volumes
 
@@ -24,12 +25,15 @@ def used(sim):
 
 
 def main() -> None:
-    sim = WaflSim.build_raid(
-        [RAIDGroupConfig(ndata=4, nparity=1, blocks_per_disk=65_536,
-                         media=MediaType.SSD)],
-        # Virtual headroom sized for a full snapshot plus churn (the
-        # "snapshot reserve"): pinned blocks keep their virtual VBNs.
-        [VolSpec("home", logical_blocks=120_000, virtual_blocks=524_288)],
+    sim = WaflSim.build(
+        AggregateSpec(
+            tiers=(TierSpec(label="ssd", media="ssd", ndata=4,
+                            blocks_per_disk=65_536),),
+            # Virtual headroom sized for a full snapshot plus churn (the
+            # "snapshot reserve"): pinned blocks keep their virtual VBNs.
+            volumes=(VolumeDecl("home", logical_blocks=120_000,
+                                virtual_blocks=524_288),),
+        ),
         seed=23,
     )
     fill_volumes(sim, ops_per_cp=16_384)

@@ -17,22 +17,30 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import FileChurnWorkload, VolSpec, WaflSim
+from repro import FileChurnWorkload, WaflSim
+from repro.common.config import AggregateSpec, TierSpec, VolumeDecl
 from repro.workloads import RandomOverwriteWorkload, fill_volumes
 
 
 def main() -> None:
     physical_blocks = 32_768 * 24  # ~3 GiB of 4 KiB blocks
     # Each volume's virtual space is ~2x the whole aggregate: thin!
-    vols = [
-        VolSpec(
+    vols = tuple(
+        VolumeDecl(
             f"tenant{i}",
             logical_blocks=80_000,
             virtual_blocks=physical_blocks * 2,
         )
         for i in range(3)
-    ]
-    sim = WaflSim.build_object(physical_blocks, vols, seed=5)
+    )
+    sim = WaflSim.build(
+        AggregateSpec(
+            tiers=(TierSpec(label="s3", media="object", raid="none",
+                            nblocks=physical_blocks),),
+            volumes=vols,
+        ),
+        seed=5,
+    )
 
     virtual_total = sum(v.nblocks for v in sim.vols.values())
     print(

@@ -50,6 +50,7 @@ __all__ = [
     "RULES",
     "FLOW_RULES",
     "LAYER_RANK",
+    "TIER_ROLE_LITERALS",
     "UNIT_SUFFIXES",
     "ORDER_SAFE_CONSUMERS",
     "REPRO_ERROR_NAMES",
@@ -166,6 +167,15 @@ RULES: dict[str, Rule] = {
             "it meant to document; name a rule from the catalogue.",
         ),
         Rule(
+            "T701",
+            "raw tier-name string literal outside repro.tiering",
+            "tier routing is typed: code talks about tiers through "
+            "repro.tiering.Tier members (or TierSpec labels), never "
+            "through bare 'fast'/'capacity'/'archive' literals — the "
+            "string-keyed duck hooks they fed silently no-opped on "
+            "stores that did not recognize the name.",
+        ),
+        Rule(
             "C601",
             "committed-image attribute mutated outside the crash-"
             "consistency commit path",
@@ -238,15 +248,23 @@ LAYER_RANK: dict[str, int] = {
     "faults": 10,
     "bench": 11,
     "analysis": 12,
+    #: Heterogeneous multi-tier aggregates: composes fs stores and uses
+    #: the auditor/Iron for its bench demo; fs and bench reach it by
+    #: name via importlib only (tier policies attach from above).
+    "tiering": 13,
     #: The crash-consistency subsystem drives the whole stack (mount,
     #: traffic, the invariant auditor) and is consumed only by cli.
-    "crash": 13,
+    "crash": 14,
     #: The fleet layer: many aggregate-scale sims as shards, scheduled
     #: and migrated from above.  It may import everything below it;
     #: nothing below (traffic, fs, bench, ...) may import it — the
     #: bench runner dispatches to it by name via importlib only.
-    "cluster": 14,
+    "cluster": 15,
 }
+
+#: Tier-role names T701 refuses as raw routing literals outside
+#: ``repro.tiering`` (the :class:`repro.tiering.Tier` member values).
+TIER_ROLE_LITERALS: tuple[str, ...] = ("fast", "capacity", "archive")
 
 #: Identifier suffixes treated as units by U301.  Multiplicative
 #: operators are exempt (they *are* the conversions).

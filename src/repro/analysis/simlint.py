@@ -33,6 +33,7 @@ from .rules import (
     LAYER_RANK,
     REPRO_ERROR_NAMES,
     RULES,
+    TIER_ROLE_LITERALS,
     UNIT_SUFFIXES,
     WALL_CLOCK_CALLS,
 )
@@ -277,6 +278,18 @@ class _Linter(ast.NodeVisitor):
             # Top-level modules (cli.py, __main__) have package None and
             # are the sanctioned user-facing output sites.
             self._emit("E404", node, RULES["E404"].summary)
+        if self.package != "tiering":
+            for kw in node.keywords:
+                if (
+                    kw.arg == "tier"
+                    and isinstance(kw.value, ast.Constant)
+                    and isinstance(kw.value.value, str)
+                ):
+                    self._emit(
+                        "T701", kw.value,
+                        f"{RULES['T701'].summary}: tier={kw.value.value!r}; "
+                        f"pass a repro.tiering.Tier member",
+                    )
         func_name = dotted.split(".")[-1] if dotted else None
         if func_name in {"list", "tuple", "enumerate", "iter"}:
             for arg in node.args:
@@ -623,7 +636,29 @@ class _Linter(ast.NodeVisitor):
             if isinstance(op, ordering):
                 self._check_unit_pair(node, operands[i], operands[i + 1],
                                       type(op).__name__)
+            if isinstance(op, (ast.Eq, ast.NotEq)):
+                self._check_tier_literal(operands[i], operands[i + 1])
         self.generic_visit(node)
+
+    def _check_tier_literal(self, left: ast.AST, right: ast.AST) -> None:
+        """T701: ``something.tier == "fast"``-style comparisons route on
+        raw role names; only :mod:`repro.tiering` may spell them out."""
+        if self.package == "tiering":
+            return
+        for lit, other in ((left, right), (right, left)):
+            if not (
+                isinstance(lit, ast.Constant)
+                and lit.value in TIER_ROLE_LITERALS
+            ):
+                continue
+            dotted = _dotted(other)
+            if dotted is not None and "tier" in dotted.lower():
+                self._emit(
+                    "T701", lit,
+                    f"{RULES['T701'].summary}: compared {dotted} against "
+                    f"{lit.value!r}; compare against repro.tiering.Tier "
+                    f"members instead",
+                )
 
     # -- E-rules: exception hygiene ------------------------------------
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:

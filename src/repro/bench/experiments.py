@@ -17,14 +17,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..common.config import AggregateSpec, TierSpec, VolumeDecl
 from ..core import aa_size_for_smr, make_aa_cache
 from ..devices.smr import SMRConfig
 from ..fs import (
     CPBatch,
-    MediaType,
     PolicyKind,
-    RAIDGroupConfig,
-    VolSpec,
     WaflSim,
     export_topaa,
     simulate_mount,
@@ -181,21 +179,23 @@ class Fig7Result:
 
 
 def _build_fig7_sim(seed: int = 24) -> WaflSim:
-    groups = [
-        RAIDGroupConfig(
-            ndata=4,
-            nparity=1,
-            blocks_per_disk=65536,
-            media=MediaType.HDD,
-            stripes_per_aa=4096,
-        )
-        for _ in range(FIG7_N_GROUPS)
-    ]
-    vols = [
-        VolSpec("db", logical_blocks=100_000),
-        VolSpec("log", logical_blocks=50_000),
-    ]
-    sim = WaflSim.build_raid(groups, vols, seed=seed)
+    spec = AggregateSpec(
+        tiers=(
+            TierSpec(
+                label="hdd",
+                media="hdd",
+                n_groups=FIG7_N_GROUPS,
+                ndata=4,
+                blocks_per_disk=65536,
+                stripes_per_aa=4096,
+            ),
+        ),
+        volumes=(
+            VolumeDecl("db", logical_blocks=100_000),
+            VolumeDecl("log", logical_blocks=50_000),
+        ),
+    )
+    sim = WaflSim.build(spec, seed=seed)
     # Age RG0/RG1: a random 50% of their blocks in use (static aging:
     # the blocks are not volume-mapped, mirroring the paper's old data
     # sitting untouched while OLTP traffic runs).
@@ -394,17 +394,22 @@ FIG9_SIZINGS = ("HDD-sized AA (4k stripes)", "SMR AA (zone + AZCS aligned)")
 
 def run_fig9_config(label: str, *, quick: bool = False, seed: int = 3) -> dict:
     """Run one Figure 9 AA sizing (a runner work unit)."""
-    cfg = RAIDGroupConfig(
+    tier = TierSpec(
+        label="smr",
+        media="smr",
         ndata=3,
-        nparity=1,
         blocks_per_disk=FIG9_BLOCKS_PER_DISK,
-        media=MediaType.SMR,
         stripes_per_aa=_fig9_sizings()[label],
         azcs=True,
-        smr_config=FIG9_SMR_CFG,
+        zone_blocks=FIG9_SMR_CFG.zone_blocks,
+        rewrite_penalty_us=FIG9_SMR_CFG.rewrite_penalty_us,
     )
-    sim = WaflSim.build_raid(
-        [cfg], [VolSpec("stream", logical_blocks=500_000)], seed=seed
+    sim = WaflSim.build(
+        AggregateSpec(
+            tiers=(tier,),
+            volumes=(VolumeDecl("stream", logical_blocks=500_000),),
+        ),
+        seed=seed,
     )
     set_bitmap_checks(sim, False)
     wl = SequentialWriteWorkload(sim, ops_per_cp=8192, blocks_per_op=1, wrap=False)
@@ -463,17 +468,18 @@ FIG10_VOL_VIRTUAL_BLOCKS = 32768 * 32
 
 
 def _build_fig10_sim(n_vols: int, vol_virtual_blocks: int) -> WaflSim:
-    groups = [
-        RAIDGroupConfig(
-            ndata=4, nparity=1, blocks_per_disk=131072, media=MediaType.SSD,
-            stripes_per_aa=2048,
-        )
-    ]
-    vols = [
-        VolSpec(f"vol{i}", logical_blocks=1024, virtual_blocks=vol_virtual_blocks)
-        for i in range(n_vols)
-    ]
-    sim = WaflSim.build_raid(groups, vols, seed=11)
+    spec = AggregateSpec(
+        tiers=(
+            TierSpec(label="ssd", media="ssd", ndata=4,
+                     blocks_per_disk=131072, stripes_per_aa=2048),
+        ),
+        volumes=tuple(
+            VolumeDecl(f"vol{i}", logical_blocks=1024,
+                       virtual_blocks=vol_virtual_blocks)
+            for i in range(n_vols)
+        ),
+    )
+    sim = WaflSim.build(spec, seed=11)
     writes = {f"vol{i}": np.arange(256) for i in range(n_vols)}
     sim.engine.run_cp(CPBatch(writes=writes, ops=256 * n_vols))
     return sim

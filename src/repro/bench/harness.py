@@ -15,11 +15,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..common.config import AggregateSpec, TierSpec, VolumeDecl
 from ..common.errors import BitmapError
-from ..devices.ssd import SSDConfig
-from ..fs.aggregate import MediaType, PolicyKind, RAIDGroupConfig
+from ..fs.aggregate import PolicyKind
 from ..fs.filesystem import WaflSim
-from ..fs.flexvol import VolSpec
 from ..sim.latency import LoadPoint, peak_throughput, system_curve
 from ..workloads.aging import age_filesystem, reset_measurement_state
 from ..workloads.oltp import OLTPWorkload
@@ -142,34 +141,30 @@ def build_aged_ssd_sim(
     measurement) and LUN-like volumes."""
     # program_us calibrated so the device side carries the same weight
     # it does on the paper's testbed (see EXPERIMENTS.md, Fig 6 notes).
-    ssd_cfg = SSDConfig(
-        erase_block_blocks=erase_block_blocks,
-        program_us_per_block=program_us_per_block,
-    )
-    groups = [
-        RAIDGroupConfig(
-            ndata=ndata,
-            nparity=1,
-            blocks_per_disk=blocks_per_disk,
-            media=MediaType.SSD,
-            stripes_per_aa=stripes_per_aa,
-            ssd_config=ssd_cfg,
-        )
-        for _ in range(n_groups)
-    ]
     phys = n_groups * ndata * blocks_per_disk
     logical = int(phys * fill_fraction)
-    vols = [
-        VolSpec("lun0", logical_blocks=logical // 2),
-        VolSpec("lun1", logical_blocks=logical - logical // 2),
-    ]
-    sim = WaflSim.build_raid(
-        groups,
-        vols,
-        aggregate_policy=aggregate_policy,
-        vol_policy=vol_policy,
-        seed=seed,
+    spec = AggregateSpec(
+        tiers=(
+            TierSpec(
+                label="ssd",
+                media="ssd",
+                raid="raid4",
+                n_groups=n_groups,
+                ndata=ndata,
+                blocks_per_disk=blocks_per_disk,
+                stripes_per_aa=stripes_per_aa or 0,
+                erase_block_blocks=erase_block_blocks,
+                program_us_per_block=program_us_per_block,
+            ),
+        ),
+        volumes=(
+            VolumeDecl("lun0", logical_blocks=logical // 2),
+            VolumeDecl("lun1", logical_blocks=logical - logical // 2),
+        ),
+        policy=aggregate_policy.value,
+        vol_policy=vol_policy.value,
     )
+    sim = WaflSim.build(spec, seed=seed)
     # Aging CPs issue the exact same device writes either way; unpriced
     # mode skips the stripe classification and timing whose outputs the
     # reset below discards (see RAIDGroupRuntime.unpriced).

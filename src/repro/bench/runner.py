@@ -60,7 +60,7 @@ __all__ = [
 ]
 
 SCHEMA = "repro-bench/1"
-TRAJECTORY_NAME = "BENCH_PR9.json"
+TRAJECTORY_NAME = "BENCH_PR10.json"
 
 #: Repo root (two levels above ``benchmarks/results``).
 _REPO_ROOT = os.path.normpath(os.path.join(RESULTS_DIR, "..", ".."))
@@ -244,6 +244,22 @@ def _unit_cluster(spec: UnitSpec) -> dict:
     )
 
 
+def _unit_tier(spec: UnitSpec) -> dict:
+    """The heterogeneous-tier demo: mixed SSD + HDD + SMR aggregate,
+    chooser placement, deliberate misplacement corrected by the
+    background migration pass (block conservation asserted inside).
+
+    Late-bound through importlib: ``repro.tiering`` sits above bench in
+    the DAG (same arrangement as the cluster unit).
+    """
+    import importlib
+
+    tiering = importlib.import_module("repro.tiering")
+    return tiering.run_tier_bench(
+        quick=spec.quick, seed=spec.seed, audit=spec.audit
+    )
+
+
 _EXPERIMENTS: dict[str, tuple[str, ...]] = {}
 
 
@@ -263,6 +279,7 @@ def _unit_names(experiment: str) -> tuple[str, ...]:
                 "macro": ("random-overwrite",),
                 "traffic": ("uniform", "noisy-neighbor", "throttled"),
                 "cluster": ("fleet",),
+                "tier": ("tiered",),
             }
         )
     return _EXPERIMENTS[experiment]
@@ -277,6 +294,7 @@ _RUNNERS = {
     "macro": _unit_macro,
     "traffic": _unit_traffic,
     "cluster": _unit_cluster,
+    "tier": _unit_tier,
 }
 
 ALL_EXPERIMENTS = tuple(_RUNNERS)

@@ -524,9 +524,9 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     """Arm the cross-layer invariant auditor and sweep CPs through the
     interesting regimes: snapshot churn, budgeted delayed frees, and
     the full chaos scenario (degraded RAID, corrupt TopAA, bit flips)."""
-    from repro import (MediaType, RAIDGroupConfig, RandomOverwriteWorkload,
-                       VolSpec, WaflSim)
+    from repro import RandomOverwriteWorkload, WaflSim
     from repro.analysis import arm_global, audit_sim, disarm_global
+    from repro.common.config import AggregateSpec, TierSpec, VolumeDecl
     from repro.common.errors import AuditError
     from repro.faults import default_scenario, run_chaos
     from repro.workloads import fill_volumes
@@ -535,11 +535,13 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     t0 = time.perf_counter()
     arm_global()
     try:
-        sim = WaflSim.build_raid(
-            [RAIDGroupConfig(ndata=4, nparity=1, blocks_per_disk=16384,
-                             media=MediaType.SSD)],
-            [VolSpec("lun0", logical_blocks=24576),
-             VolSpec("lun1", logical_blocks=12288)],
+        sim = WaflSim.build(
+            AggregateSpec(
+                tiers=(TierSpec(label="ssd", media="ssd", ndata=4,
+                                blocks_per_disk=16384),),
+                volumes=(VolumeDecl("lun0", logical_blocks=24576),
+                         VolumeDecl("lun1", logical_blocks=12288)),
+            ),
             seed=11,
         )
         fill_volumes(sim)
@@ -678,6 +680,39 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_tier(args: argparse.Namespace) -> int:
+    """Heterogeneous multi-tier aggregate demo: chooser placement on a
+    mixed SSD + HDD + SMR aggregate, then the background migration pass
+    correcting a deliberate misplacement (block conservation, auditor,
+    and Iron asserted inside the bench)."""
+    from repro.bench.harness import fmt_table
+    from repro.tiering import run_tier_bench
+
+    t0 = time.perf_counter()
+    print(f"tier demo: mixed SSD+HDD+SMR aggregate, seed={args.seed}"
+          f"{' (quick)' if args.quick else ''}")
+    m = run_tier_bench(quick=args.quick, seed=args.seed)["metrics"]
+
+    print("\nchooser placement: " + ", ".join(
+        f"{vol} -> {label}" for vol, label in sorted(m["placements"].items())))
+    rows = []
+    for label in m["tiers"]:
+        usage = m["tier_usage"][label]
+        rows.append([label, usage["nblocks"], usage["used"], usage["free"],
+                     m["blocks_by_tier"][label], m["freed_by_tier"][label]])
+    print("\n" + fmt_table(
+        ["tier", "blocks", "used", "free", "cp writes", "cp frees"],
+        rows, title="per-tier aggregate state"))
+    rows = [[r["volume"], r["target"], r["copied"], r["freed"], r["used"]]
+            for r in m["migrations"]]
+    print("\n" + fmt_table(
+        ["volume", "to tier", "copied", "freed", "on target"],
+        rows, title="tier migrations (misplace, then background correction)"))
+    print(f"\naudit clean: {m['audit_ok']}; Iron clean: {m['iron_clean']}; "
+          f"digest {m['digest'][:16]} [{time.perf_counter() - t0:.1f}s]")
+    return 0
+
+
 def _cmd_quickstart(args: argparse.Namespace) -> int:
     # Defer to the shipped example (kept as the single source of truth).
     import runpy
@@ -688,14 +723,16 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
         runpy.run_path(str(candidate), run_name="__main__")
         return 0
     # Installed without the examples directory: run a minimal inline demo.
-    from repro import (MediaType, RAIDGroupConfig, RandomOverwriteWorkload,
-                       VolSpec, WaflSim)
+    from repro import RandomOverwriteWorkload, WaflSim
+    from repro.common.config import AggregateSpec, TierSpec, VolumeDecl
     from repro.workloads import fill_volumes
 
-    sim = WaflSim.build_raid(
-        [RAIDGroupConfig(ndata=4, nparity=1, blocks_per_disk=65536,
-                         media=MediaType.SSD)],
-        [VolSpec("demo", logical_blocks=60_000)],
+    sim = WaflSim.build(
+        AggregateSpec(
+            tiers=(TierSpec(label="ssd", media="ssd", ndata=4,
+                            blocks_per_disk=65536),),
+            volumes=(VolumeDecl("demo", logical_blocks=60_000),),
+        ),
         seed=7,
     )
     fill_volumes(sim)
@@ -741,7 +778,7 @@ def main(argv: list[str] | None = None) -> int:
                    help="process-pool size (1 = serial reference; 0 = auto)")
     p.add_argument("--experiments", nargs="*", metavar="EXP",
                    help="subset to run (fig6 fig7 fig8 fig9 fig10 macro "
-                        "traffic cluster)")
+                        "traffic cluster tier)")
     p.add_argument("--seed", type=int, default=None,
                    help="base seed (default: each figure's canonical seed)")
     p.add_argument("--audit", action="store_true",
@@ -865,6 +902,16 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--quick", action="store_true",
                    help="smaller fleet for interactive use")
     p.set_defaults(fn=_cmd_cluster)
+    p = sub.add_parser(
+        "tier",
+        help="heterogeneous multi-tier aggregate: chooser placement plus "
+             "background tier migration with block conservation",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="smaller aggregate for interactive use")
+    p.add_argument("--seed", type=int, default=55,
+                   help="demo seed (same seed => byte-identical digest)")
+    p.set_defaults(fn=_cmd_tier)
     p = sub.add_parser("audit", help="CP-time invariant audit incl. chaos scenario")
     p.add_argument("--quick", action="store_true",
                    help="smaller configurations for interactive use")

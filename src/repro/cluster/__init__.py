@@ -32,6 +32,7 @@ from .scheduler import (
     FreeSpaceWeigher,
     HeadroomWeigher,
     MediaTypeFilter,
+    TierFilter,
     Placement,
     QosHeadroomFilter,
     RaidGeometryFilter,
@@ -52,6 +53,7 @@ __all__ = [
     "FreeSpaceWeigher",
     "HeadroomWeigher",
     "MediaTypeFilter",
+    "TierFilter",
     "MigrationReport",
     "Placement",
     "QosHeadroomFilter",

@@ -4,7 +4,8 @@ Placement runs in two pluggable stages, the same architecture
 OpenStack Cinder uses for its volume scheduler:
 
 1. **Filters** prune: every candidate shard must pass every filter
-   (capacity with slack, media family, RAID geometry, QoS headroom).
+   (capacity with slack, media family, service-tier role, RAID
+   geometry, QoS headroom).
 2. **Weighers** rank: each weigher scores the survivors, the scores
    are min–max normalized to [0, 1] per weigher, and a weighted sum
    (per-weigher multipliers from :class:`~repro.common.config
@@ -34,6 +35,7 @@ __all__ = [
     "Weigher",
     "CapacityFilter",
     "MediaTypeFilter",
+    "TierFilter",
     "RaidGeometryFilter",
     "QosHeadroomFilter",
     "FreeSpaceWeigher",
@@ -87,6 +89,17 @@ class MediaTypeFilter:
 
     def passes(self, request: VolumeRequest, stats: ShardStats) -> bool:
         return request.media is None or request.media in stats.media
+
+
+class TierFilter:
+    """A requested service-tier role (:class:`repro.tiering.Tier`) must
+    be among the roles the shard's media can fill (what the shard
+    advertises via :func:`repro.tiering.serviceable_tiers`)."""
+
+    name = "tier"
+
+    def passes(self, request: VolumeRequest, stats: ShardStats) -> bool:
+        return request.tier is None or request.tier in stats.tiers
 
 
 class RaidGeometryFilter:
@@ -182,6 +195,7 @@ def _default_filters(cfg: ClusterConfig) -> list:
     return [
         CapacityFilter(cfg.capacity_slack),
         MediaTypeFilter(),
+        TierFilter(),
         RaidGeometryFilter(),
         QosHeadroomFilter(cfg.headroom_fraction),
     ]

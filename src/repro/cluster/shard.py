@@ -35,12 +35,12 @@ import json
 import numpy as np
 
 from ..analysis import arm_global, disarm_global
-from ..common.config import SimConfig
+from ..common.config import AggregateSpec, SimConfig, TierSpec, VolumeDecl
 from ..common.errors import GeometryError
-from ..devices.ssd import SSDConfig
-from ..fs.aggregate import MediaType, PolicyKind, RAIDGroupConfig
+from ..fs.aggregate import PolicyKind
 from ..fs.filesystem import WaflSim
 from ..fs.flexvol import FlexVol, VolSpec
+from ..tiering import media_role
 from ..traffic.arrivals import OnOffArrivals, PoissonArrivals
 from ..traffic.engine import TenantSpec, TrafficEngine, TrafficResult
 from ..traffic.qos import QosLimits
@@ -74,32 +74,32 @@ class ShardRuntime:
     def __init__(self, spec: ShardSpec, *, config: SimConfig | None = None) -> None:
         self.spec = spec
         self.config = config if config is not None else SimConfig.default()
-        media = MediaType(spec.media)
-        ssd_cfg = (
-            SSDConfig(erase_block_blocks=512, program_us_per_block=16.0)
-            if media is MediaType.SSD
-            else None
+        ssd = spec.media == "ssd"
+        tier = TierSpec(
+            label=spec.media,
+            media=spec.media,
+            n_groups=spec.n_groups,
+            ndata=spec.ndata,
+            blocks_per_disk=spec.blocks_per_disk,
+            stripes_per_aa=256,
+            erase_block_blocks=512 if ssd else 0,
+            program_us_per_block=16.0 if ssd else 0.0,
         )
-        groups = [
-            RAIDGroupConfig(
-                ndata=spec.ndata,
-                nparity=1,
-                blocks_per_disk=spec.blocks_per_disk,
-                media=media,
-                stripes_per_aa=256,
-                ssd_config=ssd_cfg,
-            )
-            for _ in range(spec.n_groups)
-        ]
         phys = spec.physical_blocks
-        #: The calibration volume: filled at build so the shard has a
-        #: working set to measure against; never a scheduling target.
-        sys_spec = VolSpec(
-            "_sys0", logical_blocks=phys // 4, blocks_per_aa=TENANT_AA_BLOCKS
+        agg = AggregateSpec(
+            tiers=(tier,),
+            # The calibration volume: filled at build so the shard has
+            # a working set to measure against; never a scheduling
+            # target.
+            volumes=(
+                VolumeDecl(
+                    "_sys0",
+                    logical_blocks=phys // 4,
+                    blocks_per_aa=TENANT_AA_BLOCKS,
+                ),
+            ),
         )
-        self.sim = WaflSim.build_raid(
-            groups, [sys_spec], config=self.config, seed=spec.seed
-        )
+        self.sim = WaflSim.build(agg, config=self.config, seed=spec.seed)
         fill_volumes(self.sim, ops_per_cp=8192, seed=derive_seed(spec.seed, "fill"))
         self.calibration: CalibratedService = calibrate_capacity(
             self.sim,
@@ -112,7 +112,7 @@ class ShardRuntime:
             vol.metafile.bitmap.check = False
         for group in self.sim.store.groups:
             group.metafile.bitmap.check = False
-        self._logical_committed = sys_spec.logical_blocks
+        self._logical_committed = agg.volumes[0].logical_blocks
         #: volume name -> the request that placed it here.
         self.tenants: dict[str, VolumeRequest] = {}
         #: volume name -> admitted ops awaiting replay in the next epoch
@@ -284,6 +284,9 @@ class ShardRuntime:
             ),
             n_volumes=len(self.tenants),
             media=tuple(m.value for m in store.media_kinds),
+            tiers=tuple(
+                sorted({media_role(m.value).value for m in store.media_kinds})
+            ),
             ndata=self.spec.ndata,
             capacity_ops=self.calibration.capacity_ops,
             aa_free_fraction=sum(fracs) / len(fracs) if fracs else 0.0,

@@ -78,6 +78,9 @@ class ShardStats:
     #: fraction of AA size — the TopAA/HBPS view of allocation-area
     #: pressure (lower = more fragmented).
     aa_free_fraction: float
+    #: Service-tier roles this shard's media can fill (sorted
+    #: :class:`repro.tiering.Tier` value strings).
+    tiers: tuple[str, ...] = ()
     #: Worst per-tenant p99 measured in the last epoch (ms; 0 = idle).
     worst_p99_ms: float = 0.0
     #: Dead shards (chaos kills) are never scheduling candidates.
@@ -96,10 +99,12 @@ class ShardStats:
     def as_dict(self) -> dict:
         d = asdict(self)
         d["media"] = list(self.media)
+        d["tiers"] = list(self.tiers)
         return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "ShardStats":
         d = dict(d)
         d["media"] = tuple(d["media"])
+        d["tiers"] = tuple(d.get("tiers", ()))
         return cls(**d)

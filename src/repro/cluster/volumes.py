@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 
 from ..common.rng import make_rng
+from ..tiering import Tier
 
 __all__ = ["PROFILES", "VolumeRequest", "fleet_requests", "noisy_fleet_requests"]
 
@@ -40,6 +41,9 @@ class VolumeRequest:
     profile: str = "uniform"
     #: Required media family (``None`` = any).
     media: str | None = None
+    #: Required service-tier role (a :class:`repro.tiering.Tier`
+    #: value string, e.g. ``Tier.FAST.value``; ``None`` = any role).
+    tier: str | None = None
     #: Minimum data disks per RAID group on the hosting shard.
     min_ndata: int = 0
     #: IOPS cap as a fraction of the hosting shard's capacity
@@ -57,6 +61,11 @@ class VolumeRequest:
             raise ValueError("logical_blocks must be positive")
         if self.offered_fraction <= 0:
             raise ValueError("offered_fraction must be positive")
+        if self.tier is not None and self.tier not in {t.value for t in Tier}:
+            raise ValueError(
+                f"unknown tier role {self.tier!r}; pick a "
+                f"repro.tiering.Tier value"
+            )
 
     def as_dict(self) -> dict:
         return asdict(self)

@@ -28,6 +28,7 @@ from typing import ClassVar
 from .constants import (
     HBPS_BIN_WIDTH,
     HBPS_LIST_CAPACITY,
+    RAID_AGNOSTIC_AA_BLOCKS,
     TETRIS_STRIPES,
     TOPAA_RAID_AWARE_ENTRIES,
 )
@@ -41,7 +42,26 @@ __all__ = [
     "ObsConfig",
     "ClusterConfig",
     "SimConfig",
+    "TierSpec",
+    "VolumeDecl",
+    "AggregateSpec",
 ]
+
+#: RAID levels a :class:`TierSpec` may declare, with the parity-device
+#: count each implies ("mirror" pairs every data device with a copy, so
+#: its parity count is resolved against ``ndata`` at build time;
+#: "none" is the natively redundant object backend).
+RAID_LEVELS = ("raid4", "raid_dp", "mirror", "none")
+
+#: Media families a :class:`TierSpec` may declare (the
+#: :class:`~repro.devices.base.MediaType` value strings, kept primitive
+#: so specs never import above ``common``).
+MEDIA_FAMILIES = ("hdd", "ssd", "smr", "object")
+
+#: Declared workload hints the per-volume tier chooser understands
+#: (see :mod:`repro.tiering`): random-overwrite OLTP, streaming
+#: sequential churn, archival cold data, or no hint.
+WORKLOAD_HINTS = ("mixed", "oltp", "sequential", "archive")
 
 
 @dataclass(frozen=True)
@@ -99,6 +119,130 @@ class TrafficConfig:
 
 
 @dataclass(frozen=True)
+class TierSpec:
+    """One tier of a heterogeneous aggregate: a media family plus the
+    RAID geometry its groups share (primitives only, like every spec in
+    this module, so tier specs pickle and serialize trivially)."""
+
+    #: Unique tier name within the aggregate ("fast", "capacity", ...).
+    label: str
+    media: str = "ssd"
+    #: RAID level of every group in this tier (see :data:`RAID_LEVELS`).
+    raid: str = "raid4"
+    n_groups: int = 1
+    ndata: int = 6
+    blocks_per_disk: int = 262144
+    #: Stripes per AA; 0 selects the media-appropriate default.
+    stripes_per_aa: int = 0
+    #: Store AZCS checksum blocks (SMR tiers; paper section 3.2.4).
+    azcs: bool = False
+    #: Object tiers only: linear VBN-space size and AA size in blocks
+    #: (0 selects the RAID-agnostic default).
+    nblocks: int = 0
+    blocks_per_aa: int = RAID_AGNOSTIC_AA_BLOCKS
+    #: SSD tuning overrides (0/0.0 = the device model's defaults).
+    erase_block_blocks: int = 0
+    program_us_per_block: float = 0.0
+    #: SMR zone-size override (0 = the device model's default).
+    zone_blocks: int = 0
+    #: SMR zone-rewrite penalty override (0.0 = the model's default).
+    rewrite_penalty_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ValueError("a tier needs a non-empty label")
+        if self.media not in MEDIA_FAMILIES:
+            raise ValueError(
+                f"unknown media {self.media!r}; pick one of {MEDIA_FAMILIES}"
+            )
+        if self.raid not in RAID_LEVELS:
+            raise ValueError(
+                f"unknown RAID level {self.raid!r}; pick one of {RAID_LEVELS}"
+            )
+        if (self.media == "object") != (self.raid == "none"):
+            raise ValueError(
+                "object tiers (and only object tiers) are natively "
+                "redundant: use media='object' with raid='none'"
+            )
+        if self.media == "object":
+            if self.nblocks <= 0:
+                raise ValueError("an object tier needs nblocks > 0")
+        elif self.n_groups < 1 or self.ndata < 1:
+            raise ValueError("a RAID tier needs n_groups >= 1 and ndata >= 1")
+
+    @property
+    def nparity(self) -> int:
+        """Parity (or mirror) devices per group this level implies."""
+        if self.raid == "raid_dp":
+            return 2
+        if self.raid == "mirror":
+            return self.ndata
+        return 0 if self.raid == "none" else 1
+
+    @property
+    def physical_blocks(self) -> int:
+        """Data blocks this tier contributes to the aggregate."""
+        if self.media == "object":
+            return self.nblocks
+        return self.n_groups * self.ndata * self.blocks_per_disk
+
+
+@dataclass(frozen=True)
+class VolumeDecl:
+    """One FlexVol declaration inside an :class:`AggregateSpec`."""
+
+    name: str
+    logical_blocks: int
+    #: Virtual VBN-space size; 0 derives the FlexVol default (1.5x).
+    virtual_blocks: int = 0
+    #: Volume AA size; 0 selects the RAID-agnostic default.
+    blocks_per_aa: int = 0
+    #: Declared workload hint for the tier chooser
+    #: (see :data:`WORKLOAD_HINTS`).
+    workload: str = "mixed"
+
+    def __post_init__(self) -> None:
+        if self.logical_blocks <= 0:
+            raise ValueError("logical_blocks must be positive")
+        if self.workload not in WORKLOAD_HINTS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; "
+                f"pick one of {WORKLOAD_HINTS}"
+            )
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """Declarative description of one aggregate: its tiers, AA-selection
+    policies, and volumes — the single input of
+    :meth:`repro.fs.filesystem.WaflSim.build`."""
+
+    tiers: tuple[TierSpec, ...]
+    volumes: tuple[VolumeDecl, ...] = ()
+    #: Store-side AA selection policy (a
+    #: :class:`~repro.fs.aggregate.PolicyKind` value string).
+    policy: str = "cache"
+    #: Volume-side AA selection policy.
+    vol_policy: str = "cache"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tiers", tuple(self.tiers))
+        object.__setattr__(self, "volumes", tuple(self.volumes))
+        if not self.tiers:
+            raise ValueError("an aggregate needs at least one tier")
+        labels = [t.label for t in self.tiers]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate tier labels in {labels}")
+        names = [v.name for v in self.volumes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate volume names in {names}")
+
+    @property
+    def physical_blocks(self) -> int:
+        return sum(t.physical_blocks for t in self.tiers)
+
+
+@dataclass(frozen=True)
 class BenchConfig:
     """Benchmark-runner defaults: the figures' canonical seeds."""
 
@@ -111,6 +255,7 @@ class BenchConfig:
     macro_seed: int = 42
     traffic_seed: int = 7
     cluster_seed: int = 77
+    tier_seed: int = 55
 
     def canonical_seeds(self) -> dict[str, int]:
         """``experiment -> seed`` mapping, as the runner consumes it."""
@@ -123,6 +268,7 @@ class BenchConfig:
             "macro": self.macro_seed,
             "traffic": self.traffic_seed,
             "cluster": self.cluster_seed,
+            "tier": self.tier_seed,
         }
 
 

@@ -88,3 +88,9 @@ class RecoveryExhaustedError(TransientIOError):
 class PlacementError(ReproError):
     """The cluster volume scheduler found no aggregate that passes every
     placement filter (:mod:`repro.cluster.scheduler`)."""
+
+
+class TieringError(ReproError):
+    """A heterogeneous-tier operation failed: unknown tier label,
+    unmigratable volume, or a tier-migration block-conservation
+    violation (:mod:`repro.tiering`)."""

@@ -8,6 +8,7 @@ independent streams derive them with :func:`spawn`.
 
 from __future__ import annotations
 
+import zlib
 from typing import Iterable
 
 import numpy as np
@@ -47,3 +48,10 @@ def permute_in_chunks(
     perm = rng.permutation(total)
     for lo in range(0, total, chunk):
         yield perm[lo : lo + chunk]
+
+
+def derive_seed(base: int, key: str) -> int:
+    """Deterministic child seed: stable across processes and runs
+    (``base`` mixed with a CRC of ``key``; same construction the bench
+    runner and the cluster use for their per-unit seeds)."""
+    return (base * 1_000_003 + zlib.crc32(key.encode())) & 0x7FFFFFFF

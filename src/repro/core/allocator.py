@@ -401,19 +401,19 @@ class AggregateAllocator:
         # Every group is fragmented: write anyway rather than stall.
         return [True] * len(self.groups)
 
-    def allocate(self, n: int, only: list[int] | None = None) -> np.ndarray:
+    def allocate(self, n: int, groups: list[int] | None = None) -> np.ndarray:
         """Allocate up to ``n`` blocks across RAID groups; returns
         global VBNs.  Groups are visited round-robin in tetris-sized
         stripe batches so every group's devices stay busy.
 
-        ``only`` restricts allocation to the given group indices (the
-        Flash Pool tiering path routes hot data to SSD groups).
+        ``groups`` restricts allocation to the given group indices (how
+        tier policies route data to one tier's groups).
         """
         if n <= 0:
             return np.empty(0, dtype=np.int64)
         active = self._active_mask()
-        if only is not None:
-            allowed = set(only)
+        if groups is not None:
+            allowed = set(groups)
             active = [a and i in allowed for i, a in enumerate(active)]
             if not any(active):
                 active = [i in allowed for i in range(len(self.groups))]

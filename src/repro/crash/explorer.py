@@ -305,25 +305,25 @@ def explore_cps(
 
 def _small_aged_sim(*, blocks_per_disk: int, seed: int) -> WaflSim:
     """A small aged all-SSD sim sized for exhaustive crash sweeps."""
-    from ..fs.aggregate import MediaType, RAIDGroupConfig
-    from ..fs.flexvol import VolSpec
+    from ..common.config import AggregateSpec, TierSpec, VolumeDecl
     from ..workloads.aging import age_filesystem, reset_measurement_state
 
-    groups = [
-        RAIDGroupConfig(
-            ndata=3,
-            nparity=1,
-            blocks_per_disk=blocks_per_disk,
-            media=MediaType.SSD,
-            stripes_per_aa=256,
-        )
-    ]
+    tier = TierSpec(
+        label="ssd",
+        media="ssd",
+        ndata=3,
+        blocks_per_disk=blocks_per_disk,
+        stripes_per_aa=256,
+    )
     phys = 3 * blocks_per_disk
-    vols = [
-        VolSpec("volA", logical_blocks=phys // 4),
-        VolSpec("volB", logical_blocks=phys // 8),
-    ]
-    sim = WaflSim.build_raid(groups, vols, seed=seed)
+    spec = AggregateSpec(
+        tiers=(tier,),
+        volumes=(
+            VolumeDecl("volA", logical_blocks=phys // 4),
+            VolumeDecl("volB", logical_blocks=phys // 8),
+        ),
+    )
+    sim = WaflSim.build(spec, seed=seed)
     age_filesystem(sim, churn_factor=1.0, ops_per_cp=2048, seed=seed)
     reset_measurement_state(sim)
     return sim

@@ -1,7 +1,7 @@
 """Device models: HDD, SSD (block-mapped FTL), SMR, object store
 (paper sections 2.6, 3.2; substitutions documented in DESIGN.md)."""
 
-from .base import Device, DeviceStats
+from .base import Device, DeviceStats, MediaType
 from .hdd import HDD, HDDConfig
 from .objectstore import ObjectStore, ObjectStoreConfig
 from .smr import SMRConfig, SMRDrive
@@ -10,6 +10,7 @@ from .ssd import SSD, SSDConfig
 __all__ = [
     "Device",
     "DeviceStats",
+    "MediaType",
     "HDD",
     "HDDConfig",
     "ObjectStore",

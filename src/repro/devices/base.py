@@ -15,13 +15,23 @@ statistics as a side effect.
 from __future__ import annotations
 
 import abc
+import enum
 from dataclasses import dataclass
 
 import numpy as np
 
 from .. import obs
 
-__all__ = ["Device", "DeviceStats"]
+__all__ = ["Device", "DeviceStats", "MediaType"]
+
+
+class MediaType(enum.Enum):
+    """Storage media families the paper evaluates (section 2.1)."""
+
+    HDD = "hdd"
+    SSD = "ssd"
+    SMR = "smr"
+    OBJECT = "object"
 
 
 @dataclass

@@ -22,7 +22,6 @@ from __future__ import annotations
 from ..common.errors import MountError
 from ..common.retry import RetryBudget, retry_with_backoff
 from ..core.cache import make_aa_cache
-from ..fs.aggregate import LinearStore, RAIDStore
 from ..fs.filesystem import WaflSim
 from ..fs.iron import IronReport, repair
 from ..fs.mount import DEFAULT_MOUNT_RETRIES
@@ -33,12 +32,8 @@ __all__ = ["attach_everywhere", "instances", "degraded_instances", "escalate", "
 def instances(sim: WaflSim) -> dict[str, object]:
     """All fault-addressable file-system instances by ``where`` label."""
     out: dict[str, object] = {}
-    store = sim.store
-    if isinstance(store, RAIDStore):
-        for g in store.groups:
-            out[g.where] = g
-    elif isinstance(store, LinearStore):
-        out[store.where] = store
+    for where, fs, _ in sim.store.physical_instances():
+        out[where] = fs
     for vol in sim.vols.values():
         out[vol.where] = vol
     return out
@@ -102,21 +97,18 @@ def exit_degraded(sim: WaflSim, *, budget: RetryBudget | None = None) -> int:
 
     blocks_read = 0
     store = sim.store
-    group_touched = False
-    if isinstance(store, RAIDStore):
-        for g in store.groups:
-            if not g.degraded_alloc:
-                continue
-            blocks_read += _read(g)
-            scores = g.topology.scores_from_bitmap(g.metafile.bitmap)
-            g.adopt_cache(make_aa_cache(g.topology, scores))
-            group_touched = True
-        if group_touched:
-            store.rebind_allocators()
-    elif isinstance(store, LinearStore) and store.degraded_alloc:
-        blocks_read += _read(store)
-        scores = store.topology.scores_from_bitmap(store.metafile.bitmap)
-        store.adopt_cache(make_aa_cache(store.topology, scores))
+    touched = False
+    for _, fs, _ in store.physical_instances():
+        if not fs.degraded_alloc:
+            continue
+        blocks_read += _read(fs)
+        scores = fs.topology.scores_from_bitmap(fs.metafile.bitmap)
+        fs.adopt_cache(make_aa_cache(fs.topology, scores))
+        touched = True
+    if touched:
+        # Group-level cache adoption invalidates the aggregate
+        # allocator's bindings; linear stores make this a no-op.
+        store.rebind_allocators()
     for vol in sim.vols.values():
         if not vol.degraded_alloc:
             continue

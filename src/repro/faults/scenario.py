@@ -23,11 +23,11 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
 
+from ..common.config import AggregateSpec, TierSpec, VolumeDecl
 from ..common.errors import AllocationError, OutOfSpaceError
 from ..core.policies import BitmapWalkSource
-from ..fs.aggregate import MediaType, RAIDGroupConfig, RAIDStore
+from ..fs.aggregate import RAIDStore
 from ..fs.filesystem import WaflSim
-from ..fs.flexvol import VolSpec
 from ..fs.iron import scan
 from ..fs.mount import export_topaa, simulate_mount
 from ..workloads import RandomOverwriteWorkload, fill_volumes
@@ -117,16 +117,19 @@ def default_scenario(seed: int = 1234, *, quick: bool = False) -> ChaosScenario:
 
 
 def _default_sim(seed: int) -> WaflSim:
-    group = RAIDGroupConfig(
-        ndata=3, nparity=1, blocks_per_disk=32768,
-        media=MediaType.SSD, stripes_per_aa=2048,
+    tier = TierSpec(
+        label="ssd", media="ssd", ndata=3, blocks_per_disk=32768,
+        stripes_per_aa=2048,
     )
     phys = 3 * 32768
-    vols = [
-        VolSpec("volA", logical_blocks=phys // 4),
-        VolSpec("volB", logical_blocks=phys // 8),
-    ]
-    return WaflSim.build_raid([group], vols, seed=seed)
+    spec = AggregateSpec(
+        tiers=(tier,),
+        volumes=(
+            VolumeDecl("volA", logical_blocks=phys // 4),
+            VolumeDecl("volB", logical_blocks=phys // 8),
+        ),
+    )
+    return WaflSim.build(spec, seed=seed)
 
 
 def _group_index(target: str) -> int:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
@@ -44,7 +45,7 @@ from ..core.policies import (
 )
 from ..core.score import ScoreKeeper
 from ..core.sizing import aa_size_for_hdd, aa_size_for_smr, aa_size_for_ssd
-from ..devices.base import Device
+from ..devices.base import Device, MediaType
 from ..devices.hdd import HDD, HDDConfig
 from ..devices.objectstore import ObjectStore, ObjectStoreConfig
 from ..devices.smr import SMRConfig, SMRDrive
@@ -56,6 +57,7 @@ from .azcs import azcs_device_blocks, azcs_expand
 __all__ = [
     "MediaType",
     "PolicyKind",
+    "TierPolicy",
     "RAIDGroupConfig",
     "RAIDGroupRuntime",
     "GroupCPReport",
@@ -65,13 +67,28 @@ __all__ = [
 ]
 
 
-class MediaType(enum.Enum):
-    """Storage media families the paper evaluates (section 2.1)."""
+@runtime_checkable
+class TierPolicy(Protocol):
+    """Data-placement policy a store may carry (``store.tier_policy``).
 
-    HDD = "hdd"
-    SSD = "ssd"
-    SMR = "smr"
-    OBJECT = "object"
+    The CP engine consults it instead of calling ``store.allocate``
+    directly: :meth:`place` returns one physical VBN per staged block,
+    aligned with ``ids``, routed to whatever tier the policy chooses
+    (Flash Pool hot/cold splitting, per-volume static pinning, ...).
+    This protocol is structural on purpose — concrete policies live in
+    :mod:`repro.tiering`, which sits far above ``fs`` in the layer DAG.
+    """
+
+    def place(
+        self,
+        store: object,
+        vol_name: str,
+        ids: np.ndarray,
+        was_mapped: np.ndarray,
+    ) -> np.ndarray:
+        """Allocate physical VBNs for ``ids`` (``was_mapped[i]`` is True
+        for overwrites); raises ``OutOfSpaceError`` on shortfall."""
+        ...
 
 
 class PolicyKind(enum.Enum):
@@ -93,6 +110,9 @@ class RAIDGroupConfig:
     nparity: int = 1
     blocks_per_disk: int = 262144  # 1 GiB of 4 KiB blocks per device
     media: MediaType = MediaType.SSD
+    #: Mirrored group (each data device paired with a copy) — requires
+    #: ``nparity == ndata``; see :class:`~repro.raid.geometry.RAIDGeometry`.
+    mirrored: bool = False
     #: Stripes per AA; None selects the media-appropriate default
     #: (4k stripes for HDD, erase-block multiples for SSD, ...).
     stripes_per_aa: int | None = None
@@ -161,6 +181,9 @@ class StoreCPReport:
     #: ~blocks / selected-AA density — see CpuModel.us_per_spanned_block).
     spanned_blocks: int = 0
     groups: list[GroupCPReport] = field(default_factory=list)
+    #: Tiered aggregates only: this CP's outcome sliced per tier label
+    #: (each value is a plain single-tier report; empty otherwise).
+    by_tier: dict[str, "StoreCPReport"] = field(default_factory=dict)
 
 
 def _make_linear_source(
@@ -201,7 +224,10 @@ class RAIDGroupRuntime:
         self.config = config
         self.name = name
         self._batch_flush = bool(batch_flush)
-        self.geometry = RAIDGeometry(config.ndata, config.nparity, config.blocks_per_disk)
+        self.geometry = RAIDGeometry(
+            config.ndata, config.nparity, config.blocks_per_disk,
+            mirrored=config.mirrored,
+        )
         stripes_per_aa = config.resolve_stripes_per_aa(self.geometry)
         self.topology = StripeAATopology(self.geometry, stripes_per_aa)
         self.metafile = BitmapMetafile(self.geometry.data_blocks)
@@ -439,6 +465,7 @@ class RAIDGroupRuntime:
             and self.config.media is MediaType.SSD
             and not self.failed_disks
             and not self.azcs
+            and not self.geometry.mirrored
         ):
             return self._price_cp_writes_unpriced(local_vbns)
         with obs.span(
@@ -527,8 +554,13 @@ class RAIDGroupRuntime:
             us = self._issue_writes(dev, mine)
             us += dev.read_blocks(reads_per_dev)
             busy.append(us)
-        for dev in self.parity_devices:
-            us = self._issue_writes(dev, stats.touched_stripes)
+        for p, dev in enumerate(self.parity_devices):
+            if self.geometry.mirrored:
+                # Mirror device p copies data device p's written DBNs.
+                mine = sb[bounds[p] : bounds[p + 1]]
+            else:
+                mine = stats.touched_stripes
+            us = self._issue_writes(dev, mine)
             us += dev.read_blocks(reads_per_dev)
             busy.append(us)
         report.busy_us += max(busy) if busy else 0.0
@@ -590,6 +622,11 @@ class RAIDGroupRuntime:
 
 class RAIDStore:
     """Aggregate physical store backed by one or more RAID groups."""
+
+    #: Optional :class:`TierPolicy` the CP engine consults for data
+    #: placement; None means plain aggregate-wide allocation.  Builders
+    #: attach policies (:mod:`repro.tiering`); plain stores carry none.
+    tier_policy: TierPolicy | None = None
 
     def __init__(
         self,
@@ -658,37 +695,21 @@ class RAIDStore:
         """Media type of each RAID group."""
         return [g.config.media for g in self.groups]
 
-    @property
-    def supports_tiering(self) -> bool:
-        """True for Flash Pool-style mixed-media aggregates (paper
-        section 2.1: SSD RAID groups caching for HDD RAID groups)."""
-        kinds = set(self.media_kinds)
-        return MediaType.SSD in kinds and len(kinds) > 1
+    def physical_instances(self) -> list[tuple[str, object, int]]:
+        """The store's fault-addressable file-system instances as
+        ``(where, instance, global_vbn_base)`` triples — the structural
+        API Iron, the invariant auditor, and the recovery orchestrator
+        walk instead of dispatching on store type."""
+        return [(g.where, g, g.offset) for g in self.groups]
 
-    def _tier_groups(self, fast: bool) -> list[int]:
-        return [
-            i
-            for i, m in enumerate(self.media_kinds)
-            if (m is MediaType.SSD) == fast
-        ]
-
-    def allocate(self, n: int, tier: str | None = None) -> np.ndarray:
+    def allocate(self, n: int, groups: list[int] | None = None) -> np.ndarray:
         """Allocate ``n`` physical blocks across RAID groups.
 
-        ``tier`` ("fast" or "capacity") restricts allocation to SSD or
-        non-SSD groups first, falling back to the other tier when the
-        preferred one runs dry — the Flash Pool placement policy.
+        ``groups`` restricts allocation to the given group indices (how
+        a :class:`TierPolicy` routes data to one tier's groups); None
+        allocates aggregate-wide.
         """
-        if tier is None or not self.supports_tiering:
-            return self.allocator.allocate(n)
-        preferred = self._tier_groups(fast=(tier == "fast"))
-        got = self.allocator.allocate(n, only=preferred)
-        if got.size < n:
-            rest = self.allocator.allocate(
-                n - got.size, only=self._tier_groups(fast=(tier != "fast"))
-            )
-            got = np.concatenate([got, rest]) if got.size else rest
-        return got
+        return self.allocator.allocate(n, groups=groups)
 
     def log_free(self, vbns: np.ndarray) -> None:
         """Log global VBNs for freeing at the next CP boundary."""
@@ -786,6 +807,9 @@ class LinearStore:
     """Physical store with native redundancy (object store): linear
     AAs, HBPS cache, a single device model."""
 
+    #: See :attr:`RAIDStore.tier_policy`.
+    tier_policy: TierPolicy | None = None
+
     def __init__(
         self,
         nblocks: int,
@@ -838,6 +862,15 @@ class LinearStore:
     def attach_injector(self, injector) -> None:
         """Attach a fault injector to this store's read paths."""
         self.injector = injector
+
+    def physical_instances(self) -> list[tuple[str, object, int]]:
+        """See :meth:`RAIDStore.physical_instances`; a linear store is
+        its own (single) fault-addressable instance."""
+        return [(self.where, self, 0)]
+
+    def rebind_allocators(self) -> None:
+        """No-op: :meth:`adopt_cache` already rebinds this store's
+        allocator (there is no aggregate-level allocator to refresh)."""
 
     def read_metafile(self, nblocks: int | None = None) -> int:
         """Fault-aware metafile read.  A natively redundant object store

@@ -105,7 +105,7 @@ class CPEngine:
         if self.auditor is not None:
             self.auditor.before_cp(self)
         virtual_blocks = 0
-        tiered = getattr(self.store, "supports_tiering", False)
+        tier_policy = self.store.tier_policy
         for name, ids in batch.writes.items():
             vol = self.vols[name]
             ids = sorted_unique(np.asarray(ids, dtype=np.int64))
@@ -114,21 +114,12 @@ class CPEngine:
             with obs.span("cp.allocate", vol=name, blocks=int(ids.size)):
                 was_mapped = vol.l2v[ids] >= 0
                 new_v, old_v, old_p = vol.stage_writes(ids)
-                if tiered:
-                    # Flash Pool placement: overwritten (hot) blocks go to
-                    # the SSD tier, first writes to the capacity tier.
-                    n_hot = int(was_mapped.sum())
-                    p_hot = self.store.allocate(n_hot, tier="fast")
-                    p_cold = self.store.allocate(int(ids.size) - n_hot, tier="capacity")
-                    new_p = np.empty(ids.size, dtype=np.int64)
-                    got = p_hot.size + p_cold.size
-                    if got < ids.size:
-                        raise OutOfSpaceError(
-                            f"aggregate out of space: {got} of {ids.size} "
-                            f"physical blocks allocated for volume {name}"
-                        )
-                    new_p[was_mapped] = p_hot
-                    new_p[~was_mapped] = p_cold
+                if tier_policy is not None:
+                    # The store's tier policy decides where each block
+                    # lands (e.g. Flash Pool: overwritten blocks to the
+                    # SSD tier, first writes to the capacity tier).  It
+                    # raises OutOfSpaceError itself on shortfall.
+                    new_p = tier_policy.place(self.store, name, ids, was_mapped)
                 else:
                     new_p = self.store.allocate(int(ids.size))
                     if new_p.size < ids.size:
@@ -187,6 +178,12 @@ class CPEngine:
             aa_switches=aa_switches,
             spanned_blocks=spanned,
             ops_by_source=dict(batch.ops_by_source),
+            blocks_by_tier={
+                t: r.blocks_written for t, r in store_report.by_tier.items()
+            },
+            freed_by_tier={
+                t: r.blocks_freed for t, r in store_report.by_tier.items()
+            },
         )
         stats.cpu_us = self.cpu_model.cp_cpu_us(
             ops=batch.ops,
@@ -219,6 +216,13 @@ class CPEngine:
         obs.count("cp.cache_ops", store_report.cache_ops, where="store")
         obs.count("cp.aa_switches", store_report.aa_switches, where="store")
         obs.count("cp.spanned_blocks", store_report.spanned_blocks, where="store")
+        for label, tr in store_report.by_tier.items():
+            # Distinct metric names so aggregate-wide sums over the
+            # cp.* counters above never double-count the tier slices.
+            where = f"tier:{label}"
+            obs.count("cp.tier_blocks", tr.blocks_written, where=where)
+            obs.count("cp.tier_freed", tr.blocks_freed, where=where)
+            obs.count("cp.tier_device_busy_us", int(tr.device_busy_us), where=where)
         for name, r in vol_reports:
             where = f"vol:{name}"
             obs.count("cp.blocks_freed", r.blocks_freed, where=where)

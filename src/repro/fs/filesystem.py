@@ -7,18 +7,24 @@ builder functions the examples and benchmarks share.
 
 from __future__ import annotations
 
+import importlib
+import warnings
 from typing import Iterable, Iterator
 
 import numpy as np
 
-from ..common.config import SimConfig
+from ..common.config import AggregateSpec, SimConfig, TierSpec
+from ..common.constants import RAID_AGNOSTIC_AA_BLOCKS
 from ..common.errors import GeometryError
 from ..common.rng import make_rng
 from ..devices.objectstore import ObjectStoreConfig
+from ..devices.smr import SMRConfig
+from ..devices.ssd import SSDConfig
 from ..sim.cpu import CpuModel
 from ..sim.stats import CPStats, MetricsLog
 from .aggregate import (
     LinearStore,
+    MediaType,
     PolicyKind,
     RAIDGroupConfig,
     RAIDStore,
@@ -29,12 +35,60 @@ from .flexvol import FlexVol, VolSpec
 __all__ = ["WaflSim"]
 
 
+def _tier_group_configs(tier: TierSpec) -> list[RAIDGroupConfig]:
+    """RAID group configs for one declared (non-object) tier."""
+    ssd_cfg = None
+    if tier.media == "ssd" and (tier.erase_block_blocks or tier.program_us_per_block):
+        kwargs: dict = {}
+        if tier.erase_block_blocks:
+            kwargs["erase_block_blocks"] = tier.erase_block_blocks
+        if tier.program_us_per_block:
+            kwargs["program_us_per_block"] = tier.program_us_per_block
+        ssd_cfg = SSDConfig(**kwargs)
+    smr_cfg = None
+    if tier.media == "smr" and (tier.zone_blocks or tier.rewrite_penalty_us):
+        kwargs = {}
+        if tier.zone_blocks:
+            kwargs["zone_blocks"] = tier.zone_blocks
+        if tier.rewrite_penalty_us:
+            kwargs["rewrite_penalty_us"] = tier.rewrite_penalty_us
+        smr_cfg = SMRConfig(**kwargs)
+    return [
+        RAIDGroupConfig(
+            ndata=tier.ndata,
+            nparity=tier.nparity,
+            blocks_per_disk=tier.blocks_per_disk,
+            media=MediaType(tier.media),
+            mirrored=tier.raid == "mirror",
+            stripes_per_aa=tier.stripes_per_aa or None,
+            azcs=tier.azcs,
+            ssd_config=ssd_cfg,
+            smr_config=smr_cfg,
+        )
+        for _ in range(tier.n_groups)
+    ]
+
+
+def _vol_specs(spec: AggregateSpec) -> list[VolSpec]:
+    """Translate the spec's volume declarations into builder VolSpecs."""
+    return [
+        VolSpec(
+            v.name,
+            logical_blocks=v.logical_blocks,
+            virtual_blocks=v.virtual_blocks or None,
+            blocks_per_aa=v.blocks_per_aa or RAID_AGNOSTIC_AA_BLOCKS,
+            workload=v.workload,
+        )
+        for v in spec.volumes
+    ]
+
+
 class WaflSim:
     """A running WAFL-like system: store + volumes + CP engine.
 
-    Most users construct one via :meth:`build_raid` /
-    :meth:`build_object` and drive it with a workload iterator from
-    :mod:`repro.workloads`.
+    Most users construct one via :meth:`build` from a declarative
+    :class:`~repro.common.config.AggregateSpec` and drive it with a
+    workload iterator from :mod:`repro.workloads`.
     """
 
     def __init__(
@@ -53,6 +107,139 @@ class WaflSim:
     # Builders
     # ------------------------------------------------------------------
     @classmethod
+    def build(
+        cls,
+        spec: AggregateSpec,
+        *,
+        object_config: ObjectStoreConfig | None = None,
+        config: SimConfig | None = None,
+        cpu_model: CpuModel | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> "WaflSim":
+        """Construct a simulator from a declarative aggregate spec.
+
+        One entry point for every backing-store shape:
+
+        * one RAID tier — a plain :class:`RAIDStore` (HDD/SSD/SMR
+          groups, RAID 4 / RAID-DP / mirrored);
+        * one object tier — a :class:`LinearStore`;
+        * several tiers — a :class:`repro.tiering.TieredStore`
+          composing one member store per tier in a single aggregate
+          VBN space, with the per-volume tier chooser attached.
+
+        ``spec.policy`` / ``spec.vol_policy`` select AA caches or
+        baselines independently — the four quadrants of Figure 6.
+        Tunables come from ``config`` (default :meth:`SimConfig.default`).
+        """
+        agg_policy = PolicyKind(spec.policy)
+        vol_policy = PolicyKind(spec.vol_policy)
+        vol_specs = _vol_specs(spec)
+        if len(spec.tiers) > 1:
+            # repro.tiering sits far above fs in the layer DAG, so the
+            # multi-tier path binds to it at call time only.
+            tiering = importlib.import_module("repro.tiering")
+            rng = make_rng(seed)
+            store = tiering.make_tiered_store(
+                spec, policy=agg_policy, config=config,
+                object_config=object_config, seed=rng,
+            )
+            vols = {
+                s.name: FlexVol(s, policy=vol_policy, config=config, seed=rng)
+                for s in vol_specs
+            }
+            cls._check_capacity(
+                store.nblocks, vol_specs,
+                by_tier={t.label: t.physical_blocks for t in spec.tiers},
+            )
+            return cls(store, vols, cpu_model=cpu_model)
+        tier = spec.tiers[0]
+        if tier.media == "object":
+            return cls._build_object(
+                tier.nblocks,
+                vol_specs,
+                blocks_per_aa=tier.blocks_per_aa,
+                aggregate_policy=agg_policy,
+                vol_policy=vol_policy,
+                object_config=object_config,
+                config=config,
+                cpu_model=cpu_model,
+                seed=seed,
+            )
+        return cls._build_raid(
+            _tier_group_configs(tier),
+            vol_specs,
+            aggregate_policy=agg_policy,
+            vol_policy=vol_policy,
+            config=config,
+            cpu_model=cpu_model,
+            seed=seed,
+        )
+
+    @classmethod
+    def _build_raid(
+        cls,
+        group_configs: list[RAIDGroupConfig],
+        vol_specs: list[VolSpec],
+        *,
+        aggregate_policy: PolicyKind = PolicyKind.CACHE,
+        vol_policy: PolicyKind = PolicyKind.CACHE,
+        config: SimConfig | None = None,
+        cpu_model: CpuModel | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> "WaflSim":
+        rng = make_rng(seed)
+        store = RAIDStore(
+            group_configs,
+            policy=aggregate_policy,
+            config=config,
+            seed=rng,
+        )
+        kinds = set(store.media_kinds)
+        if MediaType.SSD in kinds and len(kinds) > 1:
+            # Flash Pool (paper section 2.1): a mixed SSD + capacity
+            # aggregate places hot overwrites on its SSD groups.  The
+            # policy is stateless, so attaching it stays byte-identical.
+            store.tier_policy = importlib.import_module(
+                "repro.tiering"
+            ).FlashPoolPolicy()
+        vols = {
+            spec.name: FlexVol(spec, policy=vol_policy, config=config, seed=rng)
+            for spec in vol_specs
+        }
+        cls._check_capacity(store.nblocks, vol_specs)
+        return cls(store, vols, cpu_model=cpu_model)
+
+    @classmethod
+    def _build_object(
+        cls,
+        nblocks: int,
+        vol_specs: list[VolSpec],
+        *,
+        blocks_per_aa: int = RAID_AGNOSTIC_AA_BLOCKS,
+        aggregate_policy: PolicyKind = PolicyKind.CACHE,
+        vol_policy: PolicyKind = PolicyKind.CACHE,
+        object_config: ObjectStoreConfig | None = None,
+        config: SimConfig | None = None,
+        cpu_model: CpuModel | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> "WaflSim":
+        rng = make_rng(seed)
+        store = LinearStore(
+            nblocks,
+            blocks_per_aa=blocks_per_aa,
+            policy=aggregate_policy,
+            object_config=object_config,
+            config=config,
+            seed=rng,
+        )
+        vols = {
+            spec.name: FlexVol(spec, policy=vol_policy, config=config, seed=rng)
+            for spec in vol_specs
+        }
+        cls._check_capacity(nblocks, vol_specs)
+        return cls(store, vols, cpu_model=cpu_model)
+
+    @classmethod
     def build_raid(
         cls,
         group_configs: list[RAIDGroupConfig],
@@ -64,25 +251,25 @@ class WaflSim:
         cpu_model: CpuModel | None = None,
         seed: int | np.random.Generator | None = None,
     ) -> "WaflSim":
-        """Aggregate backed by RAID groups of HDDs, SSDs, or SMR drives.
-
-        ``aggregate_policy`` and ``vol_policy`` select AA caches or
-        baselines independently — the four quadrants of Figure 6.
-        Tunables come from ``config`` (default :meth:`SimConfig.default`).
+        """Deprecated: use :meth:`build` with an
+        :class:`~repro.common.config.AggregateSpec`.  Kept for one
+        release; byte-identical to the equivalent :meth:`build` call.
         """
-        rng = make_rng(seed)
-        store = RAIDStore(
-            group_configs,
-            policy=aggregate_policy,
-            config=config,
-            seed=rng,
+        warnings.warn(
+            "WaflSim.build_raid is deprecated; use "
+            "WaflSim.build(AggregateSpec(...))",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        vols = {
-            spec.name: FlexVol(spec, policy=vol_policy, config=config, seed=rng)
-            for spec in vol_specs
-        }
-        cls._check_capacity(store.nblocks, vol_specs)
-        return cls(store, vols, cpu_model=cpu_model)
+        return cls._build_raid(
+            group_configs,
+            vol_specs,
+            aggregate_policy=aggregate_policy,
+            vol_policy=vol_policy,
+            config=config,
+            cpu_model=cpu_model,
+            seed=seed,
+        )
 
     @classmethod
     def build_object(
@@ -97,31 +284,43 @@ class WaflSim:
         cpu_model: CpuModel | None = None,
         seed: int | np.random.Generator | None = None,
     ) -> "WaflSim":
-        """Aggregate backed by a natively redundant object store
-        (RAID-agnostic AAs on the physical side too)."""
-        rng = make_rng(seed)
-        store = LinearStore(
+        """Deprecated: use :meth:`build` with an
+        :class:`~repro.common.config.AggregateSpec` declaring one
+        object tier.  Kept for one release; byte-identical to the
+        equivalent :meth:`build` call."""
+        warnings.warn(
+            "WaflSim.build_object is deprecated; use "
+            "WaflSim.build(AggregateSpec(...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return cls._build_object(
             nblocks,
-            policy=aggregate_policy,
+            vol_specs,
+            aggregate_policy=aggregate_policy,
+            vol_policy=vol_policy,
             object_config=object_config,
             config=config,
-            seed=rng,
+            cpu_model=cpu_model,
+            seed=seed,
         )
-        vols = {
-            spec.name: FlexVol(spec, policy=vol_policy, config=config, seed=rng)
-            for spec in vol_specs
-        }
-        cls._check_capacity(nblocks, vol_specs)
-        return cls(store, vols, cpu_model=cpu_model)
 
     @staticmethod
-    def _check_capacity(phys_blocks: int, vol_specs: list[VolSpec]) -> None:
+    def _check_capacity(
+        phys_blocks: int,
+        vol_specs: list[VolSpec],
+        by_tier: dict[str, int] | None = None,
+    ) -> None:
         logical = sum(s.logical_blocks for s in vol_specs)
         if logical > phys_blocks:
+            detail = ""
+            if by_tier:
+                parts = ", ".join(f"{t}={n}" for t, n in by_tier.items())
+                detail = f"; per-tier capacity: {parts}"
             raise GeometryError(
                 f"volumes address {logical} blocks but the aggregate has "
                 f"only {phys_blocks} (thin provisioning cannot exceed the "
-                f"physically written working set)"
+                f"physically written working set){detail}"
             )
 
     # ------------------------------------------------------------------
@@ -175,12 +374,8 @@ class WaflSim:
         """
         for vol in self.vols.values():
             vol.free_budget_blocks = metafile_blocks
-        store = self.store
-        if hasattr(store, "groups"):
-            for g in store.groups:
-                g.free_budget_blocks = metafile_blocks
-        else:
-            store.free_budget_blocks = metafile_blocks
+        for _, fs, _ in self.store.physical_instances():
+            fs.free_budget_blocks = metafile_blocks
 
     # ------------------------------------------------------------------
     # Snapshots (extension)
@@ -204,13 +399,9 @@ class WaflSim:
             v.verify_consistency()
             if v.delayed_frees.pending_count == 0:
                 v.keeper.verify_against(v.metafile.bitmap)
-        if isinstance(self.store, RAIDStore):
-            for g in self.store.groups:
-                if g.delayed_frees.pending_count == 0:
-                    g.keeper.verify_against(g.metafile.bitmap)
-        elif isinstance(self.store, LinearStore):
-            if self.store.delayed_frees.pending_count == 0:
-                self.store.keeper.verify_against(self.store.metafile.bitmap)
+        for _, fs, _ in self.store.physical_instances():
+            if fs.delayed_frees.pending_count == 0:
+                fs.keeper.verify_against(fs.metafile.bitmap)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

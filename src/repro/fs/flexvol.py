@@ -52,6 +52,10 @@ class VolSpec:
     #: never starve the virtual space).
     virtual_blocks: int | None = None
     blocks_per_aa: int = RAID_AGNOSTIC_AA_BLOCKS
+    #: Declared workload hint ("mixed", "oltp", "sequential",
+    #: "archive") — the tier chooser's prior when placing the volume
+    #: on a heterogeneous aggregate (see :mod:`repro.tiering`).
+    workload: str = "mixed"
 
     def resolve_virtual_blocks(self) -> int:
         if self.virtual_blocks is not None:

@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.cache import make_aa_cache
-from .aggregate import RAIDStore, LinearStore
+from .aggregate import RAIDGroupRuntime
 from .filesystem import WaflSim
 
 __all__ = ["IronFinding", "IronReport", "scan", "repair"]
@@ -100,16 +100,10 @@ def _store_reference_physical(sim: WaflSim) -> np.ndarray:
         p = vol.v2p[vol.v2p >= 0]
         if p.size:
             refs.append(p)
-    store = sim.store
-    logs = (
-        [(g.delayed_frees, g.offset) for g in store.groups]
-        if isinstance(store, RAIDStore)
-        else [(store.delayed_frees, 0)]
-    )
-    for log, offset in logs:
-        pending = log.pending_vbns()
+    for _, fs, base in sim.store.physical_instances():
+        pending = fs.delayed_frees.pending_vbns()
         if pending.size:
-            refs.append(pending + offset)
+            refs.append(pending + base)
     if not refs:
         return np.empty(0, dtype=np.int64)
     return np.unique(np.concatenate(refs))
@@ -157,31 +151,26 @@ def scan(sim: WaflSim, scope=None) -> IronReport:
             )
 
     phys_ref = _store_reference_physical(sim)
-    store = sim.store
-    if isinstance(store, RAIDStore):
-        for gi, g in enumerate(store.groups):
-            if not _in_scope(f"group:{gi}", scope):
-                continue
-            lo, hi = g.offset, g.offset + g.topology.nblocks
-            local_ref = phys_ref[(phys_ref >= lo) & (phys_ref < hi)] - lo
-            leaked, corrupt = _diff_bitmap(g.metafile.bitmap, local_ref)
-            if leaked:
-                report.findings.append(IronFinding("leaked", f"group:{gi}", leaked))
-            if corrupt:
-                report.findings.append(IronFinding("corrupt", f"group:{gi}", corrupt))
-            truth = g.topology.scores_from_bitmap(g.metafile.bitmap)
-            diverged = int(np.count_nonzero(truth != g.keeper.scores))
+    for where, fs, base in sim.store.physical_instances():
+        if not _in_scope(where, scope):
+            continue
+        lo, hi = base, base + fs.topology.nblocks
+        local_ref = phys_ref[(phys_ref >= lo) & (phys_ref < hi)] - lo
+        leaked, corrupt = _diff_bitmap(fs.metafile.bitmap, local_ref)
+        if leaked:
+            report.findings.append(IronFinding("leaked", where, leaked))
+        if corrupt:
+            report.findings.append(IronFinding("corrupt", where, corrupt))
+        if isinstance(fs, RAIDGroupRuntime):
+            # Linear stores keep no group-level score pin (their HBPS
+            # cache is refreshed from bitmap walks), so score
+            # divergence is only a finding for RAID groups.
+            truth = fs.topology.scores_from_bitmap(fs.metafile.bitmap)
+            diverged = int(np.count_nonzero(truth != fs.keeper.scores))
             if diverged:
                 report.findings.append(
-                    IronFinding("score-divergence", f"group:{gi}", diverged)
+                    IronFinding("score-divergence", where, diverged)
                 )
-    elif isinstance(store, LinearStore):
-        if _in_scope("store", scope):
-            leaked, corrupt = _diff_bitmap(store.metafile.bitmap, phys_ref)
-            if leaked:
-                report.findings.append(IronFinding("leaked", "store", leaked))
-            if corrupt:
-                report.findings.append(IronFinding("corrupt", "store", corrupt))
     return report
 
 
@@ -223,41 +212,35 @@ def repair(sim: WaflSim, scope=None, *, rebuild_caches: bool = True) -> IronRepo
     # Physical stores: rewrite to container-map truth.
     phys_ref = _store_reference_physical(sim)
     store = sim.store
-    if isinstance(store, RAIDStore):
-        touched = False
-        for gi, g in enumerate(store.groups):
-            if not _in_scope(f"group:{gi}", scope):
-                continue
-            touched = True
-            lo, hi = g.offset, g.offset + g.topology.nblocks
-            local_ref = phys_ref[(phys_ref >= lo) & (phys_ref < hi)] - lo
-            bm = g.metafile.bitmap
-            g.allocator.release()
-            bm.clear_range(0, bm.nblocks)
-            bm.allocate(local_ref)
-            g.metafile.drain_dirty()
-            g.keeper.recompute(bm)
+    touched = False
+    for where, fs, base in store.physical_instances():
+        if not _in_scope(where, scope):
+            continue
+        touched = True
+        lo, hi = base, base + fs.topology.nblocks
+        local_ref = phys_ref[(phys_ref >= lo) & (phys_ref < hi)] - lo
+        bm = fs.metafile.bitmap
+        fs.allocator.release()
+        bm.clear_range(0, bm.nblocks)
+        bm.allocate(local_ref)
+        fs.metafile.drain_dirty()
+        fs.keeper.recompute(bm)
+        if isinstance(fs, RAIDGroupRuntime):
             if rebuild_caches:
-                if g.cache is not None or g.degraded_alloc:
-                    g.adopt_cache(make_aa_cache(g.topology, g.keeper.scores))
-            elif not g.degraded_alloc:
-                g.enter_degraded()
-        if touched:
-            store.rebind_allocators()
-    elif isinstance(store, LinearStore):
-        if _in_scope("store", scope):
-            bm = store.metafile.bitmap
-            store.allocator.release()
-            bm.clear_range(0, bm.nblocks)
-            bm.allocate(phys_ref)
-            store.metafile.drain_dirty()
-            store.keeper.recompute(bm)
-            if not rebuild_caches:
-                if not store.degraded_alloc:
-                    store.enter_degraded()
-            elif store.cache is not None:
-                store.cache.refill(store.keeper.scores)
-            elif store.degraded_alloc:
-                store.adopt_cache(make_aa_cache(store.topology, store.keeper.scores))
+                if fs.cache is not None or fs.degraded_alloc:
+                    fs.adopt_cache(make_aa_cache(fs.topology, fs.keeper.scores))
+            elif not fs.degraded_alloc:
+                fs.enter_degraded()
+        elif not rebuild_caches:
+            if not fs.degraded_alloc:
+                fs.enter_degraded()
+        elif fs.cache is not None:
+            # A linear store's live HBPS cache is refilled in place;
+            # adopt_cache is only for coming back from degraded mode.
+            fs.cache.refill(fs.keeper.scores)
+        elif fs.degraded_alloc:
+            fs.adopt_cache(make_aa_cache(fs.topology, fs.keeper.scores))
+    if touched:
+        store.rebind_allocators()
     report.repaired = True
     return report

@@ -35,11 +35,17 @@ class RAIDGeometry:
         Number of parity devices (1 = RAID 4, 2 = RAID-DP, 3 = RAID-TEC).
     blocks_per_disk:
         4 KiB data blocks per device; equals the number of stripes.
+    mirrored:
+        Mirrored group (RAID 1 / SyncMirror-style): every "parity"
+        device holds a full copy of its data device, so writes never
+        pay a parity read-modify-write and ``nparity`` must equal
+        ``ndata``.
     """
 
     ndata: int
     nparity: int
     blocks_per_disk: int
+    mirrored: bool = False
 
     def __post_init__(self) -> None:
         if self.ndata < 1:
@@ -48,6 +54,11 @@ class RAIDGeometry:
             raise GeometryError("negative parity device count")
         if self.blocks_per_disk < 8 or self.blocks_per_disk % 8:
             raise GeometryError("blocks_per_disk must be a positive multiple of 8")
+        if self.mirrored and self.nparity != self.ndata:
+            raise GeometryError(
+                "a mirrored group needs one mirror device per data device "
+                f"(ndata={self.ndata}, nparity={self.nparity})"
+            )
 
     # ------------------------------------------------------------------
     @property

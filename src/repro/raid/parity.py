@@ -163,7 +163,13 @@ def _analyze(
     full = counts == geometry.ndata
     stats.full_stripes = int(full.sum())
     stats.partial_stripes = stats.stripes_written - stats.full_stripes
-    stats.parity_blocks_written = stats.stripes_written * geometry.nparity
+    # A mirror device copies exactly its twin's written blocks; parity
+    # devices write one block per touched stripe.
+    stats.parity_blocks_written = (
+        stats.data_blocks
+        if geometry.mirrored
+        else stats.stripes_written * geometry.nparity
+    )
 
     if failed_disks:
         # Degraded mode: read every surviving member block not written
@@ -174,8 +180,10 @@ def _analyze(
         stats.reconstruction_reads = int(reads.sum())
         stats.parity_blocks_read = stats.reconstruction_reads
         stats.degraded_stripes = stats.stripes_written
-    else:
+    elif not geometry.mirrored:
         # Parity reads for partial stripes: min(subtractive, reconstructive).
+        # Mirrored groups skip this entirely: a mirror write is a plain
+        # copy to the twin device, never a parity read-modify-write.
         k = counts[~full]
         if k.size:
             subtractive = k + geometry.nparity

@@ -9,7 +9,6 @@ CPU and device cost.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 
 __all__ = ["CPStats", "MetricsLog"]
@@ -59,6 +58,10 @@ class CPStats:
     #: single-source workloads.  Lets the traffic engine charge CP
     #: service back to the tenants whose ops rode in this CP.
     ops_by_source: dict[str, int] = field(default_factory=dict)
+    #: Tiered aggregates only: physical blocks written / freed per tier
+    #: label this CP (empty for single-tier stores).
+    blocks_by_tier: dict[str, int] = field(default_factory=dict)
+    freed_by_tier: dict[str, int] = field(default_factory=dict)
 
     @property
     def full_stripe_fraction(self) -> float:
@@ -108,9 +111,7 @@ class MetricsLog:
 
     Read metrics through :meth:`query` — one accessor for summary
     scalars, raw recorded series, per-tenant traffic series (via the
-    ``tenant=`` tag), and the CPU phase breakdown.  The historical
-    per-metric accessors (the :attr:`series` dict, :meth:`cpu_phase_us`)
-    still work but emit :class:`DeprecationWarning`.
+    ``tenant=`` tag), and the CPU phase breakdown.
     """
 
     #: Summary scalars resolvable by :meth:`query` name.
@@ -148,17 +149,6 @@ class MetricsLog:
     def reset_series(self) -> None:
         """Drop all recorded time series (the per-CP records stay)."""
         self._series.clear()
-
-    @property
-    def series(self) -> dict[str, list[float]]:
-        """Deprecated raw series dict; use :meth:`query` instead."""
-        warnings.warn(
-            "MetricsLog.series is deprecated; use MetricsLog.query(name) "
-            "(or query(metric, tenant=...) for traffic series)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self._series
 
     # ------------------------------------------------------------------
     def query(self, metric: str, *, default=_MISSING, **tags):
@@ -282,16 +272,6 @@ class MetricsLog:
     def mean_chain_length(self) -> float:
         chains = self._sum("write_chains")
         return self.total_physical_blocks / chains if chains else 0.0
-
-    def cpu_phase_us(self, cpu_model) -> dict[str, float]:
-        """Deprecated; use ``query("cpu_phase_us", model=cpu_model)``."""
-        warnings.warn(
-            "MetricsLog.cpu_phase_us(model) is deprecated; use "
-            "MetricsLog.query('cpu_phase_us', model=model)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self._cpu_phase_us(cpu_model)
 
     def _cpu_phase_us(self, cpu_model) -> dict[str, float]:
         """Total modeled CPU per pipeline phase across the run.

@@ -1,0 +1,292 @@
+"""TieredStore: several physical stores composed into one aggregate.
+
+Each declared :class:`~repro.common.config.TierSpec` becomes one
+*member* store — a :class:`~repro.fs.aggregate.RAIDStore` (RAID 4 /
+RAID-DP / mirrored groups of HDD, SSD, or SMR devices) or a
+:class:`~repro.fs.aggregate.LinearStore` (object backend).  The members
+are stock single-tier stores; this class owns the global VBN space and
+converts global ↔ member-local VBNs at its own boundary, so everything
+below it (allocators, bitmaps, caches, parity pricing) is reused
+unchanged.
+
+The store implements the same structural surface the CP engine, Iron,
+the auditor, and the recovery orchestrator already consume —
+``allocate`` / ``log_free`` / ``cp_boundary`` / ``physical_instances``
+— plus per-tier addressing (:meth:`allocate_in`, :meth:`tier_usage`)
+for the tier policies in :mod:`repro.tiering.policies`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.config import AggregateSpec, SimConfig, TierSpec
+from ..common.errors import TieringError
+from ..common.rng import make_rng
+from ..devices.base import Device
+from ..devices.objectstore import ObjectStoreConfig
+from ..fs.aggregate import (
+    LinearStore,
+    PolicyKind,
+    RAIDStore,
+    StoreCPReport,
+    TierPolicy,
+)
+from ..fs.filesystem import _tier_group_configs
+from .tiers import choose_tier
+
+__all__ = ["TieredStore", "make_tiered_store"]
+
+#: Counter fields a merged :class:`StoreCPReport` sums over members.
+_SUMMED_FIELDS = (
+    "device_total_us",
+    "metafile_blocks",
+    "blocks_written",
+    "blocks_freed",
+    "full_stripes",
+    "partial_stripes",
+    "tetrises",
+    "chains",
+    "parity_reads",
+    "reconstruction_reads",
+    "degraded_stripes",
+    "cache_ops",
+    "aa_switches",
+    "spanned_blocks",
+)
+
+
+class TieredStore:
+    """One aggregate VBN space over per-tier member stores."""
+
+    #: See :attr:`repro.fs.aggregate.RAIDStore.tier_policy`; builders
+    #: attach a :class:`~repro.tiering.policies.StaticTierPolicy`.
+    tier_policy: TierPolicy | None = None
+
+    def __init__(self, tiers: list[TierSpec], members: list[object]) -> None:
+        if len(tiers) != len(members) or not tiers:
+            raise TieringError("TieredStore needs one member store per tier")
+        self.tiers = list(tiers)
+        self.members = list(members)
+        self.labels = [t.label for t in self.tiers]
+        self.bases: list[int] = []
+        offset = 0
+        group_index = 0
+        for tier, member in zip(self.tiers, self.members):
+            if member.nblocks != tier.physical_blocks:
+                raise TieringError(
+                    f"tier {tier.label!r}: member store has {member.nblocks} "
+                    f"blocks but the spec declares {tier.physical_blocks}"
+                )
+            self.bases.append(offset)
+            offset += member.nblocks
+            # Fault/Iron addressing labels must be unique across the
+            # whole aggregate: renumber RAID groups globally and tag
+            # linear members with their tier label.
+            if isinstance(member, RAIDStore):
+                for g in member.groups:
+                    g.where = f"group:{group_index}"
+                    group_index += 1
+            else:
+                member.where = f"store:{tier.label}"
+        self.nblocks = offset
+        self._bounds = np.asarray(self.bases + [self.nblocks], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Tier addressing
+    # ------------------------------------------------------------------
+    def member(self, label: str):
+        """The member store backing tier ``label``."""
+        try:
+            return self.members[self.labels.index(label)]
+        except ValueError:
+            raise TieringError(
+                f"unknown tier {label!r}; aggregate tiers: {self.labels}"
+            ) from None
+
+    def tier_index_of(self, vbns: np.ndarray) -> np.ndarray:
+        """Tier index owning each global VBN."""
+        vbns = np.asarray(vbns, dtype=np.int64)
+        return self._bounds.searchsorted(vbns, side="right") - 1
+
+    def tier_usage(self) -> dict[str, dict[str, int]]:
+        """Per-tier capacity snapshot: total, used, and free blocks."""
+        out: dict[str, dict[str, int]] = {}
+        for tier, member in zip(self.tiers, self.members):
+            free = member.free_count
+            out[tier.label] = {
+                "nblocks": member.nblocks,
+                "used": member.nblocks - free,
+                "free": free,
+            }
+        return out
+
+    def allocate_in(self, label: str, n: int) -> np.ndarray:
+        """Allocate up to ``n`` blocks from one tier; returns global
+        VBNs.  No cross-tier fallback — that is tier-policy business."""
+        if n <= 0:
+            return np.empty(0, dtype=np.int64)
+        idx = self.labels.index(label) if label in self.labels else -1
+        if idx < 0:
+            raise TieringError(
+                f"unknown tier {label!r}; aggregate tiers: {self.labels}"
+            )
+        got = self.members[idx].allocate(n)
+        if got.size and self.bases[idx]:
+            got = got + self.bases[idx]
+        return got
+
+    # ------------------------------------------------------------------
+    # Store API (the surface the CP engine and WaflSim consume)
+    # ------------------------------------------------------------------
+    @property
+    def free_count(self) -> int:
+        return sum(m.free_count for m in self.members)
+
+    @property
+    def devices(self) -> list[Device]:
+        return [d for m in self.members for d in m.devices]
+
+    @property
+    def groups(self):
+        """All RAID groups across RAID-backed members (aging hooks and
+        stripe reports iterate these; object members contribute none)."""
+        return [g for m in self.members if isinstance(m, RAIDStore) for g in m.groups]
+
+    def allocate(self, n: int) -> np.ndarray:
+        """Tier-blind allocation: fill tiers in declaration order.
+        Only reached when no tier policy is attached."""
+        if n <= 0:
+            return np.empty(0, dtype=np.int64)
+        out: list[np.ndarray] = []
+        got = 0
+        for label in self.labels:
+            if got >= n:
+                break
+            take = self.allocate_in(label, n - got)
+            if take.size:
+                out.append(take)
+                got += take.size
+        if not out:
+            return np.empty(0, dtype=np.int64)
+        return out[0] if len(out) == 1 else np.concatenate(out)
+
+    def log_free(self, vbns: np.ndarray) -> None:
+        """Log global VBNs for freeing at the next CP boundary."""
+        vbns = np.asarray(vbns, dtype=np.int64)
+        if vbns.size == 0:
+            return
+        if len(self.members) == 1:
+            self.members[0].log_free(vbns)
+            return
+        idx = self.tier_index_of(vbns)
+        for i, member in enumerate(self.members):
+            mask = idx == i
+            if mask.any():
+                member.log_free(vbns[mask] - self.bases[i])
+
+    def charge_reads(self, n_random: int) -> None:
+        """Queue client random reads, spread across tiers proportional
+        to capacity (reads land where data lives; capacity is the
+        deterministic stand-in for per-tier residency)."""
+        if n_random <= 0:
+            return
+        left = n_random
+        for i, member in enumerate(self.members):
+            if i == len(self.members) - 1:
+                share = left
+            else:
+                share = min(
+                    left, int(round(n_random * member.nblocks / self.nblocks))
+                )
+            left -= share
+            member.charge_reads(share)
+
+    def cp_boundary(self) -> StoreCPReport:
+        """Run every member's CP boundary and merge: counters sum,
+        bottleneck busy time is the max over members (tiers flush in
+        parallel), and each member's report lands in ``by_tier``."""
+        report = StoreCPReport()
+        busy: list[float] = []
+        for tier, member in zip(self.tiers, self.members):
+            r = member.cp_boundary()
+            report.by_tier[tier.label] = r
+            for f in _SUMMED_FIELDS:
+                setattr(report, f, getattr(report, f) + getattr(r, f))
+            report.groups.extend(r.groups)
+            busy.append(r.device_busy_us)
+        report.device_busy_us = max(busy) if busy else 0.0
+        return report
+
+    def rebind_allocators(self) -> None:
+        for m in self.members:
+            m.rebind_allocators()
+
+    def attach_injector(self, injector) -> None:
+        for m in self.members:
+            m.attach_injector(injector)
+
+    def physical_instances(self) -> list[tuple[str, object, int]]:
+        """Members' instances, shifted to this aggregate's VBN space."""
+        out: list[tuple[str, object, int]] = []
+        for base, member in zip(self.bases, self.members):
+            out.extend(
+                (where, fs, base + local)
+                for where, fs, local in member.physical_instances()
+            )
+        return out
+
+    def selected_aa_free_fractions(self) -> np.ndarray:
+        fracs = [m.selected_aa_free_fractions() for m in self.members]
+        return np.concatenate(fracs) if fracs else np.empty(0, dtype=np.float64)
+
+
+def make_tiered_store(
+    spec: AggregateSpec,
+    *,
+    policy: PolicyKind = PolicyKind.CACHE,
+    config: SimConfig | None = None,
+    object_config: ObjectStoreConfig | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> TieredStore:
+    """Build a :class:`TieredStore` from a multi-tier spec, with the
+    build-time chooser's volume→tier assignments attached as a
+    :class:`~repro.tiering.policies.StaticTierPolicy`.
+
+    Member stores consume the shared ``seed`` generator in tier
+    declaration order, so the same spec + seed reproduces the same
+    aggregate bit for bit.
+    """
+    from .policies import StaticTierPolicy
+
+    rng = make_rng(seed)
+    members: list[object] = []
+    for tier in spec.tiers:
+        if tier.media == "object":
+            members.append(
+                LinearStore(
+                    tier.nblocks,
+                    blocks_per_aa=tier.blocks_per_aa,
+                    policy=policy,
+                    object_config=object_config,
+                    config=config,
+                    seed=rng,
+                )
+            )
+        else:
+            members.append(
+                RAIDStore(
+                    _tier_group_configs(tier),
+                    policy=policy,
+                    config=config,
+                    seed=rng,
+                )
+            )
+    store = TieredStore(list(spec.tiers), members)
+    assignments = {
+        v.name: choose_tier(spec.tiers, v.workload) for v in spec.volumes
+    }
+    store.tier_policy = StaticTierPolicy(
+        assignments, default=choose_tier(spec.tiers, "mixed")
+    )
+    return store

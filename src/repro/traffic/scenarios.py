@@ -30,12 +30,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..common.config import SimConfig
+from ..common.config import AggregateSpec, SimConfig, TierSpec, VolumeDecl
 from ..common.rng import make_rng, spawn
-from ..devices.ssd import SSDConfig
-from ..fs.aggregate import MediaType, PolicyKind, RAIDGroupConfig
 from ..fs.filesystem import WaflSim
-from ..fs.flexvol import VolSpec
 from ..sim.latency import peak_throughput, system_curve
 from ..workloads.aging import age_filesystem, reset_measurement_state
 from ..workloads.mixes import UniformOverwriteMix, ZipfOverwriteMix
@@ -104,34 +101,26 @@ def build_traffic_sim(
     """
     if n_tenants <= 0:
         raise ValueError("n_tenants must be positive")
-    ssd_cfg = SSDConfig(erase_block_blocks=512, program_us_per_block=16.0)
-    groups = [
-        RAIDGroupConfig(
-            ndata=4,
-            nparity=1,
-            blocks_per_disk=blocks_per_disk,
-            media=MediaType.SSD,
-            ssd_config=ssd_cfg,
-        )
-        for _ in range(2)
-    ]
+    tier = TierSpec(
+        label="ssd",
+        media="ssd",
+        n_groups=2,
+        ndata=4,
+        blocks_per_disk=blocks_per_disk,
+        erase_block_blocks=512,
+        program_us_per_block=16.0,
+    )
     phys = 2 * 4 * blocks_per_disk
     logical = int(phys * fill_fraction)
     share = logical // n_tenants
-    vols = [
-        VolSpec(
+    vols = tuple(
+        VolumeDecl(
             f"tenant{i}",
             logical_blocks=share if i < n_tenants - 1 else logical - share * (n_tenants - 1),
         )
         for i in range(n_tenants)
-    ]
-    sim = WaflSim.build_raid(
-        groups,
-        vols,
-        aggregate_policy=PolicyKind.CACHE,
-        vol_policy=PolicyKind.CACHE,
-        seed=seed,
     )
+    sim = WaflSim.build(AggregateSpec(tiers=(tier,), volumes=vols), seed=seed)
     age_filesystem(sim, churn_factor=churn_factor, ops_per_cp=16384, seed=seed)
     reset_measurement_state(sim)
     for vol in sim.vols.values():

@@ -112,19 +112,11 @@ def reset_measurement_state(sim: WaflSim) -> None:
         vol.allocator.selected_aa_scores.clear()
         vol.allocator.blocks_allocated = 0
         vol._last_aa_switches = 0
-    store = sim.store
-    if hasattr(store, "groups"):
-        for g in store.groups:
-            g.allocator.selected_aa_scores.clear()
-            g.allocator.blocks_allocated = 0
-            g._last_aa_switches = 0
-            for dev in g.devices:
-                _reset_device(dev)
-    else:
-        store.allocator.selected_aa_scores.clear()
-        store.allocator.blocks_allocated = 0
-        store._last_aa_switches = 0
-        for dev in store.devices:
+    for _, fs, _ in sim.store.physical_instances():
+        fs.allocator.selected_aa_scores.clear()
+        fs.allocator.blocks_allocated = 0
+        fs._last_aa_switches = 0
+        for dev in fs.devices:
             _reset_device(dev)
 
 

@@ -42,6 +42,7 @@ VIOLATIONS: dict[str, str | tuple[str, str]] = {
     ),
     "E404": ("print('loose output')\n", "core"),
     "C601": "model.committed = image\n",
+    "T701": ("blocks = store.allocate(8, tier='fast')\n", "fs"),
     "P901": "x = 1  # simlint: disable=Z999\n",
 }
 
@@ -314,6 +315,37 @@ class TestCrashConsistencyRules:
 
     def test_reading_committed_is_clean(self):
         assert rules_of("x = model.committed.digest()\n") == []
+
+
+class TestTierLiteralRule:
+    def test_tier_keyword_string_fires(self):
+        assert "T701" in rules_of("store.allocate(8, tier='fast')\n", "fs")
+
+    def test_tier_compare_fires(self):
+        assert "T701" in rules_of("ok = request.tier == 'capacity'\n", "cluster")
+
+    def test_reversed_compare_fires(self):
+        assert "T701" in rules_of("ok = 'archive' != vol.tier\n", "cluster")
+
+    def test_tiering_package_is_sanctioned(self):
+        src = "FAST = 'fast'\nok = role.tier == 'fast'\n"
+        findings = lint_source(src, "src/repro/tiering/tiers.py", "tiering")
+        assert [f.rule for f in findings] == []
+
+    def test_tier_enum_member_is_clean(self):
+        src = (
+            "from repro.tiering import Tier\n"
+            "req = VolumeRequest('v', tier=Tier.FAST.value)\n"
+        )
+        assert rules_of(src, "cluster") == []
+
+    def test_unrelated_string_compare_is_clean(self):
+        assert rules_of("ok = name == 'capacity'\n", "cluster") == []
+
+    def test_non_role_tier_label_compare_is_clean(self):
+        # Aggregate tier *labels* are data ("flash", "smr", ...), not
+        # routing roles; comparing against them is fine.
+        assert rules_of("ok = spec.tier == 'flash'\n", "cluster") == []
 
 
 class TestUnitRules:

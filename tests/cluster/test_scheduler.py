@@ -16,9 +16,11 @@ from repro.cluster import (
     RaidGeometryFilter,
     RandomPlacer,
     ShardStats,
+    TierFilter,
     VolumeRequest,
 )
 from repro.common.errors import PlacementError
+from repro.tiering import Tier, media_role
 
 
 def mkstats(
@@ -28,6 +30,7 @@ def mkstats(
     total: int = 32_768,
     committed: float = 0.0,
     media: tuple[str, ...] = ("ssd",),
+    tiers: tuple[str, ...] = (),
     ndata: int = 4,
     aa: float = 1.0,
     p99: float = 0.0,
@@ -41,6 +44,7 @@ def mkstats(
         committed_fraction=committed,
         n_volumes=0,
         media=media,
+        tiers=tiers or tuple(sorted({media_role(m).value for m in media})),
         ndata=ndata,
         capacity_ops=90_000.0,
         aa_free_fraction=aa,
@@ -66,6 +70,23 @@ class TestFilters:
         assert f.passes(req(), mkstats(0, media=("hdd",)))
         assert f.passes(req(media="ssd"), mkstats(0, media=("hdd", "ssd")))
         assert not f.passes(req(media="ssd"), mkstats(0, media=("hdd",)))
+
+    def test_tier_filter(self):
+        f = TierFilter()
+        assert f.passes(req(), mkstats(0, media=("hdd",)))
+        assert f.passes(
+            req(tier=Tier.FAST.value), mkstats(0, media=("hdd", "ssd"))
+        )
+        assert not f.passes(
+            req(tier=Tier.FAST.value), mkstats(0, media=("hdd",))
+        )
+        assert f.passes(
+            req(tier=Tier.CAPACITY.value), mkstats(0, media=("smr",))
+        )
+
+    def test_tier_request_validates_role(self):
+        with pytest.raises(ValueError, match="tier role"):
+            req(tier="turbo")
 
     def test_raid_geometry_filter(self):
         f = RaidGeometryFilter()

@@ -5,7 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.fs import MediaType, RAIDGroupConfig, VolSpec, WaflSim
+from repro.common.config import AggregateSpec, TierSpec, VolumeDecl
+from repro.fs import WaflSim
 
 
 @pytest.fixture
@@ -26,24 +27,20 @@ def small_ssd_sim(
 
     ap = aggregate_policy or PolicyKind.CACHE
     vp = vol_policy or PolicyKind.CACHE
-    groups = [
-        RAIDGroupConfig(
-            ndata=3,
-            nparity=1,
-            blocks_per_disk=32768,
-            media=MediaType.SSD,
-            stripes_per_aa=2048,
-        )
-        for _ in range(n_groups)
-    ]
     phys = n_groups * 3 * 32768
-    vols = [
-        VolSpec("volA", logical_blocks=phys // 4),
-        VolSpec("volB", logical_blocks=phys // 8),
-    ]
-    return WaflSim.build_raid(
-        groups, vols, aggregate_policy=ap, vol_policy=vp, seed=seed
+    spec = AggregateSpec(
+        tiers=(
+            TierSpec(label="ssd", media="ssd", n_groups=n_groups, ndata=3,
+                     blocks_per_disk=32768, stripes_per_aa=2048),
+        ),
+        volumes=(
+            VolumeDecl("volA", logical_blocks=phys // 4),
+            VolumeDecl("volB", logical_blocks=phys // 8),
+        ),
+        policy=ap.value,
+        vol_policy=vp.value,
     )
+    return WaflSim.build(spec, seed=seed)
 
 
 @pytest.fixture

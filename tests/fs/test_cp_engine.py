@@ -6,7 +6,8 @@ import numpy as np
 import pytest
 
 from repro.common import OutOfSpaceError
-from repro.fs import CPBatch, MediaType, RAIDGroupConfig, VolSpec, WaflSim
+from repro.common.config import AggregateSpec, TierSpec, VolumeDecl
+from repro.fs import CPBatch, WaflSim
 
 from ..conftest import small_ssd_sim
 
@@ -59,13 +60,15 @@ class TestRunCP:
 
     def test_out_of_space(self):
         phys = 3 * 8192
-        sim = WaflSim.build_raid(
-            [RAIDGroupConfig(ndata=3, nparity=1, blocks_per_disk=8192,
-                             media=MediaType.SSD, stripes_per_aa=1024)],
-            # Virtual space far exceeds physical so the aggregate
-            # exhausts first.
-            [VolSpec("v", logical_blocks=phys - 100,
-                     virtual_blocks=8 * phys - (8 * phys) % 32768)],
+        sim = WaflSim.build(
+            AggregateSpec(
+                tiers=(TierSpec(label="ssd", media="ssd", ndata=3,
+                                blocks_per_disk=8192, stripes_per_aa=1024),),
+                # Virtual space far exceeds physical so the aggregate
+                # exhausts first.
+                volumes=(VolumeDecl("v", logical_blocks=phys - 100,
+                                    virtual_blocks=8 * phys - (8 * phys) % 32768),),
+            ),
             seed=0,
         )
         with pytest.raises(OutOfSpaceError):

@@ -1,12 +1,23 @@
 """Tests for Flash Pool-style mixed-media tiering (extension;
-paper section 2.1)."""
+paper section 2.1).
+
+A Flash Pool is one :class:`RAIDStore` whose groups mix SSD and
+capacity media, carrying a :class:`repro.tiering.FlashPoolPolicy` that
+routes hot overwrites to the SSD groups.  Contrast with the multi-tier
+aggregates of :mod:`repro.tiering`, which compose one store per tier.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
+from repro.common.config import AggregateSpec, TierSpec, VolumeDecl
+from repro.common.rng import make_rng
 from repro.fs import CPBatch, MediaType, RAIDGroupConfig, VolSpec, WaflSim
+from repro.fs.aggregate import RAIDStore
+from repro.fs.flexvol import FlexVol
+from repro.tiering import FlashPoolPolicy
 
 
 def build_flash_pool(seed=0):
@@ -18,21 +29,42 @@ def build_flash_pool(seed=0):
         RAIDGroupConfig(ndata=3, nparity=1, blocks_per_disk=32768,
                         media=MediaType.HDD, stripes_per_aa=4096),
     ]
-    vols = [VolSpec("db", logical_blocks=60_000)]
-    return WaflSim.build_raid(groups, vols, seed=seed)
+    rng = make_rng(seed)
+    store = RAIDStore(groups, seed=rng)
+    store.tier_policy = FlashPoolPolicy()
+    vols = {"db": FlexVol(VolSpec("db", logical_blocks=60_000), seed=rng)}
+    return WaflSim(store, vols)
 
 
 class TestTiering:
-    def test_detection(self):
+    def test_policy_and_media(self):
         sim = build_flash_pool()
-        assert sim.store.supports_tiering
+        assert isinstance(sim.store.tier_policy, FlashPoolPolicy)
         assert sim.store.media_kinds == [MediaType.SSD, MediaType.HDD, MediaType.HDD]
 
-    def test_all_ssd_is_not_tiered(self):
-        groups = [RAIDGroupConfig(ndata=3, nparity=1, blocks_per_disk=16384,
-                                  media=MediaType.SSD, stripes_per_aa=2048)]
-        sim = WaflSim.build_raid(groups, [VolSpec("v", logical_blocks=10000)])
-        assert not sim.store.supports_tiering
+    def test_all_ssd_carries_no_policy(self):
+        sim = WaflSim.build(
+            AggregateSpec(
+                tiers=(TierSpec(label="ssd", media="ssd", ndata=3,
+                                blocks_per_disk=16384, stripes_per_aa=2048),),
+                volumes=(VolumeDecl("v", logical_blocks=10000),),
+            ),
+        )
+        assert sim.store.tier_policy is None
+
+    def test_shim_attaches_flash_pool_policy(self):
+        # The deprecated builder auto-detects the mixed-media shape.
+        groups = [
+            RAIDGroupConfig(ndata=3, nparity=1, blocks_per_disk=16384,
+                            media=MediaType.SSD, stripes_per_aa=2048),
+            RAIDGroupConfig(ndata=3, nparity=1, blocks_per_disk=32768,
+                            media=MediaType.HDD, stripes_per_aa=4096),
+        ]
+        with pytest.warns(DeprecationWarning, match="build_raid"):
+            sim = WaflSim.build_raid(
+                groups, [VolSpec("db", logical_blocks=30_000)], seed=0
+            )
+        assert isinstance(sim.store.tier_policy, FlashPoolPolicy)
 
     def test_first_writes_land_on_capacity_tier(self):
         sim = build_flash_pool()
@@ -72,10 +104,10 @@ class TestTiering:
         assert ssd_used == 500
         sim.verify_consistency()
 
-    def test_explicit_tier_allocation(self):
+    def test_explicit_group_allocation(self):
         sim = build_flash_pool()
-        fast = sim.store.allocate(100, tier="fast")
-        cap = sim.store.allocate(100, tier="capacity")
+        fast = sim.store.allocate(100, groups=[0])
+        cap = sim.store.allocate(100, groups=[1, 2])
         ssd_span = sim.store.groups[0].topology.nblocks
         assert (fast < ssd_span).all()
         assert (cap >= ssd_span).all()

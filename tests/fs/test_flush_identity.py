@@ -13,7 +13,8 @@ from dataclasses import asdict, replace
 import numpy as np
 
 from repro.common.config import SimConfig
-from repro.fs import MediaType, RAIDGroupConfig, VolSpec, WaflSim
+from repro.common.config import AggregateSpec, TierSpec, VolumeDecl
+from repro.fs import WaflSim
 from repro.workloads import RandomOverwriteWorkload
 
 
@@ -21,21 +22,16 @@ def _build(scalar_flush: bool) -> WaflSim:
     cfg = SimConfig.default()
     cfg = replace(cfg, allocator=replace(cfg.allocator,
                                          scalar_bitmap_flush=scalar_flush))
-    groups = [
-        RAIDGroupConfig(
-            ndata=3,
-            nparity=1,
-            blocks_per_disk=32768,
-            media=MediaType.SSD,
-            stripes_per_aa=2048,
-        )
-    ]
     phys = 3 * 32768
-    vols = [
-        VolSpec("volA", logical_blocks=phys // 4),
-        VolSpec("volB", logical_blocks=phys // 8),
-    ]
-    return WaflSim.build_raid(groups, vols, config=cfg, seed=7)
+    spec = AggregateSpec(
+        tiers=(TierSpec(label="ssd", media="ssd", ndata=3,
+                        blocks_per_disk=32768, stripes_per_aa=2048),),
+        volumes=(
+            VolumeDecl("volA", logical_blocks=phys // 4),
+            VolumeDecl("volB", logical_blocks=phys // 8),
+        ),
+    )
+    return WaflSim.build(spec, config=cfg, seed=7)
 
 
 class TestFlushModeIdentity:

@@ -7,7 +7,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.fs import CPBatch, MediaType, PolicyKind, RAIDGroupConfig, VolSpec, WaflSim
+from repro.common.config import AggregateSpec, TierSpec, VolumeDecl
+from repro.fs import CPBatch, PolicyKind, WaflSim
 from repro.workloads import (
     FileChurnWorkload,
     OLTPWorkload,
@@ -98,21 +99,30 @@ class TestMixedWorkloads:
             sim.verify_consistency()
 
     def test_hdd_and_smr_media_run(self):
-        for media, azcs in [(MediaType.HDD, False), (MediaType.SMR, True)]:
-            cfg = RAIDGroupConfig(
-                ndata=3, nparity=1, blocks_per_disk=16128, media=media,
+        for media, azcs in [("hdd", False), ("smr", True)]:
+            tier = TierSpec(
+                label=media, media=media, ndata=3, blocks_per_disk=16128,
                 stripes_per_aa=2016, azcs=azcs,
             )
-            sim = WaflSim.build_raid(
-                [cfg], [VolSpec("v", logical_blocks=10000)], seed=0
+            sim = WaflSim.build(
+                AggregateSpec(
+                    tiers=(tier,),
+                    volumes=(VolumeDecl("v", logical_blocks=10000),),
+                ),
+                seed=0,
             )
             wl = SequentialWriteWorkload(sim, ops_per_cp=2048, wrap=False)
             sim.run(wl, 3)
             sim.verify_consistency()
 
     def test_object_store_end_to_end(self):
-        sim = WaflSim.build_object(
-            32768 * 4, [VolSpec("v", logical_blocks=40000)], seed=0
+        sim = WaflSim.build(
+            AggregateSpec(
+                tiers=(TierSpec(label="s3", media="object", raid="none",
+                                nblocks=32768 * 4),),
+                volumes=(VolumeDecl("v", logical_blocks=40000),),
+            ),
+            seed=0,
         )
         fill_volumes(sim, ops_per_cp=8192)
         wl = RandomOverwriteWorkload(sim, ops_per_cp=1024, seed=7)

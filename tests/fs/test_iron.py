@@ -105,10 +105,17 @@ class TestRepair:
         sim.verify_consistency()
 
     def test_repair_object_store(self):
-        from repro.fs import VolSpec, WaflSim
+        from repro.common.config import AggregateSpec, TierSpec, VolumeDecl
+        from repro.fs import WaflSim
 
-        s = WaflSim.build_object(32768 * 2, [VolSpec("v", logical_blocks=20000)],
-                                 seed=0)
+        s = WaflSim.build(
+            AggregateSpec(
+                tiers=(TierSpec(label="s3", media="object", raid="none",
+                                nblocks=32768 * 2),),
+                volumes=(VolumeDecl("v", logical_blocks=20000),),
+            ),
+            seed=0,
+        )
         fill_volumes(s, ops_per_cp=8192)
         vol = s.vols["v"]
         mapped = vol.l2v[vol.l2v >= 0][:5]

@@ -1,5 +1,5 @@
-"""MetricsLog.query(): the unified metric accessor, and the deprecated
-per-metric accessors it replaces."""
+"""MetricsLog.query(): the unified metric accessor (the deprecated
+per-metric accessors it replaced are gone)."""
 
 from __future__ import annotations
 
@@ -72,19 +72,14 @@ class TestQuery:
         )
 
 
-class TestDeprecatedAccessors:
-    def test_series_property_warns_and_delegates(self):
-        log = small_log()
-        with pytest.warns(DeprecationWarning, match="series"):
-            series = log.series
-        assert series["queue_depth"] == [4.0]
+class TestDeprecatedAccessorsRemoved:
+    def test_series_property_removed(self):
+        # The PR-5 deprecation shim served its release; raw series
+        # access now goes through query().
+        assert not hasattr(small_log(), "series")
 
-    def test_cpu_phase_us_warns_and_matches_query(self):
-        log = small_log()
-        model = CpuModel()
-        with pytest.warns(DeprecationWarning, match="cpu_phase_us"):
-            old = log.cpu_phase_us(model)
-        assert old == log.query("cpu_phase_us", model=model)
+    def test_cpu_phase_us_method_removed(self):
+        assert not hasattr(small_log(), "cpu_phase_us")
 
     def test_reset_series_drops_series_keeps_cps(self):
         log = small_log()

@@ -10,6 +10,7 @@ import warnings
 import pytest
 
 from repro.common.config import (
+    AggregateSpec,
     AllocatorConfig,
     BenchConfig,
     CacheConfig,
@@ -18,6 +19,7 @@ from repro.common.config import (
     SimConfig,
     TrafficConfig,
 )
+from repro.common.config import TierSpec, VolumeDecl
 from repro.fs import MediaType, RAIDGroupConfig, VolSpec, WaflSim
 from repro.fs.aggregate import RAIDStore
 
@@ -31,6 +33,11 @@ GROUPS = [
     )
 ]
 VOLS = [VolSpec("volA", 16384)]
+SPEC = AggregateSpec(
+    tiers=(TierSpec(label="ssd", media="ssd", ndata=3,
+                    blocks_per_disk=32768, stripes_per_aa=2048),),
+    volumes=(VolumeDecl("volA", 16384),),
+)
 
 
 class TestSimConfig:
@@ -78,19 +85,19 @@ class TestThresholdFromConfig:
         store = RAIDStore(GROUPS, config=cfg, seed=7)
         assert store.allocator.threshold_fraction == 0.1
 
-    def test_build_raid_reads_config(self):
+    def test_build_reads_config(self):
         cfg = dataclasses.replace(
             SimConfig.default(),
             allocator=AllocatorConfig(threshold_fraction=0.1),
         )
-        sim = WaflSim.build_raid(GROUPS, VOLS, config=cfg, seed=7)
+        sim = WaflSim.build(SPEC, config=cfg, seed=7)
         assert sim.store.allocator.threshold_fraction == 0.1
 
     def test_loose_kwarg_is_gone(self):
         with pytest.raises(TypeError):
             RAIDStore(GROUPS, threshold_fraction=0.1, seed=7)
         with pytest.raises(TypeError):
-            WaflSim.build_raid(GROUPS, VOLS, threshold_fraction=0.1, seed=7)
+            WaflSim.build(SPEC, threshold_fraction=0.1, seed=7)
 
     def test_default_comes_from_sim_config(self):
         with warnings.catch_warnings():

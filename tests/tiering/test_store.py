@@ -1,0 +1,147 @@
+"""TieredStore unit tests: global VBN composition, per-tier capacity
+accounting, tier-pinned allocation, and the workload chooser."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.config import AggregateSpec, TierSpec, VolumeDecl
+from repro.common.errors import GeometryError, TieringError
+from repro.fs import WaflSim
+from repro.tiering import (
+    StaticTierPolicy,
+    Tier,
+    TieredStore,
+    choose_tier,
+    make_tiered_store,
+    media_role,
+    serviceable_tiers,
+)
+
+
+def two_tier_spec(**vol_kw) -> AggregateSpec:
+    return AggregateSpec(
+        tiers=(
+            TierSpec(label="flash", media="ssd", raid="mirror", ndata=4,
+                     blocks_per_disk=4096),
+            TierSpec(label="disk", media="hdd", raid="raid4", ndata=6,
+                     blocks_per_disk=4096),
+        ),
+        volumes=tuple(vol_kw.get("volumes", (
+            VolumeDecl("a", logical_blocks=4096, workload="oltp"),
+            VolumeDecl("b", logical_blocks=8192, workload="sequential"),
+        ))),
+    )
+
+
+class TestComposition:
+    def test_build_returns_tiered_store(self):
+        sim = WaflSim.build(two_tier_spec(), seed=1)
+        store = sim.store
+        assert isinstance(store, TieredStore)
+        assert store.labels == ["flash", "disk"]
+        # Mirror: 4 data + 4 copies -> 4*4096 usable; RAID4: 6*4096.
+        assert store.nblocks == 4 * 4096 + 6 * 4096
+        assert store.member("flash").nblocks == 4 * 4096
+        assert store.bases == [0, 4 * 4096]
+
+    def test_tier_index_of_maps_global_vbns(self):
+        store = make_tiered_store(two_tier_spec(), seed=1)
+        split = store.bases[1]
+        vbns = np.array([0, split - 1, split, store.nblocks - 1])
+        assert store.tier_index_of(vbns).tolist() == [0, 0, 1, 1]
+
+    def test_allocate_in_stays_inside_the_tier(self):
+        store = make_tiered_store(two_tier_spec(), seed=1)
+        split = store.bases[1]
+        fast = store.allocate_in("flash", 128)
+        slow = store.allocate_in("disk", 128)
+        assert (fast < split).all()
+        assert (slow >= split).all()
+        usage = store.tier_usage()
+        assert usage["flash"]["used"] == 128
+        assert usage["disk"]["used"] == 128
+        assert usage["flash"]["free"] == usage["flash"]["nblocks"] - 128
+
+    def test_unknown_tier_label_raises(self):
+        store = make_tiered_store(two_tier_spec(), seed=1)
+        with pytest.raises(TieringError, match="unknown tier"):
+            store.member("tape")
+
+    def test_physical_instances_are_base_shifted(self):
+        store = make_tiered_store(two_tier_spec(), seed=1)
+        bases = [base for _, _, base in store.physical_instances()]
+        assert bases[0] == 0
+        # The disk tier's groups start at the flash member's span.
+        assert store.bases[1] in bases
+
+    def test_free_blocks_return_to_their_tier(self):
+        store = make_tiered_store(two_tier_spec(), seed=1)
+        fast = store.allocate_in("flash", 64)
+        slow = store.allocate_in("disk", 64)
+        store.log_free(np.concatenate([fast, slow]))
+        store.cp_boundary()
+        usage = store.tier_usage()
+        assert usage["flash"]["used"] == 0
+        assert usage["disk"]["used"] == 0
+
+
+class TestCapacity:
+    def test_overcommit_names_per_tier_capacity(self):
+        spec = two_tier_spec(volumes=(
+            VolumeDecl("huge", logical_blocks=10 * 4096 + 1),
+        ))
+        with pytest.raises(GeometryError, match="per-tier capacity"):
+            WaflSim.build(spec, seed=1)
+
+    def test_exact_fit_is_accepted(self):
+        spec = two_tier_spec(volumes=(
+            VolumeDecl("fits", logical_blocks=10 * 4096),
+        ))
+        sim = WaflSim.build(spec, seed=1)
+        assert sim.store.nblocks == 10 * 4096
+
+
+class TestChooser:
+    TIERS = (
+        TierSpec(label="flash", media="ssd", raid="mirror", ndata=4,
+                 blocks_per_disk=4096),
+        TierSpec(label="disk", media="hdd", raid="raid4", ndata=6,
+                 blocks_per_disk=4096),
+        TierSpec(label="smr", media="smr", raid="raid_dp", ndata=8,
+                 blocks_per_disk=4032, stripes_per_aa=504),
+    )
+
+    def test_oltp_prefers_mirrored_flash(self):
+        assert choose_tier(self.TIERS, "oltp") == "flash"
+
+    def test_sequential_prefers_parity_smr(self):
+        assert choose_tier(self.TIERS, "sequential") == "smr"
+
+    def test_archive_prefers_the_slowest_media(self):
+        assert choose_tier(self.TIERS, "archive") == "smr"
+
+    def test_media_roles(self):
+        assert media_role("ssd") is Tier.FAST
+        assert media_role("hdd") is Tier.CAPACITY
+        assert media_role("object") is Tier.ARCHIVE
+        roles = serviceable_tiers(self.TIERS)
+        assert roles[Tier.FAST] == ["flash"]
+        assert roles[Tier.CAPACITY] == ["disk", "smr"]
+
+
+class TestStaticPolicy:
+    def test_assignments_route_and_reassign(self):
+        policy = StaticTierPolicy({"a": "flash"}, default="disk")
+        assert policy.tier_of("a") == "flash"
+        assert policy.tier_of("other") == "disk"
+        policy.assign("a", "disk")
+        assert policy.tier_of("a") == "disk"
+
+    def test_build_attaches_chooser_assignments(self):
+        sim = WaflSim.build(two_tier_spec(), seed=1)
+        policy = sim.store.tier_policy
+        assert isinstance(policy, StaticTierPolicy)
+        assert policy.tier_of("a") == "flash"   # oltp -> mirrored SSD
+        assert policy.tier_of("b") == "disk"    # sequential, no SMR tier

@@ -193,7 +193,7 @@ class TestSeriesAndSummary:
         engine.run(n_cps).summary()
         for name in ("a", "b"):
             for metric in ("achieved_ops_s", "p99_ms", "queue_depth"):
-                series = sim.metrics.series[f"traffic.{name}.{metric}"]
+                series = sim.metrics.query(metric, tenant=name)
                 assert len(series) == n_cps
 
     def test_summary_is_idempotent(self):
@@ -203,7 +203,7 @@ class TestSeriesAndSummary:
         second = engine.summary()
         assert asdict(first.tenants["a"]) == asdict(second.tenants["a"])
         # Series are not double-appended by the second call.
-        assert len(sim.metrics.series["traffic.a.p99_ms"]) == 6
+        assert len(sim.metrics.query("p99_ms", tenant="a")) == 6
 
 
 class TestDeterminism:
